@@ -1,0 +1,30 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one of the paper's tables/figures and writes
+the reproduced rows/series to ``benchmarks/results/<name>.txt`` (also
+echoed to stdout; run with ``-s`` to see them live).
+
+Scale control: the default ("quick") scale trims flow counts, sweep
+points, and durations so the whole suite runs in minutes.  Set the
+environment variable ``REPRO_PAPER_SCALE=1`` to run the full paper-scale
+configurations (tens of minutes).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def paper_scale() -> bool:
+    return os.environ.get("REPRO_PAPER_SCALE", "0") not in ("0", "", "false")
+
+
+def save_result(name: str, text: str) -> None:
+    """Persist a reproduced figure/table and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[saved to {path}]")

@@ -1,0 +1,196 @@
+"""Ablations of TCP-PR's design choices (DESIGN.md §4).
+
+Each ablation switches off one mechanism of Section 3 and measures the
+consequence in the scenario that motivates it:
+
+(a) halving at ``cwnd(n)`` (the window when the lost packet was sent) vs
+    halving the current window — detection-delay insensitivity;
+(b) the ``memorize`` list vs cutting on every detected drop — one cut
+    per loss event;
+(c) Newton iterations for ``alpha**(1/cwnd)`` vs the exact root —
+    footnote 5's 2-iteration approximation is enough;
+(d) SACK-based to-be-ack accounting vs the literal cumulative-only
+    reading — DESIGN.md §6's interpretation note.
+"""
+
+import pytest
+
+from repro.core.estimator import newton_fractional_root
+from repro.core.pr import PrConfig
+from repro.experiments.fig6_multipath import run_single_multipath_flow
+from repro.experiments.report import table
+from repro.net.lossgen import DeterministicLoss
+from repro.app.bulk import BulkTransfer
+from repro.util.units import MBPS
+
+from conftest import paper_scale, save_result
+
+DURATION = 30.0
+
+
+def _burst_loss_run(pr_config, duration=None):
+    """A lone TCP-PR flow hit by periodic 10-packet loss bursts.
+
+    No queue overflow (deep queues); the only losses are the scripted
+    bursts, so the congestion response to a *burst* is isolated.
+    """
+    duration = duration or (40.0 if paper_scale() else 20.0)
+    from repro.net.network import Network, install_static_routes
+
+    burst_ordinals = []
+    for start in range(1500, 200_000, 1500):
+        burst_ordinals.extend(range(start, start + 10))
+    net = Network(seed=1)
+    net.add_nodes("snd", "rcv")
+    net.add_duplex_link(
+        "snd", "rcv", bandwidth=10 * MBPS, delay=0.02, queue=4000,
+        loss_model=DeterministicLoss(burst_ordinals),
+    )
+    install_static_routes(net)
+    flow = BulkTransfer(net, "tcp-pr", "snd", "rcv", flow_id=1, pr_config=pr_config)
+    net.run(until=duration)
+    return flow, duration
+
+
+def test_ablation_memorize_and_halving_factorial(benchmark):
+    """2x2 factorial: the memorize list and the cwnd(n)/2 halving are
+    *redundant* guards against multi-cut responses to one loss burst —
+    either alone keeps the response to a burst at one effective halving;
+    removing both makes every burst compound ~10 halvings."""
+
+    def run():
+        rows = []
+        for memorize in (True, False):
+            for at_send in (True, False):
+                flow, duration = _burst_loss_run(
+                    PrConfig(enable_memorize=memorize, halve_at_send_cwnd=at_send)
+                )
+                rows.append(
+                    [
+                        "on" if memorize else "off",
+                        "cwnd(n)/2" if at_send else "current/2",
+                        flow.delivered_bytes() * 8 / duration / MBPS,
+                        flow.sender.stats.window_cuts,
+                    ]
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = table(["memorize", "halving basis", "Mbps", "window cuts"], rows)
+    save_result(
+        "ablation_memorize_halving",
+        "TCP-PR memorize x halving-basis factorial (periodic loss bursts)\n"
+        + text,
+    )
+    by_key = {(r[0], r[1]): (r[2], r[3]) for r in rows}
+    paper = by_key[("on", "cwnd(n)/2")]
+    unprotected = by_key[("off", "current/2")]
+    # Removing both protections compounds the cuts and costs throughput.
+    assert unprotected[1] > 2 * paper[1]
+    assert unprotected[0] < paper[0]
+    # Either protection alone keeps throughput near the paper variant.
+    for key in (("on", "current/2"), ("off", "cwnd(n)/2")):
+        assert by_key[key][0] > 0.8 * paper[0], key
+
+
+def test_ablation_newton_iterations(benchmark):
+    """Footnote 5: two Newton iterations approximate alpha**(1/cwnd)."""
+
+    def run():
+        rows = []
+        for iterations in (1, 2, 4):
+            worst = 0.0
+            for cwnd in (1.0, 2.0, 5.0, 10.0, 50.0, 200.0):
+                exact = 0.995 ** (1.0 / cwnd)
+                approx = newton_fractional_root(0.995, cwnd, iterations)
+                worst = max(worst, abs(approx - exact) / exact)
+            rows.append([iterations, worst])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = table(["newton iterations", "worst relative error"], rows,
+                 float_format="{:.2e}")
+    save_result("ablation_newton", "Newton-iteration accuracy (alpha=0.995)\n" + text)
+    by_iter = {int(r[0]): r[1] for r in rows}
+    assert by_iter[2] < 1e-5  # the paper's n=2 is plenty
+    assert by_iter[4] <= by_iter[1]
+
+
+def test_ablation_sack_accounting(benchmark):
+    """Cumulative-only to-be-ack accounting (the literal pseudo-code)
+    collapses under multipath reordering + real loss; SACK accounting
+    (DESIGN.md §6 note 1) preserves the paper's result."""
+    duration = 30.0 if paper_scale() else 15.0
+
+    def run():
+        sacked = run_single_multipath_flow(
+            "tcp-pr", epsilon=0.0, duration=duration,
+            pr_config=PrConfig(initial_ssthresh=128),
+        )
+        cumulative = run_single_multipath_flow(
+            "tcp-pr", epsilon=0.0, duration=duration,
+            pr_config=PrConfig(initial_ssthresh=128, use_sack_accounting=False),
+        )
+        return sacked, cumulative
+
+    sacked, cumulative = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = table(
+        ["to-be-ack accounting", "Mbps at eps=0"],
+        [["cumulative + SACK (ours)", sacked], ["cumulative only (literal)", cumulative]],
+    )
+    save_result("ablation_sack_accounting", "TCP-PR accounting ablation\n" + text)
+    assert sacked > cumulative
+
+
+def test_ablation_delayed_ack_receiver(benchmark):
+    """TCP-PR 'neither requires changes to the TCP receiver nor uses any
+    special TCP header option': a stock delayed-ACK receiver must leave
+    the headline multipath result essentially intact."""
+    duration = 30.0 if paper_scale() else 15.0
+
+    def run():
+        per_packet = run_single_multipath_flow(
+            "tcp-pr", epsilon=0.0, duration=duration,
+            pr_config=PrConfig(initial_ssthresh=128),
+        )
+        delayed = run_single_multipath_flow(
+            "tcp-pr", epsilon=0.0, duration=duration,
+            pr_config=PrConfig(initial_ssthresh=128),
+            receiver_delayed_ack=True,
+        )
+        return per_packet, delayed
+
+    per_packet, delayed = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = table(
+        ["receiver", "Mbps at eps=0"],
+        [["per-packet ACKs (ns-2 style)", per_packet],
+         ["delayed ACKs (RFC 1122)", delayed]],
+    )
+    save_result(
+        "ablation_delayed_ack", "TCP-PR receiver-independence ablation\n" + text
+    )
+    assert delayed > 0.6 * per_packet
+
+
+def test_ablation_beta_sensitivity(benchmark):
+    """Section 4: performance is not very sensitive to beta in (1, 5]."""
+    duration = 30.0 if paper_scale() else 15.0
+
+    def run():
+        rows = []
+        for beta in (1.0, 1.5, 2.0, 3.0, 5.0):
+            mbps = run_single_multipath_flow(
+                "tcp-pr", epsilon=0.0, duration=duration,
+                pr_config=PrConfig(beta=beta, initial_ssthresh=128),
+            )
+            rows.append([beta, mbps])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = table(["beta", "Mbps at eps=0"], rows)
+    save_result("ablation_beta", "TCP-PR beta sensitivity (10 ms mesh)\n" + text)
+    by_beta = {r[0]: r[1] for r in rows}
+    # beta=1 is the pathological corner; 2..5 are all healthy and similar.
+    healthy = [by_beta[2.0], by_beta[3.0], by_beta[5.0]]
+    assert min(healthy) > by_beta[1.0]
+    assert max(healthy) < 2.0 * min(healthy)

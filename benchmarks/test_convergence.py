@@ -1,0 +1,50 @@
+"""Extension analysis: convergence to fairness over time.
+
+Section 4 leans on the AIMD convergence results of Chiu & Jain [7] and
+the hybrid-model analysis [4]: flows detecting drops at the same rate
+converge to equal bandwidth exponentially fast.  This benchmark measures
+that dynamic directly — Jain's index of the instantaneous goodputs of a
+mixed TCP-PR / TCP-SACK population, and the time it takes to cross and
+hold 0.9.
+"""
+
+from repro.analysis.timeseries import convergence_time, fairness_over_time
+from repro.experiments.report import table
+from repro.experiments.runner import build_fairness_scenario
+
+from conftest import paper_scale, save_result
+
+
+def test_fairness_convergence_dynamics(benchmark):
+    duration = 120.0 if paper_scale() else 40.0
+
+    def run():
+        scenario = build_fairness_scenario(
+            topology="dumbbell", total_flows=8, seed=11, monitor_interval=1.0
+        )
+        scenario.network.run(until=duration)
+        samples = [monitor.samples for monitor in scenario.monitors]
+        points = fairness_over_time(samples)
+        return points
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    converged_at = convergence_time(points, threshold=0.9, hold=5.0)
+    tail = [p for p in points if p.time >= duration * 0.5]
+    tail_mean = sum(p.value for p in tail) / len(tail)
+
+    rows = [[f"{p.time:.0f}", p.value] for p in points[:: max(1, len(points) // 12)]]
+    text = table(["t (s)", "Jain index (instantaneous)"], rows)
+    text += (
+        f"\nconverged (>0.9 held 5 s) at: "
+        f"{converged_at if converged_at is not None else 'never'} s"
+        f"\nmean Jain index, second half: {tail_mean:.3f}"
+    )
+    save_result(
+        "convergence",
+        "Fairness convergence, 4 TCP-PR + 4 TCP-SACK on one bottleneck\n" + text,
+    )
+
+    # AIMD convergence: the mixed population reaches and holds fairness.
+    assert converged_at is not None, "never converged to Jain > 0.9"
+    assert converged_at < duration * 0.5
+    assert tail_mean > 0.85

@@ -1,0 +1,80 @@
+"""Extension experiment: single-path reordering from delay jitter.
+
+The paper's Section 1 motivates reordering not only by multipath routing
+but also by DiffServ-style differentiated forwarding: packets of one flow
+take the *same* route yet experience different per-hop delays.  This
+benchmark exercises that regime — a single 10 Mbps path whose second hop
+adds a per-packet delay drawn from a bimodal (two-service-class)
+distribution — and compares the protocols' throughput as the fraction of
+"demoted" packets grows.
+
+Not a paper figure (the paper only simulates multipath); included as the
+natural companion experiment the introduction promises.
+"""
+
+import pytest
+
+from repro.app.bulk import BulkTransfer
+from repro.core.pr import PrConfig
+from repro.experiments.report import table
+from repro.net.delays import BimodalDelay
+from repro.net.network import Network, install_static_routes
+from repro.tcp.base import TcpConfig
+from repro.util.units import MBPS
+
+from conftest import paper_scale, save_result
+
+PROTOCOLS = ("tcp-pr", "tdfr", "ewma", "sack")
+
+
+def _run(variant: str, slow_probability: float, duration: float) -> float:
+    net = Network(seed=5)
+    net.add_nodes("snd", "mid", "rcv")
+    net.add_duplex_link("snd", "mid", bandwidth=10 * MBPS, delay=0.01, queue=200)
+    # The jittered hop: 10 ms nominal, +30 ms for demoted packets.
+    jitter = BimodalDelay(
+        0.01, 0.03, slow_probability, net.sim.rng.stream("diffserv")
+    )
+    net.add_duplex_link(
+        "mid", "rcv", bandwidth=10 * MBPS, delay=0.01, queue=200,
+        delay_model=jitter, reverse_delay_model=None,
+    )
+    install_static_routes(net)
+    flow = BulkTransfer(
+        net, variant, "snd", "rcv", flow_id=1,
+        tcp_config=TcpConfig(initial_ssthresh=128),
+        pr_config=PrConfig(initial_ssthresh=128),
+    )
+    net.run(until=duration)
+    return flow.delivered_bytes() * 8 / duration / MBPS
+
+
+def test_jitter_reordering_comparison(benchmark):
+    duration = 30.0 if paper_scale() else 15.0
+    fractions = (0.0, 0.05, 0.2, 0.5)
+
+    def run():
+        rows = []
+        for fraction in fractions:
+            row = [f"{fraction:.0%}"]
+            for protocol in PROTOCOLS:
+                row.append(_run(protocol, fraction, duration))
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = table(["demoted fraction", *PROTOCOLS], rows)
+    save_result(
+        "jitter_reordering",
+        "Single-path DiffServ-style jitter reordering (10 Mbps, +30 ms for "
+        "demoted packets)\n" + text,
+    )
+
+    by_fraction = {row[0]: dict(zip(PROTOCOLS, row[1:])) for row in rows}
+    # With no demotion everyone is equal and near line rate.
+    base = by_fraction["0%"]
+    assert min(base.values()) > 0.8 * max(base.values())
+    # With heavy demotion, TCP-PR beats the DUPACK-based protocols.
+    heavy = by_fraction["50%"]
+    assert heavy["tcp-pr"] == max(heavy.values())
+    assert heavy["tcp-pr"] > 1.5 * heavy["sack"]

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Route flapping (the MANET motivation of Section 1).
+
+In mobile ad-hoc networks, routing protocols recompute routes frequently;
+traffic oscillates between paths with different round-trip times and
+arrives persistently reordered.  This example models that directly: a
+flow between two nodes whose active route flips every 200 ms between a
+fast 2-hop path and a slow 3-hop path, and compares how each TCP variant
+copes.
+
+Run:
+    python examples/manet_route_flap.py
+"""
+
+from repro import RouteFlapper, TcpReceiver, make_sender
+from repro.analysis.reordering import reordering_ratio
+from repro.experiments.report import bar_chart
+from repro.net.network import Network, install_static_routes
+from repro.trace.events import PacketTracer
+from repro.util.units import MBPS
+
+DURATION = 20.0
+FLAP_PERIOD = 0.2
+PROTOCOLS = ["tcp-pr", "tdfr", "ewma", "sack"]
+
+
+def build_flapping_network(seed: int) -> Network:
+    """Two disjoint paths: snd-a-rcv (fast) and snd-b-c-rcv (slow)."""
+    net = Network(seed=seed)
+    net.add_nodes("snd", "rcv", "a", "b", "c")
+    for u, v in (("snd", "a"), ("a", "rcv"), ("snd", "b"), ("b", "c"), ("c", "rcv")):
+        net.add_duplex_link(u, v, bandwidth=5 * MBPS, delay=0.015, queue=200)
+    install_static_routes(net)
+    return net
+
+
+def run_variant(variant: str) -> tuple[float, float]:
+    net = build_flapping_network(seed=11)
+    RouteFlapper(net, "snd", "rcv", period=FLAP_PERIOD, jitter=0.2).install()
+    tracer = PacketTracer()
+    tracer.watch_node(net.node("rcv"))
+    sender = make_sender(variant, net.sim, net.node("snd"), 1, "rcv")
+    receiver = TcpReceiver(net.sim, net.node("rcv"), 1, "snd")
+    sender.start(0.0)
+    net.run(until=DURATION)
+    mbps = receiver.delivered * 8000 / DURATION / 1e6
+    ratio = reordering_ratio(tracer.arrival_seqs(1))
+    return mbps, ratio
+
+
+def main() -> None:
+    print(f"Route flap every {FLAP_PERIOD * 1e3:.0f} ms between a 30 ms-RTT and a "
+          f"45 ms-RTT path ({DURATION:.0f} s runs)\n")
+    throughputs = {}
+    for variant in PROTOCOLS:
+        mbps, reorder = run_variant(variant)
+        throughputs[variant] = mbps
+        print(f"  {variant:>7}: {mbps:5.2f} Mbps   "
+              f"(reordered arrivals: {reorder:.1%})")
+    print()
+    print(bar_chart(throughputs, unit=" Mbps"))
+    print("\nEvery route change strands in-flight packets on the old path;")
+    print("DUPACK-based senders read the resulting reordering as loss.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+This project deliberately ships a ``setup.py``/``setup.cfg`` pair instead
+of a ``pyproject.toml``: the reproduction environment is fully offline and
+pip's PEP 517 build isolation cannot fetch build dependencies there.  The
+legacy path (`pip install -e .`) works with the preinstalled setuptools.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,97 @@
+"""Reproduction of "TCP-PR: TCP for Persistent Packet Reordering"
+(Bohacek, Hespanha, Lee, Lim, Obraczka — ICDCS 2003).
+
+The package bundles:
+
+* a packet-level discrete-event network simulator (:mod:`repro.sim`,
+  :mod:`repro.net`) standing in for ns-2;
+* the ε-parameterized multipath routing family and route-flap models
+  that generate persistent reordering (:mod:`repro.routing`);
+* TCP-PR itself (:mod:`repro.core`) plus every baseline the paper
+  compares against — Reno, NewReno, SACK, TD-FR, and the DSACK-based
+  dupthresh-mitigation variants (:mod:`repro.tcp`);
+* topology builders, traffic sources, metrics, monitors, and the
+  experiment harness that regenerates each of the paper's figures
+  (:mod:`repro.topologies`, :mod:`repro.app`, :mod:`repro.analysis`,
+  :mod:`repro.trace`, :mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import BulkTransfer, Network, install_shortest_path_routes
+
+    net = Network(seed=1)
+    net.add_nodes("a", "b")
+    net.add_duplex_link("a", "b", bandwidth=10e6, delay=0.01)
+    install_shortest_path_routes(net)
+    flow = BulkTransfer(net, "tcp-pr", "a", "b", flow_id=1)
+    net.run(until=10.0)
+    print(flow.throughput_bps(10.0) / 1e6, "Mbps")
+"""
+
+from repro.analysis import (
+    coefficient_of_variation,
+    jain_index,
+    mean_normalized_throughput,
+    normalized_throughputs,
+)
+from repro.app import BulkTransfer, OnOffSource
+from repro.core import MaxRttEstimator, PrConfig, TcpPrSender
+from repro.net import Network, Packet
+from repro.routing import (
+    EpsilonMultipathPolicy,
+    RouteFlapper,
+    discover_paths,
+    install_shortest_path_routes,
+)
+from repro.sim import Simulator
+from repro.tcp import (
+    TcpConfig,
+    TcpReceiver,
+    available_variants,
+    make_sender,
+)
+from repro.topologies import (
+    DumbbellSpec,
+    MultipathMeshSpec,
+    ParkingLotSpec,
+    build_dumbbell,
+    build_multipath_mesh,
+    build_parking_lot,
+)
+from repro.trace import CwndMonitor, FlowThroughputMonitor, PacketTracer, QueueMonitor
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BulkTransfer",
+    "CwndMonitor",
+    "DumbbellSpec",
+    "EpsilonMultipathPolicy",
+    "FlowThroughputMonitor",
+    "MaxRttEstimator",
+    "MultipathMeshSpec",
+    "Network",
+    "OnOffSource",
+    "Packet",
+    "PacketTracer",
+    "ParkingLotSpec",
+    "PrConfig",
+    "QueueMonitor",
+    "RouteFlapper",
+    "Simulator",
+    "TcpConfig",
+    "TcpPrSender",
+    "TcpReceiver",
+    "available_variants",
+    "build_dumbbell",
+    "build_multipath_mesh",
+    "build_parking_lot",
+    "coefficient_of_variation",
+    "discover_paths",
+    "install_shortest_path_routes",
+    "jain_index",
+    "make_sender",
+    "mean_normalized_throughput",
+    "normalized_throughputs",
+    "__version__",
+]

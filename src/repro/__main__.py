@@ -1,0 +1,7 @@
+"""``python -m repro`` entry point (same as the repro-experiments script)."""
+
+import sys
+
+from repro.cli import main
+
+sys.exit(main())

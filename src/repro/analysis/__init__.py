@@ -1,0 +1,36 @@
+"""Metrics: throughput, fairness (Section 4), reordering measures."""
+
+from repro.analysis.fairness import (
+    coefficient_of_variation,
+    jain_index,
+    mean_normalized_throughput,
+    normalized_throughputs,
+)
+from repro.analysis.reordering import reorder_density, reordering_ratio
+from repro.analysis.throughput import FlowSample, goodput_bps, goodput_mbps
+from repro.analysis.timeseries import (
+    SeriesPoint,
+    StepSeries,
+    convergence_time,
+    fairness_over_time,
+    goodput_series,
+    goodput_series_mbps,
+)
+
+__all__ = [
+    "FlowSample",
+    "SeriesPoint",
+    "StepSeries",
+    "coefficient_of_variation",
+    "convergence_time",
+    "fairness_over_time",
+    "goodput_bps",
+    "goodput_mbps",
+    "goodput_series",
+    "goodput_series_mbps",
+    "jain_index",
+    "mean_normalized_throughput",
+    "normalized_throughputs",
+    "reorder_density",
+    "reordering_ratio",
+]

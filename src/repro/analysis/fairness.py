@@ -1,0 +1,84 @@
+"""Fairness metrics from Section 4 of the paper.
+
+For ``n`` flows with throughputs ``x_i``, the *normalized throughput* of
+flow ``i`` is
+
+    T_i = x_i / mean(x),
+
+so ``T_i = 1`` means flow ``i`` received exactly the average.  The *mean
+normalized throughput* of a protocol is the mean of its flows' ``T_i``.
+The *coefficient of variation* over a flow set ``I`` is
+
+    CoV = std(T_i, i in I) / mean(T_i, i in I)
+
+(computed with the 1/|I| population variance, as written in the paper).
+Jain's fairness index is included as an extra diagnostic.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+
+def normalized_throughputs(throughputs: Sequence[float]) -> List[float]:
+    """Per-flow throughput divided by the all-flow average."""
+    if not throughputs:
+        raise ValueError("no throughputs supplied")
+    if any(x < 0 for x in throughputs):
+        raise ValueError("throughputs must be non-negative")
+    mean = sum(throughputs) / len(throughputs)
+    if mean == 0:
+        return [0.0 for _ in throughputs]
+    return [x / mean for x in throughputs]
+
+
+def mean_normalized_throughput(
+    throughputs_by_protocol: Mapping[str, Sequence[float]],
+) -> Dict[str, float]:
+    """Per-protocol mean of normalized throughput.
+
+    Args:
+        throughputs_by_protocol: Raw throughputs grouped by protocol name.
+            Normalization uses the mean over **all** flows of all
+            protocols, per the paper's definition.
+    """
+    all_throughputs: List[float] = []
+    for values in throughputs_by_protocol.values():
+        all_throughputs.extend(values)
+    if not all_throughputs:
+        raise ValueError("no flows supplied")
+    mean = sum(all_throughputs) / len(all_throughputs)
+    result: Dict[str, float] = {}
+    for protocol, values in throughputs_by_protocol.items():
+        if not values:
+            raise ValueError(f"protocol {protocol!r} has no flows")
+        if mean == 0:
+            result[protocol] = 0.0
+        else:
+            result[protocol] = sum(v / mean for v in values) / len(values)
+    return result
+
+
+def coefficient_of_variation(values: Iterable[float]) -> float:
+    """Population CoV: sqrt(mean(v^2) - mean(v)^2) / mean(v)."""
+    data = list(values)
+    if not data:
+        raise ValueError("no values supplied")
+    mean = sum(data) / len(data)
+    if mean == 0:
+        return 0.0
+    variance = sum((v - mean) ** 2 for v in data) / len(data)
+    return math.sqrt(variance) / mean
+
+
+def jain_index(values: Iterable[float]) -> float:
+    """Jain's fairness index: (sum x)^2 / (n * sum x^2); 1 = perfectly fair."""
+    data = list(values)
+    if not data:
+        raise ValueError("no values supplied")
+    square_of_sum = sum(data) ** 2
+    sum_of_squares = sum(v * v for v in data)
+    if sum_of_squares == 0:
+        return 1.0
+    return square_of_sum / (len(data) * sum_of_squares)

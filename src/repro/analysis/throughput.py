@@ -1,0 +1,44 @@
+"""Throughput accounting helpers.
+
+The paper measures a flow's throughput as "the total data sent during the
+last 60 seconds of the simulation"; we measure in-order goodput at the
+receiver over a window, via the sampling monitors in
+:mod:`repro.trace.monitors`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.units import MBPS
+
+
+@dataclass(frozen=True)
+class FlowSample:
+    """A (time, delivered-segments) observation of one flow."""
+
+    time: float
+    delivered_segments: int
+
+
+def goodput_bps(
+    start_sample: FlowSample, end_sample: FlowSample, mss_bytes: int
+) -> float:
+    """Average goodput between two samples, bits/second."""
+    interval = end_sample.time - start_sample.time
+    if interval <= 0:
+        raise ValueError(
+            f"end sample ({end_sample.time}) must be after start "
+            f"({start_sample.time})"
+        )
+    segments = end_sample.delivered_segments - start_sample.delivered_segments
+    if segments < 0:
+        raise ValueError("delivered segment count went backwards")
+    return segments * mss_bytes * 8.0 / interval
+
+
+def goodput_mbps(
+    start_sample: FlowSample, end_sample: FlowSample, mss_bytes: int
+) -> float:
+    """Average goodput between two samples, Mbps."""
+    return goodput_bps(start_sample, end_sample, mss_bytes) / MBPS

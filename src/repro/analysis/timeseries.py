@@ -1,0 +1,148 @@
+"""Time-series utilities over monitor samples.
+
+Turns the raw ``(time, delivered)`` samples of
+:class:`~repro.trace.monitors.FlowThroughputMonitor` into throughput
+time series, and computes convergence diagnostics (how quickly competing
+flows settle to a fair share — the property the AIMD analysis of [4, 7]
+cited in Section 4 guarantees).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.analysis.fairness import jain_index
+from repro.analysis.throughput import FlowSample
+from repro.util.units import MBPS
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    """One (time, value) observation."""
+
+    time: float
+    value: float
+
+
+class StepSeries:
+    """A piecewise-constant time series (step semantics).
+
+    ``value_at(t)`` returns the value of the latest point at or before
+    ``t``; queries before the first point return the first value.
+    """
+
+    def __init__(self, points: Sequence[SeriesPoint]) -> None:
+        if not points:
+            raise ValueError("a series needs at least one point")
+        times = [p.time for p in points]
+        if times != sorted(times):
+            raise ValueError("series points must be time-ordered")
+        self.points = list(points)
+        self._times = times
+
+    def value_at(self, time: float) -> float:
+        index = bisect_right(self._times, time)
+        if index == 0:
+            return self.points[0].value
+        return self.points[index - 1].value
+
+    def time_weighted_mean(self, start: float, end: float) -> float:
+        """Mean value over [start, end], weighting by holding time."""
+        if end <= start:
+            raise ValueError("end must be after start")
+        total = 0.0
+        cursor = start
+        current = self.value_at(start)
+        for point in self.points:
+            if point.time <= start:
+                continue
+            if point.time >= end:
+                break
+            total += current * (point.time - cursor)
+            cursor = point.time
+            current = point.value
+        total += current * (end - cursor)
+        return total / (end - start)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+def goodput_series(
+    samples: Sequence[FlowSample], mss_bytes: int = 1000
+) -> StepSeries:
+    """Per-interval goodput (bits/second) between consecutive samples.
+
+    The value at a point is the average rate over the interval *ending*
+    at that point's time.
+    """
+    if len(samples) < 2:
+        raise ValueError("need at least two samples")
+    points: List[SeriesPoint] = []
+    for before, after in zip(samples, samples[1:]):
+        interval = after.time - before.time
+        if interval <= 0:
+            continue
+        segments = after.delivered_segments - before.delivered_segments
+        points.append(
+            SeriesPoint(after.time, segments * mss_bytes * 8.0 / interval)
+        )
+    if not points:
+        raise ValueError("samples contain no usable interval")
+    return StepSeries(points)
+
+
+def goodput_series_mbps(
+    samples: Sequence[FlowSample], mss_bytes: int = 1000
+) -> List[SeriesPoint]:
+    """Convenience: the same series with values in Mbps."""
+    series = goodput_series(samples, mss_bytes)
+    return [SeriesPoint(p.time, p.value / MBPS) for p in series.points]
+
+
+def fairness_over_time(
+    flows_samples: Sequence[Sequence[FlowSample]],
+    mss_bytes: int = 1000,
+) -> List[SeriesPoint]:
+    """Jain's index of the flows' instantaneous goodputs over time.
+
+    Evaluated at the union of all sample times past each flow's second
+    sample; flows not yet started contribute zero throughput.
+    """
+    if not flows_samples:
+        raise ValueError("no flows supplied")
+    series = [goodput_series(samples, mss_bytes) for samples in flows_samples]
+    eval_times = sorted(
+        {point.time for one in series for point in one.points}
+    )
+    result = []
+    for time in eval_times:
+        rates = [one.value_at(time) for one in series]
+        result.append(SeriesPoint(time, jain_index(rates)))
+    return result
+
+
+def convergence_time(
+    fairness_points: Sequence[SeriesPoint],
+    threshold: float = 0.9,
+    hold: float = 1.0,
+) -> Optional[float]:
+    """First time Jain's index exceeds ``threshold`` and stays above it
+    for at least ``hold`` seconds; None if it never converges."""
+    if not fairness_points:
+        return None
+    candidate: Optional[float] = None
+    for point in fairness_points:
+        if point.value >= threshold:
+            if candidate is None:
+                candidate = point.time
+            elif point.time - candidate >= hold:
+                return candidate
+        else:
+            candidate = None
+    # Converged at the tail but without `hold` seconds of evidence.
+    if candidate is not None and fairness_points[-1].time - candidate >= hold:
+        return candidate
+    return None

@@ -1,0 +1,6 @@
+"""Application-layer traffic models."""
+
+from repro.app.bulk import BulkTransfer
+from repro.app.onoff import OnOffSource
+
+__all__ = ["BulkTransfer", "OnOffSource"]

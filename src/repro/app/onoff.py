@@ -1,0 +1,120 @@
+"""On/off constant-bit-rate source (background/cross traffic).
+
+Sends UDP-like datagrams (no congestion control, no retransmission)
+toward a sink node, alternating exponentially distributed ON and OFF
+periods — the classic ns-2 background-traffic generator.  Useful for the
+"different levels of background traffic" robustness checks of Section 4.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.net.node import Agent
+from repro.net.packet import Packet
+
+if TYPE_CHECKING:
+    from repro.net.node import Node
+    from repro.sim.engine import Simulator
+
+
+class OnOffSource(Agent):
+    """Exponential on/off CBR datagram source.
+
+    Args:
+        sim: Owning simulator.
+        node: Source node.
+        flow_id: Flow identifier (use a range disjoint from TCP flows).
+        peer: Destination node name.
+        rate_bps: Sending rate while ON.
+        packet_bytes: Datagram size.
+        mean_on / mean_off: Mean durations of the ON and OFF periods.
+            ``mean_off=0`` yields plain CBR.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        node: "Node",
+        flow_id: int,
+        peer: str,
+        rate_bps: float,
+        packet_bytes: int = 1000,
+        mean_on: float = 1.0,
+        mean_off: float = 0.0,
+    ) -> None:
+        super().__init__(sim, node, flow_id)
+        if rate_bps <= 0:
+            raise ValueError(f"rate must be positive, got {rate_bps}")
+        if mean_on <= 0:
+            raise ValueError(f"mean_on must be positive, got {mean_on}")
+        if mean_off < 0:
+            raise ValueError(f"mean_off must be non-negative, got {mean_off}")
+        self.peer = peer
+        self.rate_bps = rate_bps
+        self.packet_bytes = packet_bytes
+        self.mean_on = mean_on
+        self.mean_off = mean_off
+        self._interval = packet_bytes * 8.0 / rate_bps
+        self._rng = sim.rng.stream(f"onoff:{node.name}:{flow_id}")
+        self._on = False
+        self._off_until = 0.0
+        self._seq = 0
+        self.packets_sent = 0
+        self._started = False
+
+    def start(self, at: float = 0.0) -> None:
+        if self._started:
+            return
+        self._started = True
+        self.sim.schedule(at, self._begin_on_period, label=f"onoff f{self.flow_id}")
+
+    def receive(self, packet: Packet) -> None:
+        """Sources ignore inbound traffic (datagrams are one-way)."""
+
+    # ------------------------------------------------------------------
+    def _begin_on_period(self) -> None:
+        self._on = True
+        duration = self._rng.expovariate(1.0 / self.mean_on)
+        self._off_until = self.sim.now + duration
+        self._tick(self._off_until)
+
+    def _tick(self, on_end: float) -> None:
+        if self.sim.now >= on_end:
+            self._end_on_period()
+            return
+        packet = Packet(
+            "data",
+            src=self.node.name,
+            dst=self.peer,
+            flow_id=self.flow_id,
+            seq=self._seq,
+            size_bytes=self.packet_bytes,
+        )
+        self._seq += 1
+        self.packets_sent += 1
+        self.inject(packet)
+        self.sim.schedule_in(
+            self._interval, lambda: self._tick(on_end), label="onoff tick"
+        )
+
+    def _end_on_period(self) -> None:
+        self._on = False
+        if self.mean_off <= 0:
+            self._begin_on_period()
+            return
+        off = self._rng.expovariate(1.0 / self.mean_off)
+        self.sim.schedule_in(off, self._begin_on_period, label="onoff off")
+
+
+class DatagramSink(Agent):
+    """Counts datagrams from an :class:`OnOffSource` (drops them otherwise)."""
+
+    def __init__(self, sim: "Simulator", node: "Node", flow_id: int) -> None:
+        super().__init__(sim, node, flow_id)
+        self.packets_received = 0
+        self.bytes_received = 0
+
+    def receive(self, packet: Packet) -> None:
+        self.packets_received += 1
+        self.bytes_received += packet.size_bytes

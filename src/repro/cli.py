@@ -1,0 +1,196 @@
+"""Command-line interface: regenerate the paper's figures from a shell.
+
+Installed as ``repro-experiments`` (also ``python -m repro``)::
+
+    repro-experiments variants
+    repro-experiments fig2 --topology dumbbell --flows 4 8
+    repro-experiments fig3 --topology parking-lot
+    repro-experiments fig4
+    repro-experiments fig6 --delay-ms 10 --epsilons 0 4 500
+    repro-experiments compare --scenario multipath --variants tcp-pr sack
+
+Every subcommand prints the same rows/series the paper's figure shows.
+The ``--paper-scale`` flag switches from the quick defaults to the full
+configurations (much slower).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import fig2_fairness, fig3_cov, fig4_params, fig6_multipath
+from repro.experiments.report import bar_chart
+from repro.tcp.registry import available_variants
+from repro.util.units import MS
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="use the full paper-scale configuration (slow)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="master RNG seed")
+
+
+def _cmd_variants(_args: argparse.Namespace) -> int:
+    print("Available TCP variants:")
+    for name in available_variants():
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_fig2(args: argparse.Namespace) -> int:
+    if args.paper_scale:
+        counts = args.flows or fig2_fairness.PAPER_FLOW_COUNTS
+        duration = fig2_fairness.PAPER_DURATION
+        window = fig2_fairness.PAPER_MEASURE_WINDOW
+    else:
+        counts = args.flows or fig2_fairness.QUICK_FLOW_COUNTS
+        duration = fig2_fairness.QUICK_DURATION
+        window = fig2_fairness.QUICK_MEASURE_WINDOW
+    result = fig2_fairness.run_fig2(
+        topology=args.topology,
+        flow_counts=counts,
+        duration=duration,
+        measure_window=window,
+        seed=args.seed,
+    )
+    print(fig2_fairness.format_fig2(result))
+    return 0
+
+
+def _cmd_fig3(args: argparse.Namespace) -> int:
+    if args.paper_scale:
+        result = fig3_cov.run_fig3(
+            topology=args.topology,
+            bandwidths_mbps=fig3_cov.PAPER_BANDWIDTHS_MBPS,
+            total_flows=fig3_cov.PAPER_FLOWS,
+            duration=fig3_cov.PAPER_DURATION,
+            measure_window=fig3_cov.PAPER_MEASURE_WINDOW,
+            seed=args.seed,
+        )
+    else:
+        result = fig3_cov.run_fig3(topology=args.topology, seed=args.seed)
+    print(fig3_cov.format_fig3(result))
+    return 0
+
+
+def _cmd_fig4(args: argparse.Namespace) -> int:
+    if args.paper_scale:
+        result = fig4_params.run_fig4(
+            alphas=fig4_params.PAPER_ALPHAS,
+            betas=fig4_params.PAPER_BETAS,
+            total_flows=fig4_params.PAPER_FLOWS,
+            duration=fig4_params.PAPER_DURATION,
+            measure_window=fig4_params.PAPER_MEASURE_WINDOW,
+            seed=args.seed,
+        )
+    else:
+        result = fig4_params.run_fig4(seed=args.seed)
+    print(fig4_params.format_fig4(result))
+    if args.extreme:
+        points = fig4_params.run_extreme_loss_beta_sweep(seed=args.seed)
+        print()
+        print(fig4_params.format_beta_sweep(points))
+    return 0
+
+
+def _cmd_fig6(args: argparse.Namespace) -> int:
+    epsilons = args.epsilons or (
+        fig6_multipath.PAPER_EPSILONS if args.paper_scale
+        else fig6_multipath.QUICK_EPSILONS
+    )
+    duration = (
+        fig6_multipath.PAPER_DURATION if args.paper_scale
+        else fig6_multipath.QUICK_DURATION
+    )
+    result = fig6_multipath.run_fig6(
+        link_delay=args.delay_ms * MS,
+        epsilons=tuple(epsilons),
+        duration=duration,
+        seed=args.seed,
+    )
+    print(fig6_multipath.format_fig6(result))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    duration = 30.0 if args.paper_scale else 15.0
+    results = {}
+    for variant in args.variants:
+        results[variant] = fig6_multipath.run_single_multipath_flow(
+            variant,
+            epsilon=args.epsilon,
+            link_delay=args.delay_ms * MS,
+            duration=duration,
+            seed=args.seed,
+        )
+    print(
+        f"Throughput over the Figure 5 mesh (eps={args.epsilon:g}, "
+        f"{args.delay_ms} ms links, {duration:.0f} s):\n"
+    )
+    print(bar_chart(results, unit=" Mbps"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the TCP-PR paper's figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("variants", help="list available TCP variants").set_defaults(
+        func=_cmd_variants
+    )
+
+    fig2 = sub.add_parser("fig2", help="Figure 2: fairness vs TCP-SACK")
+    fig2.add_argument("--topology", choices=["dumbbell", "parking-lot"],
+                      default="dumbbell")
+    fig2.add_argument("--flows", type=int, nargs="*", default=None,
+                      help="total flow counts to sweep")
+    _add_common(fig2)
+    fig2.set_defaults(func=_cmd_fig2)
+
+    fig3 = sub.add_parser("fig3", help="Figure 3: CoV vs loss rate")
+    fig3.add_argument("--topology", choices=["dumbbell", "parking-lot"],
+                      default="dumbbell")
+    _add_common(fig3)
+    fig3.set_defaults(func=_cmd_fig3)
+
+    fig4 = sub.add_parser("fig4", help="Figure 4: alpha/beta sensitivity")
+    fig4.add_argument("--extreme", action="store_true",
+                      help="also run the extreme-loss beta sweep")
+    _add_common(fig4)
+    fig4.set_defaults(func=_cmd_fig4)
+
+    fig6 = sub.add_parser("fig6", help="Figure 6: multipath throughput")
+    fig6.add_argument("--delay-ms", type=float, default=10.0,
+                      help="per-link delay in milliseconds (paper: 10 or 60)")
+    fig6.add_argument("--epsilons", type=float, nargs="*", default=None)
+    _add_common(fig6)
+    fig6.set_defaults(func=_cmd_fig6)
+
+    compare = sub.add_parser(
+        "compare", help="compare chosen variants in one multipath scenario"
+    )
+    compare.add_argument("--variants", nargs="+", default=["tcp-pr", "sack"])
+    compare.add_argument("--epsilon", type=float, default=0.0)
+    compare.add_argument("--delay-ms", type=float, default=10.0)
+    _add_common(compare)
+    compare.set_defaults(func=_cmd_compare)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,17 @@
+"""TCP-PR — the paper's primary contribution.
+
+:class:`TcpPrSender` detects losses exclusively with per-packet timers
+(never duplicate ACKs), making it immune to persistent packet reordering
+of both data and acknowledgments.  See Section 3 of the paper and the
+module docs of :mod:`repro.core.pr` for the full algorithm.
+"""
+
+from repro.core.estimator import MaxRttEstimator, newton_fractional_root
+from repro.core.pr import PrConfig, TcpPrSender
+
+__all__ = [
+    "MaxRttEstimator",
+    "PrConfig",
+    "TcpPrSender",
+    "newton_fractional_root",
+]

@@ -1,0 +1,129 @@
+"""The ewrtt / mxrtt estimator at the heart of TCP-PR (Section 3.1).
+
+On every acknowledged packet the sender updates an exponentially weighted
+estimate of the *maximum* round-trip time:
+
+    ewrtt = max(alpha**(1/cwnd) * ewrtt,  sample_rtt)
+
+with ``0 < alpha < 1``.  The exponent ``1/cwnd`` makes the decay rate
+per-RTT rather than per-ACK: the update runs ``cwnd`` times per RTT, so
+ewrtt decays by exactly ``alpha`` per RTT regardless of the window size.
+Unlike a smoothed mean, the ``max`` keeps ewrtt pinned to RTT spikes for
+a while — deliberately, since mxrtt must upper-bound the RTT.
+
+The drop-detection threshold is ``mxrtt = beta * ewrtt`` with
+``beta > 1``.  The paper's defaults are alpha = 0.995, beta = 3.0.
+
+``alpha**(1/cwnd)`` is approximated exactly as the paper's footnote 5
+describes — Newton's method on ``x**cwnd = alpha`` with two iterations:
+
+    x := 1
+    for i := 1 to n:
+        x := (cwnd - 1)/cwnd * x + alpha / (cwnd * x**(cwnd - 1))
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+def newton_fractional_root(alpha: float, cwnd: float, iterations: int = 2) -> float:
+    """Approximate ``alpha ** (1/cwnd)`` with the paper's Newton loop.
+
+    Args:
+        alpha: Base in (0, 1].
+        cwnd: Exponent denominator, >= 1 (the congestion window).
+        iterations: Newton steps (the paper uses n = 2).
+    """
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+    if cwnd < 1.0:
+        raise ValueError(f"cwnd must be >= 1, got {cwnd}")
+    x = 1.0
+    for _ in range(iterations):
+        x = (cwnd - 1.0) / cwnd * x + alpha / (cwnd * x ** (cwnd - 1.0))
+    return x
+
+
+class MaxRttEstimator:
+    """Maximum-tracking RTT estimator producing the mxrtt drop threshold.
+
+    Args:
+        alpha: Per-RTT memory factor in (0, 1).
+        beta: Threshold multiplier (> 1 for correct operation; the paper
+            sweeps beta down to 1 in Figure 4, so only beta > 0 is enforced).
+        initial_mxrtt: Threshold used before the first RTT sample (plays
+            the role of TCP's initial 3 s RTO).
+        newton_iterations: Steps for the fractional-root approximation.
+        exact_root: Use ``alpha ** (1/cwnd)`` exactly instead of Newton's
+            method (ablation knob).
+
+    Attributes:
+        ewrtt: Current estimate (None until the first sample).
+        samples: Number of RTT observations absorbed.
+    """
+
+    def __init__(
+        self,
+        alpha: float = 0.995,
+        beta: float = 3.0,
+        initial_mxrtt: float = 3.0,
+        newton_iterations: int = 2,
+        exact_root: bool = False,
+    ) -> None:
+        if not 0.0 < alpha < 1.0:
+            raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+        if beta <= 0.0:
+            raise ValueError(f"beta must be positive, got {beta}")
+        if initial_mxrtt <= 0.0:
+            raise ValueError(f"initial_mxrtt must be positive, got {initial_mxrtt}")
+        self.alpha = alpha
+        self.beta = beta
+        self.initial_mxrtt = initial_mxrtt
+        self.newton_iterations = newton_iterations
+        self.exact_root = exact_root
+        self.ewrtt: Optional[float] = None
+        self.samples = 0
+
+    def decay_factor(self, cwnd: float) -> float:
+        """The per-update decay ``alpha**(1/cwnd)`` (Newton or exact)."""
+        cwnd = max(cwnd, 1.0)
+        if self.exact_root:
+            return self.alpha ** (1.0 / cwnd)
+        return newton_fractional_root(self.alpha, cwnd, self.newton_iterations)
+
+    def observe(self, sample_rtt: float, cwnd: float) -> float:
+        """Absorb one RTT sample (equation (1) of the paper); returns ewrtt."""
+        if sample_rtt < 0:
+            raise ValueError(f"negative RTT sample {sample_rtt}")
+        self.samples += 1
+        if self.ewrtt is None:
+            self.ewrtt = sample_rtt
+        else:
+            self.ewrtt = max(self.decay_factor(cwnd) * self.ewrtt, sample_rtt)
+        return self.ewrtt
+
+    @property
+    def mxrtt(self) -> float:
+        """Current drop-detection threshold ``beta * ewrtt``."""
+        if self.ewrtt is None:
+            return self.initial_mxrtt
+        return self.beta * self.ewrtt
+
+    def force_mxrtt(self, value: float) -> None:
+        """Set mxrtt directly (extreme-loss handling, Section 3.2).
+
+        Subsequent :meth:`observe` calls update from this level, so the
+        inflation decays once ACKs start flowing again — analogous to RTO
+        re-estimation after backoff.
+        """
+        if value <= 0:
+            raise ValueError(f"mxrtt must be positive, got {value}")
+        self.ewrtt = value / self.beta
+
+    def __repr__(self) -> str:
+        ewrtt = f"{self.ewrtt:.4f}" if self.ewrtt is not None else "None"
+        return (
+            f"<MaxRttEstimator alpha={self.alpha} beta={self.beta} "
+            f"ewrtt={ewrtt} mxrtt={self.mxrtt:.4f}>"
+        )

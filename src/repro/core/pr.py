@@ -1,0 +1,478 @@
+"""The TCP-PR sender (Section 3 of the paper).
+
+Algorithm summary (Table 1 of the paper):
+
+* Packets live in two lists.  ``to-be-sent`` holds packets awaiting an
+  opening in the congestion window (here: a retransmission heap plus the
+  infinite bulk stream at ``snd_nxt``); ``to-be-ack`` holds packets in
+  flight, each stamped with its send time and the congestion window at
+  the time it was sent.
+* **Loss detection uses only timers**: packet ``n`` is declared dropped
+  at time ``t`` when ``t > time(n) + mxrtt``.  Duplicate ACKs are never
+  counted.  ``mxrtt = beta * ewrtt`` where ewrtt is the max-tracking
+  estimator of :mod:`repro.core.estimator`.
+* On a drop of packet ``n`` *not* in the ``memorize`` list: the window is
+  halved **relative to the window when n was sent** (``cwnd(n)/2``), and
+  ``memorize`` snapshots the remaining outstanding packets; drops of
+  memorized packets are retransmitted without further window cuts (one
+  cut per loss event, as in NewReno/SACK).
+* Window growth: slow-start (+1 per acked packet) until ``cwnd + 1``
+  would exceed ``ssthr``, then congestion avoidance (+1/cwnd per acked
+  packet).  The sender leaves slow start permanently except after
+  extreme losses.
+* Extreme losses (Section 3.2): a counter ``cburst`` tracks drops from
+  ``memorize``; when it exceeds ``cwnd/2 + 1`` the sender emulates a
+  NewReno coarse timeout — ``cwnd = 1``, slow-start mode, ``mxrtt``
+  raised to at least 1 s, sending delayed by ``mxrtt``, with ``mxrtt``
+  doubling (exponential backoff) if retransmissions sent at ``cwnd = 1``
+  are dropped again.
+
+Interpretation notes (under-specified points; see DESIGN.md §6):
+
+* "ACK received for packet n": with cumulative ACKs, every packet below
+  the ACK number is removed.  Additionally, when the receiver supplies
+  standard RFC 2018 SACK blocks, packets covered by them are removed too
+  — without this, a cumulative-only receiver would force TCP-PR to
+  retransmit every packet above a hole (their timers expire before the
+  hole's retransmission can be acknowledged), which contradicts the
+  paper's SACK-parity results.  Set ``use_sack_accounting=False`` to run
+  the literal cumulative-only pseudo-code (an ablation benchmark shows
+  the resulting go-back-N collapse).
+* Retransmitted packets yield no ewrtt samples (Karn ambiguity).
+* After an extreme-loss event the whole outstanding window is moved into
+  ``memorize`` so the inevitable follow-on timer expirations do not
+  re-trigger the extreme-loss response; mxrtt doubling applies only to
+  drops of packets sent *after* the event (a failed backoff round).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+
+from repro.core.estimator import MaxRttEstimator
+from repro.net.node import Agent
+from repro.net.packet import Packet
+
+if TYPE_CHECKING:
+    from repro.net.node import Node
+    from repro.sim.engine import Simulator
+
+
+@dataclass
+class PrConfig:
+    """TCP-PR parameters (paper defaults: alpha = 0.995, beta = 3.0).
+
+    Attributes:
+        alpha: Per-RTT memory factor of the ewrtt estimator, in (0, 1).
+        beta: mxrtt threshold multiplier.
+        mss_bytes: Segment size on the wire.
+        initial_cwnd: Starting congestion window (segments).
+        initial_mxrtt: Drop threshold before the first RTT sample.
+        newton_iterations: Newton steps for ``alpha**(1/cwnd)`` (paper: 2).
+        exact_root: Ablation — compute the fractional root exactly.
+        use_sack_accounting: Remove packets from ``to-be-ack`` via SACK
+            blocks as well as the cumulative ACK (see module docs).
+        enable_memorize: Ablation — disable the memorize list (every
+            detected drop halves the window).
+        halve_at_send_cwnd: Ablation — if False, halve the *current*
+            window instead of the window recorded when the packet was
+            sent.
+        extreme_loss_enabled: Enable the Section 3.2 extreme-loss mode.
+        extreme_mxrtt_floor: mxrtt inflation on an extreme-loss event (1 s,
+            matching coarse-timeout emulation).
+        max_mxrtt: Cap for exponential backoff (RFC 2988's 64 s).
+        receiver_window: Advertised-window cap (segments).
+        total_segments: Stop after this many segments (None = infinite).
+    """
+
+    alpha: float = 0.995
+    beta: float = 3.0
+    mss_bytes: int = 1000
+    initial_cwnd: float = 1.0
+    #: Table 1 line 3 initializes ssthr := +inf; a finite value (like the
+    #: window caps every ns-2-era study used) bounds the initial
+    #: slow-start overshoot and makes cross-variant comparisons cleaner.
+    initial_ssthresh: float = float("inf")
+    initial_mxrtt: float = 3.0
+    newton_iterations: int = 2
+    exact_root: bool = False
+    use_sack_accounting: bool = True
+    enable_memorize: bool = True
+    halve_at_send_cwnd: bool = True
+    extreme_loss_enabled: bool = True
+    extreme_mxrtt_floor: float = 1.0
+    max_mxrtt: float = 64.0
+    #: Lower bound on the drop threshold.  A degenerate zero RTT sample
+    #: (possible only in synthetic settings) would otherwise make
+    #: mxrtt = 0 and spin the declare/retransmit loop at one timestamp.
+    min_mxrtt: float = 1e-3
+    #: Timer granularity in seconds: drop checks fire on multiples of
+    #: this tick, emulating the coarse kernel timers the paper's Linux
+    #: implementation discusses (0 = ideal fine-grained timers).  Coarse
+    #: ticks delay loss detection by up to one tick, which removes
+    #: TCP-PR's detection-latency *advantage* over DUPACK senders in
+    #: highly contended small-window regimes (see EXPERIMENTS.md).
+    timer_granularity: float = 0.0
+    #: Advertised receiver window (segments), finite like a real one.
+    receiver_window: int = 1_000
+    total_segments: Optional[int] = None
+
+
+@dataclass
+class PrStats:
+    """Observable counters for tests and experiments."""
+
+    data_packets_sent: int = 0
+    retransmits: int = 0
+    drops_detected: int = 0
+    window_cuts: int = 0
+    memorize_drops: int = 0
+    extreme_events: int = 0
+    backoff_doublings: int = 0
+    spurious_drops: int = 0
+    acks_received: int = 0
+    packets_acked: int = 0
+    cwnd_peak: float = 0.0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+
+#: Congestion modes (Table 1 blanks out the names; these are slow-start
+#: and congestion-avoidance, per the surrounding prose).
+SLOW_START = "slow-start"
+CONG_AVOID = "cong-avoid"
+
+
+class TcpPrSender(Agent):
+    """TCP-PR sending endpoint.
+
+    Args:
+        sim: Owning simulator.
+        node: Node the sender is attached to.
+        flow_id: Flow identifier shared with the receiver.
+        peer: Name of the receiver's node.
+        config: :class:`PrConfig`; defaults are the paper's.
+    """
+
+    variant = "tcp-pr"
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        node: "Node",
+        flow_id: int,
+        peer: str,
+        config: Optional[PrConfig] = None,
+    ) -> None:
+        super().__init__(sim, node, flow_id)
+        self.peer = peer
+        self.config = config if config is not None else PrConfig()
+        self.estimator = MaxRttEstimator(
+            alpha=self.config.alpha,
+            beta=self.config.beta,
+            initial_mxrtt=self.config.initial_mxrtt,
+            newton_iterations=self.config.newton_iterations,
+            exact_root=self.config.exact_root,
+        )
+        self.mode = SLOW_START
+        self.cwnd: float = self.config.initial_cwnd
+        self.ssthr: float = self.config.initial_ssthresh
+        #: seq -> (sent_time, cwnd_at_send) for packets in flight.
+        self.to_be_ack: Dict[int, Tuple[float, float]] = {}
+        #: Heap of sequence numbers awaiting retransmission.
+        self._retx_heap: List[int] = []
+        self._retx_pending: Set[int] = set()
+        self.snd_nxt = 0  # next never-sent segment
+        self.cum_ack = 0  # highest cumulative ACK seen
+        self.memorize: Set[int] = set()
+        self.cburst = 0
+        self.stats = PrStats()
+        self._retransmitted: Set[int] = set()
+        #: Transient mxrtt inflation (Section 3.2).  The paper's update
+        #: rule ``mxrtt := beta * ewrtt`` runs on every ACK, so a forced
+        #: inflation only lasts until the next acknowledged packet.
+        self._mxrtt_override: Optional[float] = None
+        self._blocked_until = -1.0
+        self._unblock_handle = None
+        self._extreme_active = False
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self, at: float = 0.0) -> None:
+        """Begin transmitting at simulation time ``at``."""
+        if self._started:
+            return
+        self._started = True
+        self.sim.schedule(at, self._flush_cwnd, label=f"pr start f{self.flow_id}")
+
+    @property
+    def done(self) -> bool:
+        """True once a capped transfer has been fully acknowledged."""
+        total = self.config.total_segments
+        if total is None:
+            return False
+        return (
+            self.snd_nxt >= total
+            and not self.to_be_ack
+            and not self._retx_pending
+        )
+
+    @property
+    def mxrtt(self) -> float:
+        """Current drop-detection threshold."""
+        base = max(self.estimator.mxrtt, self.config.min_mxrtt)
+        if self._mxrtt_override is not None:
+            base = max(base, self._mxrtt_override)
+        return min(base, self.config.max_mxrtt)
+
+    @property
+    def ewrtt(self) -> Optional[float]:
+        return self.estimator.ewrtt
+
+    # ------------------------------------------------------------------
+    # Receive path
+    # ------------------------------------------------------------------
+    def receive(self, packet: Packet) -> None:
+        if not packet.is_ack:
+            return
+        self.stats.acks_received += 1
+        acked = self._collect_acked(packet)
+        if packet.ack > self.cum_ack:
+            self.cum_ack = packet.ack
+        if not acked:
+            return  # duplicate ACK with no new information: ignored by design
+        # Progress resumes: the next "mxrtt := beta * ewrtt" assignment
+        # (inside per-packet processing) supersedes any forced inflation.
+        self._mxrtt_override = None
+        for seq in acked:
+            self._process_acked_packet(seq)
+        self._flush_cwnd()
+
+    def _collect_acked(self, packet: Packet) -> List[int]:
+        """Packets newly acknowledged by this ACK (cumulative + SACK)."""
+        acked = [seq for seq in self.to_be_ack if seq < packet.ack]
+        sacked: Set[int] = set()
+        if self.config.use_sack_accounting and packet.sack_blocks:
+            for start, end in packet.sack_blocks:
+                for seq in range(start, end):
+                    if seq >= packet.ack:
+                        sacked.add(seq)
+                        if seq in self.to_be_ack:
+                            acked.append(seq)
+        # Cancel pending retransmissions this ACK proves unnecessary
+        # (the "dropped" packet reached the receiver after all).
+        for seq in list(self._retx_pending):
+            if seq < packet.ack or seq in sacked:
+                self._retx_pending.discard(seq)
+                self.stats.spurious_drops += 1
+        acked.sort()
+        return acked
+
+    def _process_acked_packet(self, seq: int) -> None:
+        """Table 1, "ACK received for packet n" (run once per packet)."""
+        sent_time, _cwnd_at_send = self.to_be_ack.pop(seq)
+        self.stats.packets_acked += 1
+        # Lines 14-15: ewrtt/mxrtt update (skipped for retransmissions,
+        # whose RTT sample would be ambiguous — Karn's rule).
+        if seq not in self._retransmitted:
+            self.estimator.observe(self.sim.now - sent_time, self.cwnd)
+        else:
+            self._retransmitted.discard(seq)
+        # Lines 16-17: list removal.
+        self._memorize_discard(seq)
+        # Lines 18-23: window growth.
+        if self.mode == SLOW_START and self.cwnd + 1.0 <= self.ssthr:
+            self.cwnd += 1.0
+        else:
+            self.mode = CONG_AVOID
+            self.cwnd += 1.0 / self.cwnd
+        if self.cwnd > self.stats.cwnd_peak:
+            self.stats.cwnd_peak = self.cwnd
+
+    def _memorize_discard(self, seq: int) -> None:
+        if seq in self.memorize:
+            self.memorize.discard(seq)
+            if not self.memorize:
+                self.cburst = 0
+                self._extreme_active = False
+
+    # ------------------------------------------------------------------
+    # Timer-based drop detection
+    # ------------------------------------------------------------------
+    def _quantize(self, fire_at: float) -> float:
+        """Round a timer deadline up to the next coarse tick, if any."""
+        granularity = self.config.timer_granularity
+        if granularity <= 0.0:
+            return fire_at
+        ticks = math.ceil(fire_at / granularity - 1e-12)
+        return ticks * granularity
+
+    def _schedule_drop_check(self, seq: int, sent_time: float) -> None:
+        self.sim.schedule(
+            self._quantize(sent_time + self.mxrtt),
+            lambda: self._drop_check(seq, sent_time),
+            label=f"pr timer f{self.flow_id} s{seq}",
+        )
+
+    def _drop_check(self, seq: int, sent_time: float) -> None:
+        entry = self.to_be_ack.get(seq)
+        if entry is None or entry[0] != sent_time:
+            return  # stale: the packet was acked or resent meanwhile
+        deadline = sent_time + self.mxrtt
+        if self.sim.now < deadline:
+            # mxrtt grew since this check was armed; re-arm at the new
+            # deadline (timers never fire early w.r.t. the estimate).
+            self.sim.schedule(
+                self._quantize(deadline),
+                lambda: self._drop_check(seq, sent_time),
+                label=f"pr timer f{self.flow_id} s{seq}",
+            )
+            return
+        self._declare_drop(seq)
+
+    def _declare_drop(self, seq: int) -> None:
+        """Table 1, "time > time(n) + mxrtt (drop detected for packet n)"."""
+        sent_time, cwnd_at_send = self.to_be_ack.pop(seq)
+        self.stats.drops_detected += 1
+        self._queue_retransmission(seq)
+        if seq in self.memorize:
+            # Part of an already-reacted-to loss event: no window cut.
+            self.stats.memorize_drops += 1
+            self.memorize.discard(seq)
+            self.cburst += 1
+            if (
+                self.config.extreme_loss_enabled
+                and not self._extreme_active
+                and self.cburst > self.cwnd / 2.0 + 1.0
+            ):
+                self._extreme_loss()
+            if not self.memorize:
+                self.cburst = 0
+                self._extreme_active = False
+        else:
+            self._new_drop(seq, cwnd_at_send)
+        self._flush_cwnd()
+
+    def _new_drop(self, seq: int, cwnd_at_send: float) -> None:
+        if self.cwnd <= 1.0 + 1e-9:
+            # A new drop while cwnd = 1 (a failed backoff round, or the
+            # very first segment lost): halving is meaningless, so double
+            # mxrtt instead — Section 3.2's exponential backoff emulation.
+            self._double_mxrtt()
+            return
+        # Lines 8-10: halve relative to the window when the packet was
+        # sent (insensitive to detection delay), snapshot the outstanding
+        # packets, and lower ssthr so the mode logic lands in congestion
+        # avoidance.
+        basis = cwnd_at_send if self.config.halve_at_send_cwnd else self.cwnd
+        self.cwnd = max(basis / 2.0, 1.0)
+        self.ssthr = self.cwnd
+        self.stats.window_cuts += 1
+        if self.config.enable_memorize:
+            self.memorize = set(self.to_be_ack)
+
+    def _double_mxrtt(self) -> None:
+        """Exponential backoff: a failed round at cwnd = 1 doubles mxrtt.
+
+        The retransmission itself is not delayed (it goes out as soon as
+        the window allows, like TCP's RTO retransmission); only the
+        *patience* for its ACK doubles.  Like a standard timeout, the
+        slow-start threshold collapses to 2 (flightsize/2 with one packet
+        in flight).
+        """
+        self.stats.backoff_doublings += 1
+        self._mxrtt_override = min(self.mxrtt * 2.0, self.config.max_mxrtt)
+        self.ssthr = min(self.ssthr, 2.0)
+        self.mode = SLOW_START
+
+    def _extreme_loss(self) -> None:
+        """Section 3.2: emulate a NewReno/SACK coarse timeout."""
+        self.stats.extreme_events += 1
+        self._extreme_active = True
+        self.ssthr = max(self.cwnd / 2.0, 2.0)
+        self.cwnd = 1.0
+        self.mode = SLOW_START
+        new_mxrtt = max(self.mxrtt, self.config.extreme_mxrtt_floor)
+        self._mxrtt_override = new_mxrtt
+        # Fold the remaining outstanding packets into the loss event so
+        # their inevitable timer expirations cause no further response.
+        if self.config.enable_memorize:
+            self.memorize |= set(self.to_be_ack)
+        self._block_sending(new_mxrtt)
+
+    def _block_sending(self, duration: float) -> None:
+        until = self.sim.now + duration
+        if until <= self._blocked_until:
+            return
+        self._blocked_until = until
+        if self._unblock_handle is not None:
+            self._unblock_handle.cancel()
+        self._unblock_handle = self.sim.schedule(
+            until, self._flush_cwnd, label=f"pr unblock f{self.flow_id}"
+        )
+
+    # ------------------------------------------------------------------
+    # Send path (Table 1, flush-cwnd)
+    # ------------------------------------------------------------------
+    def _queue_retransmission(self, seq: int) -> None:
+        if seq not in self._retx_pending:
+            self._retx_pending.add(seq)
+            heapq.heappush(self._retx_heap, seq)
+
+    def _flush_cwnd(self) -> None:
+        if self.sim.now < self._blocked_until:
+            return
+        window = min(self.cwnd, float(self.config.receiver_window))
+        while window > len(self.to_be_ack):
+            seq = self._next_seq()
+            if seq is None:
+                break
+            self._send_segment(seq)
+
+    def _next_seq(self) -> Optional[int]:
+        """Smallest eligible sequence number (retransmissions first)."""
+        while self._retx_heap:
+            seq = self._retx_heap[0]
+            if seq not in self._retx_pending:
+                heapq.heappop(self._retx_heap)  # cancelled entry
+                continue
+            heapq.heappop(self._retx_heap)
+            self._retx_pending.discard(seq)
+            return seq
+        total = self.config.total_segments
+        if total is not None and self.snd_nxt >= total:
+            return None
+        return self.snd_nxt
+
+    def _send_segment(self, seq: int) -> None:
+        is_retransmit = seq < self.snd_nxt
+        if is_retransmit:
+            self.stats.retransmits += 1
+            self._retransmitted.add(seq)
+        else:
+            self.snd_nxt += 1
+        now = self.sim.now
+        self.to_be_ack[seq] = (now, self.cwnd)
+        self._schedule_drop_check(seq, now)
+        self.stats.data_packets_sent += 1
+        packet = Packet(
+            "data",
+            src=self.node.name,
+            dst=self.peer,
+            flow_id=self.flow_id,
+            seq=seq,
+            size_bytes=self.config.mss_bytes,
+            retransmit=is_retransmit,
+        )
+        self.inject(packet)
+
+    def __repr__(self) -> str:
+        return (
+            f"<TcpPrSender flow={self.flow_id} mode={self.mode} "
+            f"cwnd={self.cwnd:.2f} inflight={len(self.to_be_ack)} "
+            f"mxrtt={self.mxrtt:.3f}>"
+        )

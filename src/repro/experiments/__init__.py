@@ -1,0 +1,30 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+* :mod:`repro.experiments.fig2_fairness` — Figure 2 (fairness of TCP-PR
+  vs TCP-SACK on dumbbell and parking-lot topologies).
+* :mod:`repro.experiments.fig3_cov` — Figure 3 (coefficient of variation
+  vs loss rate).
+* :mod:`repro.experiments.fig4_params` — Figure 4 (sensitivity to the
+  TCP-PR parameters alpha and beta) and the Section 4 extreme-loss beta
+  sweep.
+* :mod:`repro.experiments.fig6_multipath` — Figure 6 (throughput under
+  ε-parameterized multipath routing for all protocols).
+
+Each module exposes a ``run_*`` function returning a result dataclass,
+plus formatting helpers used by the benchmark suite to print the same
+rows/series the paper reports.
+"""
+
+from repro.experiments.runner import (
+    FairnessResult,
+    FairnessScenario,
+    build_fairness_scenario,
+    run_fairness,
+)
+
+__all__ = [
+    "FairnessResult",
+    "FairnessScenario",
+    "build_fairness_scenario",
+    "run_fairness",
+]

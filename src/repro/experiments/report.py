@@ -1,0 +1,93 @@
+"""Textual reporting helpers shared by benchmarks and examples.
+
+The benchmark suite prints the same rows/series the paper's figures show;
+these helpers keep that formatting in one place and provide simple ASCII
+bars for eyeballing shapes in a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+
+def ascii_bar(value: float, maximum: float, width: int = 40) -> str:
+    """A proportional bar of '#' characters."""
+    if maximum <= 0:
+        return ""
+    filled = int(round(width * max(0.0, value) / maximum))
+    return "#" * min(filled, width)
+
+
+def bar_chart(
+    rows: Mapping[str, float], width: int = 40, unit: str = ""
+) -> str:
+    """Render a labeled horizontal bar chart."""
+    if not rows:
+        return "(no data)"
+    maximum = max(rows.values())
+    label_width = max(len(label) for label in rows)
+    lines = []
+    for label, value in rows.items():
+        bar = ascii_bar(value, maximum, width)
+        lines.append(f"{label:>{label_width}} {value:8.2f}{unit} {bar}")
+    return "\n".join(lines)
+
+
+def table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render a fixed-width text table."""
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered: List[str] = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(float_format.format(cell))
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(header.rjust(widths[i]) for i, header in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rendered_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def markdown_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Render a GitHub-flavored markdown table (for EXPERIMENTS.md)."""
+    lines = [
+        "| " + " | ".join(str(header) for header in headers) + " |",
+        "|" + "|".join(" --- " for _ in headers) + "|",
+    ]
+    for row in rows:
+        cells = [
+            f"{cell:.3f}" if isinstance(cell, float) else str(cell) for cell in row
+        ]
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def comparison_summary(series: Dict[str, float], reference: str) -> str:
+    """One-line who-wins summary relative to a reference entry."""
+    if reference not in series:
+        raise ValueError(f"reference {reference!r} not in series")
+    base = series[reference]
+    parts = []
+    for name, value in series.items():
+        if name == reference:
+            continue
+        if base > 0:
+            parts.append(f"{name}: {value / base:.2f}x of {reference}")
+        else:
+            parts.append(f"{name}: {value:.2f} (reference is 0)")
+    return "; ".join(parts)

@@ -1,0 +1,58 @@
+"""JSON-friendly serialization of experiment results.
+
+The result dataclasses (``FairnessResult``, ``Fig6Result``, ...) contain
+nested dataclasses and tuple-keyed dicts (the (alpha, beta) surface of
+Figure 4), which ``json.dumps`` rejects.  :func:`result_to_jsonable`
+converts any of them into plain dict/list/str/number structures, and
+:func:`dump_result` writes them to disk — the handoff point for external
+plotting tools.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any
+
+
+def result_to_jsonable(value: Any) -> Any:
+    """Recursively convert a result object to JSON-compatible types.
+
+    Handles dataclasses, dicts (tuple keys become comma-joined strings),
+    lists/tuples, and the float infinities (which JSON lacks — they
+    become the strings "inf"/"-inf").
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: result_to_jsonable(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        out = {}
+        for key, item in value.items():
+            if isinstance(key, tuple):
+                key = ",".join(str(part) for part in key)
+            elif not isinstance(key, str):
+                key = str(key)
+            out[key] = result_to_jsonable(item)
+        return out
+    if isinstance(value, (list, tuple)):
+        return [result_to_jsonable(item) for item in value]
+    if isinstance(value, float):
+        if value == float("inf"):
+            return "inf"
+        if value == float("-inf"):
+            return "-inf"
+        return value
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    return str(value)  # last resort: repr-ish
+
+
+def dump_result(result: Any, path: "str | Path", indent: int = 2) -> Path:
+    """Serialize ``result`` to JSON at ``path``; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(result_to_jsonable(result), indent=indent) + "\n")
+    return path

@@ -1,0 +1,50 @@
+"""Packet-level network substrate: packets, queues, links, nodes.
+
+This package replaces ns-2's node/link/queue models.  A :class:`Network`
+is a set of named :class:`Node` objects joined by unidirectional
+:class:`Link` objects (use :meth:`Network.add_duplex_link` for the common
+case).  Each link has a bandwidth, a propagation delay, and a finite
+DropTail queue; packets that arrive while the queue is full are dropped,
+which is the paper's (and ns-2's) loss model.
+"""
+
+from repro.net.delays import (
+    BimodalDelay,
+    DelayModel,
+    FixedDelay,
+    UniformJitterDelay,
+)
+from repro.net.network import Network
+from repro.net.node import Agent, Node
+from repro.net.link import Link
+from repro.net.lossgen import (
+    BernoulliLoss,
+    DeterministicLoss,
+    GilbertElliottLoss,
+    LossModel,
+    NoLoss,
+)
+from repro.net.packet import ACK_SIZE_BYTES, DATA_SIZE_BYTES, Packet
+from repro.net.queues import DropTailQueue, Queue, REDQueue
+
+__all__ = [
+    "ACK_SIZE_BYTES",
+    "Agent",
+    "BernoulliLoss",
+    "BimodalDelay",
+    "DATA_SIZE_BYTES",
+    "DelayModel",
+    "DeterministicLoss",
+    "DropTailQueue",
+    "FixedDelay",
+    "GilbertElliottLoss",
+    "Link",
+    "LossModel",
+    "Network",
+    "NoLoss",
+    "Node",
+    "Packet",
+    "Queue",
+    "REDQueue",
+    "UniformJitterDelay",
+]

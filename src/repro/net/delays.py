@@ -1,0 +1,110 @@
+"""Per-packet propagation-delay models (single-path reordering source).
+
+The paper's Section 1 lists DiffServ-style QoS machinery as a reordering
+source: packets of one flow are queued and forwarded differently inside
+the core, so they experience *different* one-way delays even on a single
+route.  A :class:`DelayModel` attached to a link reproduces that: each
+packet draws its own propagation delay, and a later packet drawn a
+smaller delay overtakes its predecessors.
+
+Use with :class:`~repro.net.link.Link` via the ``delay_model`` argument;
+when set, it overrides the link's fixed ``delay``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.net.packet import Packet
+
+
+class DelayModel:
+    """Draws a propagation delay for each packet."""
+
+    def delay_for(self, packet: Packet) -> float:
+        raise NotImplementedError
+
+
+class FixedDelay(DelayModel):
+    """Constant delay (equivalent to the link's built-in behaviour)."""
+
+    def __init__(self, delay: float) -> None:
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        self.delay = delay
+
+    def delay_for(self, packet: Packet) -> float:
+        return self.delay
+
+
+class UniformJitterDelay(DelayModel):
+    """base + Uniform(0, jitter) per packet.
+
+    A jitter larger than the inter-packet spacing reorders packets; the
+    expected displacement grows with ``jitter / packet_spacing``.
+    """
+
+    def __init__(self, base: float, jitter: float, rng: random.Random) -> None:
+        if base < 0 or jitter < 0:
+            raise ValueError("base and jitter must be non-negative")
+        self.base = base
+        self.jitter = jitter
+        self._rng = rng
+
+    def delay_for(self, packet: Packet) -> float:
+        return self.base + self._rng.uniform(0.0, self.jitter)
+
+
+class TraceDelay(DelayModel):
+    """Replays a recorded sequence of one-way delays.
+
+    For research workflows that measured real per-packet delays (e.g. a
+    DAG capture of a DiffServ domain): each packet consumes the next
+    trace entry, cycling when the trace is exhausted.
+    """
+
+    def __init__(self, delays: "Sequence[float]") -> None:
+        values = list(delays)
+        if not values:
+            raise ValueError("trace must contain at least one delay")
+        if any(value < 0 for value in values):
+            raise ValueError("trace delays must be non-negative")
+        self.delays = values
+        self._cursor = 0
+
+    def delay_for(self, packet: Packet) -> float:
+        value = self.delays[self._cursor]
+        self._cursor = (self._cursor + 1) % len(self.delays)
+        return value
+
+
+class BimodalDelay(DelayModel):
+    """Two service classes: fast path with probability p, slow otherwise.
+
+    The sharpest DiffServ caricature — e.g. 10 % of packets demoted to a
+    best-effort queue that adds ``slow_extra`` seconds.
+    """
+
+    def __init__(
+        self,
+        base: float,
+        slow_extra: float,
+        slow_probability: float,
+        rng: random.Random,
+    ) -> None:
+        if base < 0 or slow_extra < 0:
+            raise ValueError("delays must be non-negative")
+        if not 0.0 <= slow_probability <= 1.0:
+            raise ValueError(
+                f"slow_probability must be in [0, 1], got {slow_probability}"
+            )
+        self.base = base
+        self.slow_extra = slow_extra
+        self.slow_probability = slow_probability
+        self._rng = rng
+
+    def delay_for(self, packet: Packet) -> float:
+        if self._rng.random() < self.slow_probability:
+            return self.base + self.slow_extra
+        return self.base

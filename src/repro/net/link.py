@@ -1,0 +1,148 @@
+"""Unidirectional store-and-forward link with finite queue.
+
+Timing model (identical to ns-2's SimpleLink):
+
+* a packet occupies the transmitter for ``size_bytes * 8 / bandwidth``
+  seconds (serialization), then
+* propagates for ``delay`` seconds, then
+* is delivered to the downstream node.
+
+While the transmitter is busy, arrivals go to the queue; if the queue
+rejects them (DropTail full, RED early drop) they are lost.  An optional
+:class:`~repro.net.lossgen.LossModel` can additionally drop packets on
+arrival, before queueing.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, List, Optional
+
+from repro.net.delays import DelayModel
+from repro.net.lossgen import LossModel
+from repro.net.packet import Packet
+from repro.net.queues import Queue, queue_from_spec
+
+if TYPE_CHECKING:
+    from repro.net.node import Node
+    from repro.sim.engine import Simulator
+
+
+class Link:
+    """One-way link ``src -> dst``.
+
+    Args:
+        sim: Owning simulator.
+        src: Upstream node (packets are sent from here).
+        dst: Downstream node (packets are delivered to its ``receive``).
+        bandwidth: Link rate in bits/second.
+        delay: Propagation delay in seconds.
+        queue: Queue instance or integer capacity in packets (DropTail).
+        loss_model: Optional artificial loss applied on arrival.
+        delay_model: Optional per-packet propagation-delay model; when
+            set it overrides ``delay`` and can reorder packets on this
+            single link (see :mod:`repro.net.delays`).
+
+    Attributes:
+        tx_packets / tx_bytes: Delivered traffic counters.
+        arrived_packets: Packets handed to the link (before any drop).
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        src: "Node",
+        dst: "Node",
+        bandwidth: float,
+        delay: float,
+        queue: "int | Queue" = 100,
+        loss_model: Optional[LossModel] = None,
+        delay_model: Optional[DelayModel] = None,
+    ) -> None:
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        self.sim = sim
+        self.src = src
+        self.dst = dst
+        self.bandwidth = bandwidth
+        self.delay = delay
+        self.queue = queue_from_spec(queue)
+        self.loss_model = loss_model
+        self.delay_model = delay_model
+        self.name = f"{src.name}->{dst.name}"
+        self._busy = False
+        self.tx_packets = 0
+        self.tx_bytes = 0
+        self.arrived_packets = 0
+        self.loss_model_drops = 0
+        #: Observers called as fn(link, packet) when a packet is dropped.
+        self.drop_listeners: List[Callable[["Link", Packet], None]] = []
+        src._register_link(self)
+
+    # ------------------------------------------------------------------
+    def enqueue(self, packet: Packet) -> None:
+        """Offer ``packet`` to the link (drop, buffer, or transmit now)."""
+        self.arrived_packets += 1
+        if self.loss_model is not None and self.loss_model.should_drop(packet):
+            self.loss_model_drops += 1
+            self._notify_drop(packet)
+            return
+        if self._busy:
+            if not self.queue.push(packet):
+                self._notify_drop(packet)
+            return
+        self._start_transmission(packet)
+
+    def transmission_time(self, packet: Packet) -> float:
+        """Serialization time of ``packet`` on this link, in seconds."""
+        return packet.size_bytes * 8.0 / self.bandwidth
+
+    # ------------------------------------------------------------------
+    def _start_transmission(self, packet: Packet) -> None:
+        self._busy = True
+        self.sim.schedule_in(
+            self.transmission_time(packet),
+            lambda: self._finish_transmission(packet),
+            label=f"tx {self.name}",
+        )
+
+    def _finish_transmission(self, packet: Packet) -> None:
+        self.tx_packets += 1
+        self.tx_bytes += packet.size_bytes
+        packet.hops += 1
+        delay = (
+            self.delay_model.delay_for(packet)
+            if self.delay_model is not None
+            else self.delay
+        )
+        self.sim.schedule_in(
+            delay,
+            lambda: self.dst.receive(packet),
+            label=f"rx {self.name}",
+        )
+        next_packet = self.queue.pop()
+        if next_packet is None:
+            self._busy = False
+        else:
+            self._start_transmission(next_packet)
+
+    def _notify_drop(self, packet: Packet) -> None:
+        for listener in self.drop_listeners:
+            listener(self, packet)
+
+    # ------------------------------------------------------------------
+    @property
+    def total_drops(self) -> int:
+        """All drops on this link (queue overflow + artificial loss)."""
+        return self.queue.drops + self.loss_model_drops
+
+    @property
+    def utilization_bytes(self) -> int:
+        return self.tx_bytes
+
+    def __repr__(self) -> str:
+        return (
+            f"<Link {self.name} bw={self.bandwidth:.0f}bps delay={self.delay:.4f}s "
+            f"tx={self.tx_packets} drops={self.total_drops}>"
+        )

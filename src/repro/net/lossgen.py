@@ -1,0 +1,106 @@
+"""Artificial loss models attachable to links.
+
+Queue overflow (DropTail) is the paper's natural loss process; these
+models add *controlled* loss for unit tests and for the extreme-loss
+experiments of Section 3.2 / the β sweep of Section 4.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Set
+
+from repro.net.packet import Packet
+
+
+class LossModel:
+    """Decides, per packet, whether a link drops it before queueing."""
+
+    def should_drop(self, packet: Packet) -> bool:
+        raise NotImplementedError
+
+
+class NoLoss(LossModel):
+    """Never drops (the default)."""
+
+    def should_drop(self, packet: Packet) -> bool:
+        return False
+
+
+class BernoulliLoss(LossModel):
+    """Drops each packet independently with probability ``rate``."""
+
+    def __init__(self, rate: float, rng: random.Random) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"loss rate must be in [0, 1], got {rate}")
+        self.rate = rate
+        self._rng = rng
+
+    def should_drop(self, packet: Packet) -> bool:
+        return self._rng.random() < self.rate
+
+
+class GilbertElliottLoss(LossModel):
+    """Two-state Markov (Gilbert-Elliott) bursty loss.
+
+    The classic wireless-channel model, supporting the paper's stated
+    future work ("we plan to adapt it for wireless environments"): the
+    channel alternates between a GOOD state (loss probability
+    ``good_loss``, usually ~0) and a BAD state / fade (loss probability
+    ``bad_loss``, usually high).  State transitions are evaluated per
+    packet, so the mean fade length is ``1 / bad_to_good`` packets.
+
+    Attributes:
+        bad_entries: Number of GOOD->BAD transitions so far.
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        good_to_bad: float = 0.005,
+        bad_to_good: float = 0.2,
+        good_loss: float = 0.0,
+        bad_loss: float = 0.9,
+    ) -> None:
+        for name, value in (
+            ("good_to_bad", good_to_bad),
+            ("bad_to_good", bad_to_good),
+            ("good_loss", good_loss),
+            ("bad_loss", bad_loss),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        self._rng = rng
+        self.good_to_bad = good_to_bad
+        self.bad_to_good = bad_to_good
+        self.good_loss = good_loss
+        self.bad_loss = bad_loss
+        self.in_bad_state = False
+        self.bad_entries = 0
+
+    def should_drop(self, packet: Packet) -> bool:
+        if self.in_bad_state:
+            if self._rng.random() < self.bad_to_good:
+                self.in_bad_state = False
+        elif self._rng.random() < self.good_to_bad:
+            self.in_bad_state = True
+            self.bad_entries += 1
+        loss_probability = self.bad_loss if self.in_bad_state else self.good_loss
+        return self._rng.random() < loss_probability
+
+
+class DeterministicLoss(LossModel):
+    """Drops exactly the packets whose link-arrival ordinal is listed.
+
+    Ordinals count data-and-ACK arrivals at the owning link, starting at 0.
+    Used by unit tests to script precise loss patterns.
+    """
+
+    def __init__(self, drop_ordinals: Iterable[int]) -> None:
+        self._drop_at: Set[int] = set(drop_ordinals)
+        self._counter = 0
+
+    def should_drop(self, packet: Packet) -> bool:
+        ordinal = self._counter
+        self._counter += 1
+        return ordinal in self._drop_at

@@ -1,0 +1,130 @@
+"""The packet model.
+
+Sequence numbers count *segments*, not bytes, exactly like ns-2's TCP
+agents (and like the paper's pseudo-code, where ``cwnd`` is in packets).
+A data segment is :data:`DATA_SIZE_BYTES` on the wire; a pure ACK is
+:data:`ACK_SIZE_BYTES`.
+
+TCP options that real stacks carry in the header (SACK blocks, DSACK
+block, timestamps) are explicit attributes here; an attribute being
+``None`` means the option is absent.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Sequence, Tuple
+
+#: Default data-segment size on the wire (payload + headers), bytes.
+DATA_SIZE_BYTES = 1000
+#: Pure-ACK size on the wire, bytes.
+ACK_SIZE_BYTES = 40
+
+_uid_counter = itertools.count()
+
+#: A SACK block is a half-open segment-number interval [start, end).
+SackBlock = Tuple[int, int]
+
+
+class Packet:
+    """A simulated packet (data segment or ACK).
+
+    Attributes:
+        uid: Globally unique id, assigned at construction (trace key).
+        kind: ``"data"`` or ``"ack"``.
+        src: Name of the originating node.
+        dst: Name of the destination node.
+        flow_id: Transport flow this packet belongs to.
+        seq: For data: segment number.  For ACKs: segment number of the
+            data packet that triggered this ACK (used only for tracing).
+        ack: For ACKs: cumulative ACK — the next segment number the
+            receiver expects (all segments below it were received).
+        size_bytes: Wire size used for transmission-time computation.
+        sack_blocks: SACK option blocks, most recently changed first.
+        dsack: DSACK block reporting a duplicate arrival, if any.
+        ts_val / ts_echo: RFC 1323-style timestamp option (used by Eifel).
+        route: Source route (node names, first = origin) when per-packet
+            multipath routing chose an explicit path; ``None`` for
+            destination-based (table) forwarding.
+        route_index: Position of the *current* node within ``route``.
+        sent_at: Time the packet was injected by its origin agent.
+        hops: Number of links traversed so far.
+        retransmit: True if this data segment is a retransmission.
+    """
+
+    __slots__ = (
+        "uid",
+        "kind",
+        "src",
+        "dst",
+        "flow_id",
+        "seq",
+        "ack",
+        "size_bytes",
+        "sack_blocks",
+        "dsack",
+        "ts_val",
+        "ts_echo",
+        "route",
+        "route_index",
+        "sent_at",
+        "hops",
+        "retransmit",
+    )
+
+    def __init__(
+        self,
+        kind: str,
+        src: str,
+        dst: str,
+        flow_id: int,
+        seq: int = 0,
+        ack: int = -1,
+        size_bytes: Optional[int] = None,
+        sack_blocks: Optional[Sequence[SackBlock]] = None,
+        dsack: Optional[SackBlock] = None,
+        ts_val: Optional[float] = None,
+        ts_echo: Optional[float] = None,
+        retransmit: bool = False,
+    ) -> None:
+        if kind not in ("data", "ack"):
+            raise ValueError(f"unknown packet kind {kind!r}")
+        self.uid = next(_uid_counter)
+        self.kind = kind
+        self.src = src
+        self.dst = dst
+        self.flow_id = flow_id
+        self.seq = seq
+        self.ack = ack
+        if size_bytes is None:
+            size_bytes = DATA_SIZE_BYTES if kind == "data" else ACK_SIZE_BYTES
+        self.size_bytes = size_bytes
+        self.sack_blocks: Optional[List[SackBlock]] = (
+            list(sack_blocks) if sack_blocks is not None else None
+        )
+        self.dsack = dsack
+        self.ts_val = ts_val
+        self.ts_echo = ts_echo
+        self.route: Optional[List[str]] = None
+        self.route_index = 0
+        self.sent_at = 0.0
+        self.hops = 0
+        self.retransmit = retransmit
+
+    @property
+    def is_data(self) -> bool:
+        return self.kind == "data"
+
+    @property
+    def is_ack(self) -> bool:
+        return self.kind == "ack"
+
+    def __repr__(self) -> str:
+        if self.is_data:
+            core = f"seq={self.seq}"
+        else:
+            core = f"ack={self.ack}"
+        return (
+            f"<Packet #{self.uid} {self.kind} flow={self.flow_id} {core} "
+            f"{self.src}->{self.dst}>"
+        )

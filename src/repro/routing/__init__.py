@@ -1,0 +1,35 @@
+"""Routing strategies.
+
+* :func:`~repro.routing.shortest_path.install_shortest_path_routes` —
+  destination-based Dijkstra tables (single-path).
+* :class:`~repro.routing.multipath.EpsilonMultipathPolicy` — the paper's
+  ε-parameterized per-packet multipath family (Section 5): ε = 0 spreads
+  packets uniformly over all discovered disjoint paths, ε → ∞ collapses to
+  shortest-path routing.
+* :class:`~repro.routing.flap.RouteFlapper` — periodic oscillation between
+  alternate routes, modelling the MANET/route-flap motivation of Section 1.
+"""
+
+from repro.routing.flap import RouteFlapper
+from repro.routing.multipath import (
+    EpsilonMultipathPolicy,
+    FlowHashPolicy,
+    PathSet,
+    discover_paths,
+    epsilon_weights,
+)
+from repro.routing.shortest_path import (
+    install_shortest_path_routes,
+    shortest_path,
+)
+
+__all__ = [
+    "EpsilonMultipathPolicy",
+    "FlowHashPolicy",
+    "PathSet",
+    "RouteFlapper",
+    "discover_paths",
+    "epsilon_weights",
+    "install_shortest_path_routes",
+    "shortest_path",
+]

@@ -1,0 +1,101 @@
+"""Route flapping: periodic oscillation among alternate paths.
+
+Models the Section 1 motivation — "oscillations or 'route flaps' among
+routes with different round-trip times are a common cause of out-of-order
+packets" — and MANET route recomputation.  Unlike
+:class:`~repro.routing.multipath.EpsilonMultipathPolicy` (which picks a
+path per packet), a flapper uses one path at a time and switches the
+active path on a timer, so bursts of packets land on paths with different
+delays and arrive interleaved.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.net.network import Network
+from repro.net.packet import Packet
+from repro.routing.multipath import PathSet, discover_paths
+
+
+class RouteFlapper:
+    """Path policy that hops among candidate paths every ``period`` seconds.
+
+    Args:
+        network: Owning network.
+        origin: Node the policy is installed on.
+        dst: Destination whose traffic flaps.
+        period: Seconds between route changes.
+        jitter: Uniform ±jitter fraction applied to each period (0 disables).
+        randomize: If True pick the next path uniformly at random; if False
+            cycle round-robin.
+
+    Attributes:
+        flaps: Number of route changes performed so far.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        origin: str,
+        dst: str,
+        period: float,
+        jitter: float = 0.0,
+        randomize: bool = False,
+        paths: Optional[PathSet] = None,
+    ) -> None:
+        if period <= 0:
+            raise ValueError(f"flap period must be positive, got {period}")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {jitter}")
+        self.network = network
+        self.origin = origin
+        self.dst = dst
+        self.period = period
+        self.jitter = jitter
+        self.randomize = randomize
+        self.path_set = paths if paths is not None else discover_paths(
+            network, origin, dst
+        )
+        if len(self.path_set) < 2:
+            raise ValueError(
+                f"route flapping needs >= 2 disjoint paths {origin}->{dst}, "
+                f"found {len(self.path_set)}"
+            )
+        self._rng: random.Random = network.sim.rng.stream(
+            f"flap:{origin}->{dst}"
+        )
+        self._active = 0
+        self.flaps = 0
+        self._schedule_next()
+
+    @property
+    def active_path(self) -> Sequence[str]:
+        return self.path_set.paths[self._active]
+
+    # -- PathPolicy protocol -------------------------------------------
+    def choose_route(self, packet: Packet) -> Optional[List[str]]:
+        if packet.dst != self.dst:
+            return None
+        return list(self.path_set.paths[self._active])
+
+    def install(self) -> "RouteFlapper":
+        self.network.node(self.origin).path_policy = self
+        return self
+
+    # ------------------------------------------------------------------
+    def _schedule_next(self) -> None:
+        delay = self.period
+        if self.jitter:
+            delay *= 1.0 + self.jitter * (2.0 * self._rng.random() - 1.0)
+        self.network.sim.schedule_in(delay, self._flap, label="route flap")
+
+    def _flap(self) -> None:
+        if self.randomize:
+            choices = [i for i in range(len(self.path_set)) if i != self._active]
+            self._active = self._rng.choice(choices)
+        else:
+            self._active = (self._active + 1) % len(self.path_set)
+        self.flaps += 1
+        self._schedule_next()

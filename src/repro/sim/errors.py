@@ -1,0 +1,19 @@
+"""Exception hierarchy for the simulation engine."""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for all simulator-raised errors."""
+
+
+class ScheduleInPastError(SimulationError):
+    """An event was scheduled strictly before the current simulation time."""
+
+    def __init__(self, event_time: float, now: float) -> None:
+        super().__init__(
+            f"cannot schedule event at t={event_time!r}: "
+            f"simulation clock is already at t={now!r}"
+        )
+        self.event_time = event_time
+        self.now = now

@@ -1,0 +1,55 @@
+"""Event handles used by the simulation scheduler.
+
+An :class:`EventHandle` is what :meth:`repro.sim.Simulator.schedule` returns.
+It is a mutable record living in the engine's heap; cancellation simply
+clears the callback so the engine skips the entry when it pops it (lazy
+deletion — O(1) cancel, no heap surgery).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+
+class EventHandle:
+    """A scheduled callback, cancellable until it fires.
+
+    Attributes:
+        time: Absolute simulation time at which the event fires.
+        seq: Tie-breaker; events with equal ``time`` fire in schedule order.
+        callback: Zero-argument callable, or ``None`` once cancelled/fired.
+        label: Optional human-readable tag for tracing and debugging.
+    """
+
+    __slots__ = ("time", "seq", "callback", "label")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Optional[Callable[[], Any]],
+        label: str = "",
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.label = label
+
+    @property
+    def cancelled(self) -> bool:
+        """True once the event has been cancelled or already dispatched."""
+        return self.callback is None
+
+    def cancel(self) -> None:
+        """Cancel the event; harmless if already cancelled or fired."""
+        self.callback = None
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        tag = f" {self.label!r}" if self.label else ""
+        return f"<EventHandle t={self.time:.6f} seq={self.seq}{tag} {state}>"

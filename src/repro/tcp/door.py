@@ -1,0 +1,97 @@
+"""TCP-DOOR (Wang & Zhang [20]) — extension variant.
+
+TCP-DOOR, aimed at MANETs, detects **out-of-order delivery events** and
+responds by (1) temporarily disabling congestion responses for an
+interval T1 after an OOO event, and (2) "instant recovery": if a
+congestion response happened within the last RTT before the OOO event was
+detected, the pre-response state is restored.
+
+The original uses extra header options (a per-transmission packet
+sequence number, and a DUPACK ordinal) so both data-path and ACK-path
+reordering are visible.  In the simulator the sender observes ACK-path
+reordering directly — every ACK's ``sent_at`` stamp is the receiver's
+emission time, a strictly increasing sequence, so an ACK arriving with a
+smaller stamp than an earlier-seen one is an out-of-order delivery.  This
+carries exactly the information TCP-DOOR's ADSN option conveys.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.net.packet import Packet
+from repro.tcp.newreno import NewRenoSender
+
+
+class DoorSender(NewRenoSender):
+    """NewReno with TCP-DOOR out-of-order detection and response.
+
+    Args:
+        t1_factor: T1 (the congestion-response-disable interval) as a
+            multiple of the smoothed RTT.
+    """
+
+    variant = "door"
+
+    def __init__(self, *args, t1_factor: float = 1.0, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.t1_factor = t1_factor
+        self._max_ack_stamp = -1.0
+        self._ooo_disable_until = -1.0
+        #: (time, prior_cwnd, prior_ssthresh) of the last congestion response.
+        self._last_response: Optional[Tuple[float, float, float]] = None
+        self.stats.extra["ooo_events"] = 0
+        self.stats.extra["instant_recoveries"] = 0
+
+    # ------------------------------------------------------------------
+    def receive(self, packet: Packet) -> None:
+        if packet.is_ack:
+            self._detect_ooo(packet)
+        super().receive(packet)
+
+    def _detect_ooo(self, packet: Packet) -> None:
+        if packet.sent_at < self._max_ack_stamp:
+            self.stats.extra["ooo_events"] += 1
+            rtt = self.srtt if self.srtt is not None else 0.5
+            self._ooo_disable_until = self.sim.now + self.t1_factor * rtt
+            self._maybe_instant_recovery(rtt)
+        else:
+            self._max_ack_stamp = packet.sent_at
+
+    def _maybe_instant_recovery(self, rtt: float) -> None:
+        if self._last_response is None:
+            return
+        when, prior_cwnd, prior_ssthresh = self._last_response
+        if self.sim.now - when <= rtt:
+            self._last_response = None
+            self.stats.extra["instant_recoveries"] += 1
+            if self.in_recovery:
+                self._exit_recovery()
+            self.cwnd = max(prior_cwnd, 2.0)
+            self.ssthresh = max(prior_ssthresh, 2.0)
+
+    # ------------------------------------------------------------------
+    @property
+    def _congestion_response_disabled(self) -> bool:
+        return self.sim.now < self._ooo_disable_until
+
+    def _enter_fast_recovery(self, inflate: bool) -> None:
+        if self._congestion_response_disabled:
+            # Retransmit the suspected hole but keep the window intact.
+            self._retransmit(self.snd_una)
+            self.dupacks = 0
+            return
+        self._last_response = (self.sim.now, self.cwnd, self.ssthresh)
+        super()._enter_fast_recovery(inflate)
+
+    def _on_timeout(self) -> None:
+        if self._congestion_response_disabled and self.flightsize() > 0:
+            # Keep RTO and cwnd constant; retransmit and re-arm.
+            self._timer_handle = None
+            self.stats.timeouts += 1
+            self._retransmit(self.snd_una)
+            self._restart_timer()
+            return
+        if self.flightsize() > 0:
+            self._last_response = (self.sim.now, self.cwnd, self.ssthresh)
+        super()._on_timeout()

@@ -1,0 +1,173 @@
+"""DSACK-based spurious-retransmit detection and dupthresh mitigation.
+
+Implements the sender responses to DSACK notifications proposed by
+Blanton & Allman [3] and summarized in Section 2 of the paper:
+
+* every variant restores the congestion state held before a spurious fast
+  retransmit (slow-starting back up to the prior window, per the paper's
+  footnote 3), and additionally adjusts the duplicate-ACK threshold
+  ``dupthresh`` according to a pluggable policy:
+
+  - :class:`NoMitigationPolicy` — restore only ("DSACK-NM" in Figure 6);
+  - :class:`IncrementByOnePolicy` — ``dupthresh += 1`` ("Inc by 1");
+  - :class:`IncrementToAveragePolicy` — average of the current dupthresh
+    and the length of the reordering event ("Inc by N");
+  - :class:`EwmaPolicy` — exponentially weighted moving average of event
+    lengths ("EWMA").
+
+The *length of a reordering event* is measured as the number of duplicate
+ACKs observed between the event's first duplicate ACK and the cumulative
+ACK that filled the hole — the sender-side view of how far the reordered
+segment was displaced.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.net.packet import Packet
+from repro.tcp.sack import SackSender
+
+
+class DupthreshPolicy:
+    """Strategy for adjusting dupthresh after a spurious fast retransmit."""
+
+    name = "abstract"
+
+    def adjust(self, current: int, reorder_len: int) -> int:
+        raise NotImplementedError
+
+
+class NoMitigationPolicy(DupthreshPolicy):
+    """Leave dupthresh alone (DSACK-NM)."""
+
+    name = "nm"
+
+    def adjust(self, current: int, reorder_len: int) -> int:
+        return current
+
+
+class IncrementByOnePolicy(DupthreshPolicy):
+    """dupthresh += constant (1 by default)."""
+
+    name = "inc-by-1"
+
+    def __init__(self, step: int = 1) -> None:
+        self.step = step
+
+    def adjust(self, current: int, reorder_len: int) -> int:
+        return current + self.step
+
+
+class IncrementToAveragePolicy(DupthreshPolicy):
+    """dupthresh = ceil(mean(current, reorder event length)) ("Inc by N")."""
+
+    name = "inc-by-n"
+
+    def adjust(self, current: int, reorder_len: int) -> int:
+        return math.ceil((current + reorder_len) / 2.0)
+
+
+class EwmaPolicy(DupthreshPolicy):
+    """dupthresh = EWMA of reordering event lengths."""
+
+    name = "ewma"
+
+    def __init__(self, gain: float = 0.25) -> None:
+        if not 0 < gain <= 1:
+            raise ValueError(f"gain must be in (0, 1], got {gain}")
+        self.gain = gain
+        self._ewma: Optional[float] = None
+
+    def adjust(self, current: int, reorder_len: int) -> int:
+        if self._ewma is None:
+            self._ewma = float(current)
+        self._ewma = (1 - self.gain) * self._ewma + self.gain * reorder_len
+        return max(1, math.ceil(self._ewma))
+
+
+@dataclass
+class _RecoveryRecord:
+    """What we need to undo a fast retransmit if it proves spurious."""
+
+    trigger_seq: int
+    prior_cwnd: float
+    prior_ssthresh: float
+    event_start_dupacks: int
+    undone: bool = False
+
+
+class DsackSender(SackSender):
+    """TCP SACK with DSACK-driven undo and dupthresh mitigation.
+
+    Args:
+        policy: dupthresh adjustment policy (default: no mitigation).
+        max_dupthresh: Safety cap on dupthresh growth.
+    """
+
+    variant = "dsack"
+
+    def __init__(
+        self,
+        *args,
+        policy: Optional[DupthreshPolicy] = None,
+        max_dupthresh: int = 10_000,
+        **kwargs,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        self.policy = policy if policy is not None else NoMitigationPolicy()
+        self.max_dupthresh = max_dupthresh
+        self._last_recovery: Optional[_RecoveryRecord] = None
+        self._event_dupacks = 0
+        self.stats.extra["dupthresh_final"] = float(self.dupthresh)
+        self.stats.extra["undos"] = 0
+
+    # ------------------------------------------------------------------
+    def _on_dupack_event(self, packet: Packet) -> None:
+        if self.dupacks == 1 and not self.in_recovery:
+            self._event_dupacks = 0
+        self._event_dupacks += 1
+        if not self.in_recovery and self.config.limited_transmit:
+            # Extended limited transmit [3]: one new segment per duplicate
+            # ACK keeps the self-clock alive while dupthresh is large.
+            self._limited_transmit_allowance = self.dupacks
+        super()._on_dupack_event(packet)
+
+    def _enter_fast_recovery(self, inflate: bool) -> None:
+        self._last_recovery = _RecoveryRecord(
+            trigger_seq=self.snd_una,
+            prior_cwnd=self.cwnd,
+            prior_ssthresh=self.ssthresh,
+            event_start_dupacks=self._event_dupacks,
+        )
+        super()._enter_fast_recovery(inflate)
+
+    # ------------------------------------------------------------------
+    def _process_ack_options(self, packet: Packet) -> None:
+        super()._process_ack_options(packet)
+        if packet.dsack is not None:
+            self._on_dsack(packet.dsack[0])
+
+    def _on_dsack(self, dup_seq: int) -> None:
+        record = self._last_recovery
+        if record is None or record.undone or dup_seq != record.trigger_seq:
+            return
+        record.undone = True
+        self.stats.spurious_retransmits_detected += 1
+        self.stats.extra["undos"] += 1
+        # Undo the window reduction: raise ssthresh to the prior cwnd so
+        # slow start climbs back to it (footnote 3: no instantaneous jump,
+        # to avoid injecting sudden bursts).
+        halved_cwnd = self.cwnd
+        self.ssthresh = max(record.prior_cwnd, 2.0)
+        if self.in_recovery:
+            self._exit_recovery()
+        self.cwnd = max(min(halved_cwnd, self.ssthresh), 2.0)
+        # Mitigate: adapt dupthresh to the observed reordering length.
+        reorder_len = max(self._event_dupacks, self.dupthresh)
+        new_dupthresh = self.policy.adjust(self.dupthresh, reorder_len)
+        self.dupthresh = max(1, min(self.max_dupthresh, new_dupthresh))
+        self.stats.extra["dupthresh_final"] = float(self.dupthresh)
+        self._send_available()

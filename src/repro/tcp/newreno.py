@@ -1,0 +1,30 @@
+"""TCP NewReno (RFC 2582/3782): partial-ACK handling in fast recovery.
+
+Where classic Reno leaves recovery on the first new ACK (and stalls when
+several segments from one window are lost), NewReno stays in recovery
+until the ACK covers ``recovery_point`` (the highest segment outstanding
+when recovery began), retransmitting one hole per partial ACK.
+"""
+
+from __future__ import annotations
+
+from repro.net.packet import Packet
+from repro.tcp.base import TcpSenderBase
+
+
+class NewRenoSender(TcpSenderBase):
+    """TCP NewReno sender."""
+
+    variant = "newreno"
+
+    def _recovery_ack(self, packet: Packet, newly_acked: int) -> None:
+        if packet.ack >= self.recovery_point:
+            # Full ACK: recovery complete.
+            self._exit_recovery()
+            return
+        # Partial ACK: the next hole starts exactly at the new snd_una
+        # (snd_una was already advanced by the caller).  Retransmit it,
+        # deflate the window by the amount acknowledged (keeping the
+        # inflation consistent), and stay in recovery.
+        self.cwnd = max(self.ssthresh, self.cwnd - newly_acked + 1)
+        self._retransmit(self.snd_una)

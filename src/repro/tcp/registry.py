@@ -1,0 +1,115 @@
+"""Name-based construction of TCP sender variants.
+
+The experiment harness refers to protocols by the names used in the
+paper's figures ("TCP-PR", "TD-FR", "DSACK-NM", "Inc by 1", "Inc by N",
+"EWMA") as well as plain engineering names; :func:`make_sender` maps
+either spelling to a configured sender instance.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, Optional
+
+from repro.core.pr import PrConfig, TcpPrSender
+from repro.tcp.base import TcpConfig
+from repro.tcp.door import DoorSender
+from repro.tcp.dsack_response import (
+    DsackSender,
+    EwmaPolicy,
+    IncrementByOnePolicy,
+    IncrementToAveragePolicy,
+    NoMitigationPolicy,
+)
+from repro.tcp.eifel import EifelSender
+from repro.tcp.newreno import NewRenoSender
+from repro.tcp.reno import RenoSender
+from repro.tcp.rrtcp import RrTcpSender
+from repro.tcp.sack import SackSender
+from repro.tcp.tdfr import TdfrSender
+
+if TYPE_CHECKING:
+    from repro.net.node import Node
+    from repro.sim.engine import Simulator
+
+#: Canonical variant name -> factory(sim, node, flow_id, peer, tcp_config).
+_FACTORIES: Dict[str, Callable] = {
+    "reno": lambda sim, node, fid, peer, cfg: RenoSender(sim, node, fid, peer, cfg),
+    "newreno": lambda sim, node, fid, peer, cfg: NewRenoSender(
+        sim, node, fid, peer, cfg
+    ),
+    "sack": lambda sim, node, fid, peer, cfg: SackSender(sim, node, fid, peer, cfg),
+    "tdfr": lambda sim, node, fid, peer, cfg: TdfrSender(sim, node, fid, peer, cfg),
+    "dsack-nm": lambda sim, node, fid, peer, cfg: DsackSender(
+        sim, node, fid, peer, cfg, policy=NoMitigationPolicy()
+    ),
+    "inc-by-1": lambda sim, node, fid, peer, cfg: DsackSender(
+        sim, node, fid, peer, cfg, policy=IncrementByOnePolicy()
+    ),
+    "inc-by-n": lambda sim, node, fid, peer, cfg: DsackSender(
+        sim, node, fid, peer, cfg, policy=IncrementToAveragePolicy()
+    ),
+    "ewma": lambda sim, node, fid, peer, cfg: DsackSender(
+        sim, node, fid, peer, cfg, policy=EwmaPolicy()
+    ),
+    "eifel": lambda sim, node, fid, peer, cfg: EifelSender(sim, node, fid, peer, cfg),
+    "door": lambda sim, node, fid, peer, cfg: DoorSender(sim, node, fid, peer, cfg),
+    "rr-tcp": lambda sim, node, fid, peer, cfg: RrTcpSender(sim, node, fid, peer, cfg),
+}
+
+#: Figure-label spellings accepted as aliases.
+_ALIASES: Dict[str, str] = {
+    "tcp-pr": "tcp-pr",
+    "tcppr": "tcp-pr",
+    "pr": "tcp-pr",
+    "tcp-sack": "sack",
+    "tcp-reno": "reno",
+    "tcp-newreno": "newreno",
+    "td-fr": "tdfr",
+    "dsack": "dsack-nm",
+    "inc by 1": "inc-by-1",
+    "inc by n": "inc-by-n",
+    "rrtcp": "rr-tcp",
+    "rr": "rr-tcp",
+}
+
+
+def canonical_name(name: str) -> str:
+    """Resolve aliases and figure labels to a canonical variant name."""
+    key = name.strip().lower()
+    key = _ALIASES.get(key, key)
+    if key != "tcp-pr" and key not in _FACTORIES:
+        raise ValueError(
+            f"unknown TCP variant {name!r}; available: {available_variants()}"
+        )
+    return key
+
+
+def available_variants() -> list[str]:
+    """All accepted canonical variant names."""
+    return sorted([*_FACTORIES, "tcp-pr"])
+
+
+def make_sender(
+    name: str,
+    sim: "Simulator",
+    node: "Node",
+    flow_id: int,
+    peer: str,
+    tcp_config: Optional[TcpConfig] = None,
+    pr_config: Optional[PrConfig] = None,
+):
+    """Build a sender of the named variant attached to ``node``.
+
+    Args:
+        name: Variant name or figure-label alias (case-insensitive).
+        tcp_config: Configuration for the Reno-family variants.
+        pr_config: Configuration for TCP-PR.
+
+    Returns:
+        A :class:`~repro.tcp.base.TcpSenderBase` or
+        :class:`~repro.core.pr.TcpPrSender` instance.
+    """
+    key = canonical_name(name)
+    if key == "tcp-pr":
+        return TcpPrSender(sim, node, flow_id, peer, pr_config)
+    return _FACTORIES[key](sim, node, flow_id, peer, tcp_config)

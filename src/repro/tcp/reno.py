@@ -1,0 +1,17 @@
+"""Classic TCP Reno.
+
+All of Reno's behaviour lives in :class:`~repro.tcp.base.TcpSenderBase`
+(fast retransmit at ``dupthresh`` duplicate ACKs, window inflation during
+recovery, exit on the first new ACK, RTO slow-start restart).  This module
+just gives it its public name.
+"""
+
+from __future__ import annotations
+
+from repro.tcp.base import TcpSenderBase
+
+
+class RenoSender(TcpSenderBase):
+    """TCP Reno sender (fast retransmit + classic fast recovery)."""
+
+    variant = "reno"

@@ -1,0 +1,77 @@
+"""Retransmission-timeout estimation per RFC 2988 (Paxson & Allman).
+
+srtt / rttvar smoothing with the standard gains (1/8, 1/4), a configurable
+minimum RTO (RFC 2988 recommends 1 second, which is also what the paper
+leans on when it makes TCP-PR's extreme-loss mode wait ``max(mxrtt, 1 s)``),
+and binary exponential backoff capped at ``max_rto``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class RtoEstimator:
+    """RFC 2988 RTO computation.
+
+    Attributes:
+        srtt: Smoothed RTT (None until the first sample).
+        rttvar: RTT variance estimate.
+        backoff: Current backoff multiplier (1, 2, 4, ...).
+    """
+
+    ALPHA = 1.0 / 8.0
+    BETA = 1.0 / 4.0
+    K = 4.0
+
+    def __init__(
+        self,
+        initial_rto: float = 3.0,
+        min_rto: float = 1.0,
+        max_rto: float = 64.0,
+        granularity: float = 0.0,
+    ) -> None:
+        if not 0 < min_rto <= max_rto:
+            raise ValueError("need 0 < min_rto <= max_rto")
+        self.initial_rto = initial_rto
+        self.min_rto = min_rto
+        self.max_rto = max_rto
+        self.granularity = granularity
+        self.srtt: Optional[float] = None
+        self.rttvar: float = 0.0
+        self.backoff: int = 1
+
+    def on_sample(self, rtt: float) -> None:
+        """Feed one RTT measurement (seconds); resets backoff."""
+        if rtt < 0:
+            raise ValueError(f"negative RTT sample {rtt}")
+        if self.srtt is None:
+            self.srtt = rtt
+            self.rttvar = rtt / 2.0
+        else:
+            self.rttvar = (1 - self.BETA) * self.rttvar + self.BETA * abs(
+                self.srtt - rtt
+            )
+            self.srtt = (1 - self.ALPHA) * self.srtt + self.ALPHA * rtt
+        self.backoff = 1
+
+    @property
+    def rto(self) -> float:
+        """Current timeout, including backoff, clamped to [min_rto, max_rto]."""
+        if self.srtt is None:
+            base = self.initial_rto
+        else:
+            base = self.srtt + max(self.granularity, self.K * self.rttvar)
+        base = max(self.min_rto, base)
+        return min(self.max_rto, base * self.backoff)
+
+    def on_timeout(self) -> None:
+        """Apply exponential backoff after a retransmission timeout."""
+        self.backoff = min(self.backoff * 2, 64)
+
+    def reset_backoff(self) -> None:
+        self.backoff = 1
+
+    def __repr__(self) -> str:
+        srtt = f"{self.srtt:.4f}" if self.srtt is not None else "None"
+        return f"<RtoEstimator srtt={srtt} rto={self.rto:.4f} backoff={self.backoff}>"

@@ -1,0 +1,112 @@
+"""TCP SACK sender (RFC 2018 options + RFC 3517-style recovery).
+
+This is the paper's principal fairness baseline ("specifically,
+TCP-SACK").  Loss recovery differs from Reno/NewReno in two ways:
+
+* the scoreboard knows exactly which segments the receiver holds, so
+  only genuinely missing segments are retransmitted, and
+* transmission during recovery is governed by the ``pipe`` estimate of
+  packets in flight rather than by window inflation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.net.packet import Packet
+from repro.tcp.base import TcpSenderBase
+from repro.tcp.scoreboard import Scoreboard
+
+
+class SackSender(TcpSenderBase):
+    """TCP SACK sender."""
+
+    variant = "sack"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.scoreboard = Scoreboard()
+        self._high_rxt = -1
+
+    # ------------------------------------------------------------------
+    # ACK option processing
+    # ------------------------------------------------------------------
+    def _process_ack_options(self, packet: Packet) -> None:
+        self.scoreboard.record_blocks(packet.sack_blocks, self.snd_una)
+
+    def _after_new_ack(self, packet: Packet, newly_acked: int) -> None:
+        self.scoreboard.advance(self.snd_una)
+
+    # ------------------------------------------------------------------
+    # Loss recovery
+    # ------------------------------------------------------------------
+    def _on_dupack_event(self, packet: Packet) -> None:
+        if self.in_recovery:
+            return  # pipe-based sending; no window inflation
+        if self.dupacks >= self.dupthresh or self.scoreboard.is_lost(
+            self.snd_una, self.dupthresh
+        ):
+            self._enter_fast_recovery(inflate=False)
+        elif self.config.limited_transmit and self.dupacks <= 2:
+            self._limited_transmit_allowance = min(self.dupacks, 2)
+
+    def _enter_fast_recovery(self, inflate: bool) -> None:
+        # SACK never inflates the window; pipe accounting replaces it.
+        super()._enter_fast_recovery(inflate=False)
+
+    def _recovery_ack(self, packet: Packet, newly_acked: int) -> None:
+        if packet.ack >= self.recovery_point:
+            self._exit_recovery()
+
+    def _exit_recovery(self) -> None:
+        super()._exit_recovery()
+        self._high_rxt = -1
+
+    def _on_timeout_hook(self) -> None:
+        # Keep SACKed segments (we skip them during the replay) but drop
+        # retransmission marks: everything unSACKed is presumed lost.
+        self.scoreboard.clear_retransmitted()
+        self._high_rxt = -1
+
+    # ------------------------------------------------------------------
+    # Send path
+    # ------------------------------------------------------------------
+    def _send_available(self) -> None:
+        if not self.in_recovery:
+            super()._send_available()
+            return
+        # Pipe-governed sending (RFC 3517): compute pipe once per burst and
+        # count each transmission against it, instead of rescanning the
+        # whole window per packet.
+        window = math.floor(min(self.cwnd, float(self.config.receiver_window)))
+        pipe = self.scoreboard.pipe(self.snd_una, self.snd_max, self.dupthresh)
+        receiver_limit = self.snd_una + self.config.receiver_window
+        while pipe < window:
+            seq = self._next_seq()
+            if seq is None or seq >= receiver_limit:
+                break
+            self._transmit(seq)
+            pipe += 1
+
+    def _next_seq(self) -> Optional[int]:
+        if self.in_recovery:
+            lost = self.scoreboard.next_lost_to_retransmit(
+                max(self.snd_una, self._high_rxt + 1),
+                self.snd_max,
+                self.dupthresh,
+            )
+            if lost is not None:
+                return lost
+            return super()._next_seq()
+        # Outside recovery (including the post-RTO replay), skip segments
+        # the receiver already holds.
+        while self.snd_nxt < self.snd_max and self.scoreboard.is_sacked(self.snd_nxt):
+            self.snd_nxt += 1
+        return super()._next_seq()
+
+    def _on_segment_sent(self, seq: int, is_retransmit: bool) -> None:
+        if self.in_recovery and is_retransmit:
+            self.scoreboard.mark_retransmitted(seq)
+            if seq > self._high_rxt:
+                self._high_rxt = seq

@@ -1,0 +1,128 @@
+"""SACK scoreboard (RFC 3517 style, segment granularity).
+
+Tracks which outstanding segments the receiver has reported via SACK
+blocks, which segments the sender has deduced to be lost, and which it has
+retransmitted — enough to compute the ``pipe`` estimate that drives SACK
+loss recovery.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right, insort
+from typing import List, Optional, Sequence, Tuple
+
+SackBlock = Tuple[int, int]
+
+
+class Scoreboard:
+    """Per-connection record of SACKed / retransmitted segments."""
+
+    def __init__(self) -> None:
+        self._sacked_sorted: List[int] = []
+        self._sacked: set[int] = set()
+        self._retransmitted: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def record_blocks(
+        self, blocks: Optional[Sequence[SackBlock]], snd_una: int
+    ) -> int:
+        """Absorb SACK blocks from an ACK; returns how many segments are new."""
+        if not blocks:
+            return 0
+        newly = 0
+        for start, end in blocks:
+            for seq in range(max(start, snd_una), end):
+                if seq not in self._sacked:
+                    self._sacked.add(seq)
+                    insort(self._sacked_sorted, seq)
+                    newly += 1
+        return newly
+
+    def advance(self, snd_una: int) -> None:
+        """Forget all state below the cumulative ACK point."""
+        if self._sacked_sorted and self._sacked_sorted[0] < snd_una:
+            cut = bisect_right(self._sacked_sorted, snd_una - 1)
+            for seq in self._sacked_sorted[:cut]:
+                self._sacked.discard(seq)
+            del self._sacked_sorted[:cut]
+        if self._retransmitted:
+            self._retransmitted = {
+                seq for seq in self._retransmitted if seq >= snd_una
+            }
+
+    def mark_retransmitted(self, seq: int) -> None:
+        self._retransmitted.add(seq)
+
+    def clear_retransmitted(self) -> None:
+        """Forget retransmission marks (after an RTO restarts recovery)."""
+        self._retransmitted.clear()
+
+    def reset(self) -> None:
+        self._sacked_sorted.clear()
+        self._sacked.clear()
+        self._retransmitted.clear()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def is_sacked(self, seq: int) -> bool:
+        return seq in self._sacked
+
+    def was_retransmitted(self, seq: int) -> bool:
+        return seq in self._retransmitted
+
+    def sacked_above(self, seq: int) -> int:
+        """Number of SACKed segments with sequence number > ``seq``."""
+        return len(self._sacked_sorted) - bisect_right(self._sacked_sorted, seq)
+
+    def sacked_count(self) -> int:
+        return len(self._sacked_sorted)
+
+    def highest_sacked(self) -> Optional[int]:
+        return self._sacked_sorted[-1] if self._sacked_sorted else None
+
+    def is_lost(self, seq: int, dupthresh: int) -> bool:
+        """RFC 3517 IsLost at segment granularity.
+
+        A segment is deduced lost when at least ``dupthresh`` SACKed
+        segments lie above it.
+        """
+        return not self.is_sacked(seq) and self.sacked_above(seq) >= dupthresh
+
+    def next_lost_to_retransmit(
+        self, start: int, end: int, dupthresh: int
+    ) -> Optional[int]:
+        """Smallest lost, un-SACKed, un-retransmitted segment in [start, end)."""
+        highest = self.highest_sacked()
+        if highest is None:
+            return None
+        # No segment at or above highest_sacked can satisfy IsLost.
+        scan_end = min(end, highest)
+        for seq in range(start, scan_end):
+            if (
+                seq not in self._sacked
+                and seq not in self._retransmitted
+                and self.sacked_above(seq) >= dupthresh
+            ):
+                return seq
+        return None
+
+    def pipe(self, snd_una: int, snd_max: int, dupthresh: int) -> int:
+        """RFC 3517 pipe: estimated segments currently in the network."""
+        total = 0
+        for seq in range(snd_una, snd_max):
+            if seq in self._sacked:
+                continue
+            if not self.is_lost(seq, dupthresh):
+                total += 1
+            if seq in self._retransmitted:
+                total += 1
+        return total
+
+    def __repr__(self) -> str:
+        return (
+            f"<Scoreboard sacked={len(self._sacked_sorted)} "
+            f"retx={len(self._retransmitted)}>"
+        )

@@ -1,0 +1,32 @@
+"""Topology builders for the paper's experiments.
+
+* :func:`~repro.topologies.dumbbell.build_dumbbell` — the classic
+  single-bottleneck topology of Section 4.
+* :func:`~repro.topologies.parking_lot.build_parking_lot` — Figure 1's
+  multi-bottleneck parking lot with its six cross-traffic pairs.
+* :func:`~repro.topologies.multipath_mesh.build_multipath_mesh` —
+  Figure 5's multi-path source→destination comparison topology.
+"""
+
+from repro.topologies.dumbbell import DumbbellSpec, build_dumbbell
+from repro.topologies.multipath_mesh import (
+    MultipathMeshSpec,
+    build_multipath_mesh,
+    install_epsilon_routing,
+)
+from repro.topologies.parking_lot import (
+    CROSS_TRAFFIC_PAIRS,
+    ParkingLotSpec,
+    build_parking_lot,
+)
+
+__all__ = [
+    "CROSS_TRAFFIC_PAIRS",
+    "DumbbellSpec",
+    "MultipathMeshSpec",
+    "ParkingLotSpec",
+    "build_dumbbell",
+    "build_multipath_mesh",
+    "build_parking_lot",
+    "install_epsilon_routing",
+]

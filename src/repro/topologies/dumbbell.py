@@ -1,0 +1,79 @@
+"""The dumbbell (single-bottleneck) topology of Section 4.
+
+All flows share one bottleneck link between two routers; each sender and
+receiver hangs off its own access link.  The paper does not state its
+dumbbell parameters, so the defaults here are typical paper-era values
+consistent with the parking-lot numbers of Figure 1 (15 Mbps links), and
+every parameter is adjustable through :class:`DumbbellSpec`.
+
+Node naming: senders ``s0..s{n-1}``, receivers ``d0..d{n-1}``, routers
+``r0`` (left) and ``r1`` (right).  Flow *i* runs ``si -> di``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.network import Network, install_static_routes
+from repro.util.units import MBPS, MS
+
+
+@dataclass
+class DumbbellSpec:
+    """Parameters of a dumbbell topology.
+
+    Attributes:
+        num_pairs: Number of sender/receiver pairs.
+        bottleneck_bandwidth: Bottleneck link rate (bits/second).
+        bottleneck_delay: Bottleneck propagation delay (seconds).
+        access_bandwidth: Per-host access link rate.
+        access_delay: Per-host access link delay.
+        queue_packets: DropTail queue capacity on every link.
+        seed: Master RNG seed for the simulation.
+    """
+
+    num_pairs: int = 2
+    bottleneck_bandwidth: float = 15 * MBPS
+    bottleneck_delay: float = 10 * MS
+    access_bandwidth: float = 15 * MBPS
+    access_delay: float = 2 * MS
+    queue_packets: int = 100
+    seed: int = 0
+
+    def rtt_floor(self) -> float:
+        """Two-way propagation delay with zero queueing."""
+        return 2.0 * (self.bottleneck_delay + 2 * self.access_delay)
+
+
+def build_dumbbell(spec: DumbbellSpec) -> Network:
+    """Construct the dumbbell network and install shortest-path routes."""
+    if spec.num_pairs < 1:
+        raise ValueError(f"need at least one pair, got {spec.num_pairs}")
+    net = Network(seed=spec.seed)
+    net.add_nodes("r0", "r1")
+    net.add_duplex_link(
+        "r0",
+        "r1",
+        bandwidth=spec.bottleneck_bandwidth,
+        delay=spec.bottleneck_delay,
+        queue=spec.queue_packets,
+    )
+    for i in range(spec.num_pairs):
+        net.add_node(f"s{i}")
+        net.add_node(f"d{i}")
+        net.add_duplex_link(
+            f"s{i}",
+            "r0",
+            bandwidth=spec.access_bandwidth,
+            delay=spec.access_delay,
+            queue=spec.queue_packets,
+        )
+        net.add_duplex_link(
+            "r1",
+            f"d{i}",
+            bandwidth=spec.access_bandwidth,
+            delay=spec.access_delay,
+            queue=spec.queue_packets,
+        )
+    install_static_routes(net)
+    return net

@@ -1,0 +1,15 @@
+"""Observability: flow/queue monitors and packet event traces."""
+
+from repro.trace.monitors import (
+    CwndMonitor,
+    FlowThroughputMonitor,
+    QueueMonitor,
+)
+from repro.trace.events import PacketTracer
+
+__all__ = [
+    "CwndMonitor",
+    "FlowThroughputMonitor",
+    "PacketTracer",
+    "QueueMonitor",
+]

@@ -1,0 +1,25 @@
+"""Small shared utilities: unit helpers and generic data structures."""
+
+from repro.util.units import (
+    GBPS,
+    KBPS,
+    MBPS,
+    MS,
+    US,
+    bits_to_mbps,
+    bytes_to_bits,
+    fmt_bandwidth,
+    fmt_time,
+)
+
+__all__ = [
+    "GBPS",
+    "KBPS",
+    "MBPS",
+    "MS",
+    "US",
+    "bits_to_mbps",
+    "bytes_to_bits",
+    "fmt_bandwidth",
+    "fmt_time",
+]

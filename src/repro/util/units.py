@@ -1,0 +1,56 @@
+"""Unit constants and formatting helpers.
+
+The simulator works in SI base units throughout: seconds for time and
+bits-per-second for bandwidth.  These constants make call sites read like
+the paper's parameter tables (``10 * MBPS``, ``60 * MS``).
+"""
+
+from __future__ import annotations
+
+#: One kilobit per second, in bits/second.
+KBPS = 1_000.0
+#: One megabit per second, in bits/second.
+MBPS = 1_000_000.0
+#: One gigabit per second, in bits/second.
+GBPS = 1_000_000_000.0
+
+#: One millisecond, in seconds.
+MS = 1e-3
+#: One microsecond, in seconds.
+US = 1e-6
+
+
+def bytes_to_bits(num_bytes: float) -> float:
+    """Convert a byte count to bits."""
+    return num_bytes * 8.0
+
+
+def bits_to_mbps(bits: float, interval: float) -> float:
+    """Average rate in Mbps for ``bits`` transferred over ``interval`` seconds.
+
+    Raises:
+        ValueError: if ``interval`` is not positive.
+    """
+    if interval <= 0:
+        raise ValueError(f"interval must be positive, got {interval}")
+    return bits / interval / MBPS
+
+
+def fmt_bandwidth(bits_per_second: float) -> str:
+    """Human-readable bandwidth string (``'10.00 Mbps'``)."""
+    if bits_per_second >= GBPS:
+        return f"{bits_per_second / GBPS:.2f} Gbps"
+    if bits_per_second >= MBPS:
+        return f"{bits_per_second / MBPS:.2f} Mbps"
+    if bits_per_second >= KBPS:
+        return f"{bits_per_second / KBPS:.2f} kbps"
+    return f"{bits_per_second:.0f} bps"
+
+
+def fmt_time(seconds: float) -> str:
+    """Human-readable time string (``'10.0 ms'``)."""
+    if seconds >= 1.0:
+        return f"{seconds:.3f} s"
+    if seconds >= MS:
+        return f"{seconds / MS:.1f} ms"
+    return f"{seconds / US:.1f} us"

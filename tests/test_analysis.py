@@ -1,0 +1,155 @@
+"""Tests for the fairness / throughput / reordering metrics."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.fairness import (
+    coefficient_of_variation,
+    jain_index,
+    mean_normalized_throughput,
+    normalized_throughputs,
+)
+from repro.analysis.reordering import reorder_density, reordering_ratio
+from repro.analysis.throughput import FlowSample, goodput_bps, goodput_mbps
+
+
+# ----------------------------------------------------------------------
+# Normalized throughput (Section 4's T_i)
+# ----------------------------------------------------------------------
+def test_normalized_equal_flows_are_one():
+    assert normalized_throughputs([5.0, 5.0, 5.0]) == [1.0, 1.0, 1.0]
+
+
+def test_normalized_sums_to_n():
+    values = normalized_throughputs([1.0, 2.0, 3.0])
+    assert sum(values) == pytest.approx(3.0)
+
+
+def test_normalized_rejects_empty_and_negative():
+    with pytest.raises(ValueError):
+        normalized_throughputs([])
+    with pytest.raises(ValueError):
+        normalized_throughputs([1.0, -2.0])
+
+
+def test_normalized_all_zero():
+    assert normalized_throughputs([0.0, 0.0]) == [0.0, 0.0]
+
+
+def test_mean_normalized_uses_global_mean():
+    result = mean_normalized_throughput({"a": [2.0, 2.0], "b": [1.0, 1.0]})
+    # Global mean = 1.5: a -> 4/3, b -> 2/3.
+    assert result["a"] == pytest.approx(4 / 3)
+    assert result["b"] == pytest.approx(2 / 3)
+
+
+def test_mean_normalized_fair_split_is_one_each():
+    result = mean_normalized_throughput({"a": [3.0, 5.0], "b": [5.0, 3.0]})
+    assert result["a"] == pytest.approx(1.0)
+    assert result["b"] == pytest.approx(1.0)
+
+
+def test_mean_normalized_validates():
+    with pytest.raises(ValueError):
+        mean_normalized_throughput({})
+    with pytest.raises(ValueError):
+        mean_normalized_throughput({"a": []})
+
+
+@given(
+    st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=2, max_size=10),
+    st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=2, max_size=10),
+)
+def test_property_mean_normalized_weighted_average_is_one(a_values, b_values):
+    result = mean_normalized_throughput({"a": a_values, "b": b_values})
+    n_a, n_b = len(a_values), len(b_values)
+    weighted = (result["a"] * n_a + result["b"] * n_b) / (n_a + n_b)
+    assert weighted == pytest.approx(1.0, rel=1e-9)
+
+
+# ----------------------------------------------------------------------
+# CoV and Jain
+# ----------------------------------------------------------------------
+def test_cov_zero_for_equal_values():
+    assert coefficient_of_variation([3.0, 3.0, 3.0]) == 0.0
+
+
+def test_cov_known_value():
+    # mean 2, population variance ((1)^2 + (1)^2)/2 = 1 -> CoV = 0.5.
+    assert coefficient_of_variation([1.0, 3.0]) == pytest.approx(0.5)
+
+
+def test_cov_validates_empty():
+    with pytest.raises(ValueError):
+        coefficient_of_variation([])
+
+
+def test_jain_perfect_fairness():
+    assert jain_index([4.0, 4.0, 4.0]) == pytest.approx(1.0)
+
+
+def test_jain_total_unfairness():
+    # One flow takes everything among n flows -> 1/n.
+    assert jain_index([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=20))
+def test_property_jain_bounds(values):
+    index = jain_index(values)
+    assert 1.0 / len(values) - 1e-9 <= index <= 1.0 + 1e-9
+
+
+# ----------------------------------------------------------------------
+# Goodput helpers
+# ----------------------------------------------------------------------
+def test_goodput_between_samples():
+    start = FlowSample(10.0, 100)
+    end = FlowSample(20.0, 600)
+    # 500 segments * 8000 bits / 10 s = 400 kbps.
+    assert goodput_bps(start, end, 1000) == pytest.approx(400_000)
+    assert goodput_mbps(start, end, 1000) == pytest.approx(0.4)
+
+
+def test_goodput_validates_order_and_monotonicity():
+    with pytest.raises(ValueError):
+        goodput_bps(FlowSample(5.0, 0), FlowSample(5.0, 10), 1000)
+    with pytest.raises(ValueError):
+        goodput_bps(FlowSample(0.0, 10), FlowSample(1.0, 5), 1000)
+
+
+# ----------------------------------------------------------------------
+# Reordering metrics
+# ----------------------------------------------------------------------
+def test_reordering_ratio_in_order():
+    assert reordering_ratio([0, 1, 2, 3]) == 0.0
+
+
+def test_reordering_ratio_counts_late_arrivals():
+    # 1 and 2 arrive after 3: two late arrivals out of three transitions.
+    assert reordering_ratio([0, 3, 1, 2]) == pytest.approx(2 / 3)
+
+
+def test_reordering_ratio_edge_cases():
+    assert reordering_ratio([]) == 0.0
+    assert reordering_ratio([7]) == 0.0
+
+
+def test_reorder_density_in_order():
+    histogram = reorder_density([0, 1, 2])
+    assert histogram[0] == 3
+    assert sum(histogram) == 3
+
+
+def test_reorder_density_displacement():
+    # seq 0 received last among three: displaced by 2.
+    histogram = reorder_density([1, 2, 0])
+    assert histogram[2] == 1
+    assert sum(histogram) == 3
+
+
+@given(st.permutations(list(range(10))))
+def test_property_density_counts_everything(order):
+    histogram = reorder_density(list(order))
+    assert sum(histogram) == 10

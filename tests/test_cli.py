@@ -1,0 +1,50 @@
+"""Tests for the repro-experiments CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_variants_listing(capsys):
+    assert main(["variants"]) == 0
+    out = capsys.readouterr().out
+    assert "tcp-pr" in out
+    assert "tdfr" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["figure-nine"])
+
+
+def test_fig2_tiny_run(capsys):
+    assert main(["fig2", "--flows", "2", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 2" in out
+    assert "dumbbell" in out
+
+
+def test_fig6_tiny_run(capsys):
+    assert main(["fig6", "--epsilons", "500"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 6" in out
+    assert "tcp-pr" in out
+
+
+def test_compare_tiny_run(capsys):
+    assert main([
+        "compare", "--variants", "tcp-pr", "--epsilon", "500",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "tcp-pr" in out
+    assert "Mbps" in out
+
+
+def test_fig6_topology_choice_validated():
+    with pytest.raises(SystemExit):
+        main(["fig2", "--topology", "ring"])

@@ -1,0 +1,142 @@
+"""Tests for the receiver's delayed-ACK option (RFC 1122 / RFC 5681)."""
+
+import pytest
+
+from repro.net.network import Network, install_static_routes
+from repro.net.packet import Packet
+from repro.tcp.base import TcpConfig
+from repro.tcp.receiver import TcpReceiver
+
+from conftest import make_flow
+
+
+class AckCollector:
+    def __init__(self):
+        self.acks = []
+
+    def receive(self, packet):
+        self.acks.append(packet)
+
+
+def _setup(**kwargs):
+    net = Network(seed=0)
+    net.add_nodes("snd", "rcv")
+    net.add_duplex_link("snd", "rcv", bandwidth=1e9, delay=1e-6)
+    install_static_routes(net)
+    receiver = TcpReceiver(
+        net.sim, net.node("rcv"), 1, "snd", delayed_ack=True, **kwargs
+    )
+    collector = AckCollector()
+    net.node("snd").agents[1] = collector
+    return net, receiver, collector
+
+
+def _data(seq):
+    return Packet("data", "snd", "rcv", flow_id=1, seq=seq)
+
+
+def test_every_second_segment_acked():
+    net, receiver, collector = _setup()
+    receiver.receive(_data(0))
+    net.run(until=net.sim.now + 0.01)
+    assert len(collector.acks) == 0  # first in-order segment: held
+    receiver.receive(_data(1))
+    net.run(until=net.sim.now + 0.01)
+    assert len(collector.acks) == 1  # second segment flushes
+    assert collector.acks[0].ack == 2
+
+
+def test_timer_flushes_lone_segment():
+    net, receiver, collector = _setup(delack_timeout=0.2)
+    receiver.receive(_data(0))
+    net.run(until=0.15)
+    assert len(collector.acks) == 0
+    net.run(until=0.3)
+    assert len(collector.acks) == 1
+    assert collector.acks[0].ack == 1
+    assert receiver.delayed_acks_sent == 1
+
+
+def test_out_of_order_acked_immediately():
+    net, receiver, collector = _setup()
+    receiver.receive(_data(0))  # held
+    receiver.receive(_data(2))  # out of order: immediate ACK
+    net.run(until=net.sim.now + 0.01)
+    assert len(collector.acks) == 1
+    assert collector.acks[0].ack == 1
+    assert collector.acks[0].sack_blocks == [(2, 3)]
+    # The held ACK was superseded; the timer must not fire a stale ACK.
+    net.run(until=1.0)
+    assert len(collector.acks) == 1
+
+
+def test_hole_fill_acked_immediately():
+    net, receiver, collector = _setup()
+    receiver.receive(_data(1))  # ooo -> immediate dupack
+    receiver.receive(_data(0))  # fills the hole -> immediate cumulative
+    net.run(until=net.sim.now + 0.01)
+    assert [a.ack for a in collector.acks] == [0, 2]
+
+
+def test_duplicate_acked_immediately():
+    net, receiver, collector = _setup()
+    receiver.receive(_data(0))
+    receiver.receive(_data(1))  # flush
+    receiver.receive(_data(1))  # duplicate: immediate with DSACK
+    net.run(until=net.sim.now + 0.01)
+    assert len(collector.acks) == 2
+    assert collector.acks[-1].dsack == (1, 2)
+
+
+def test_invalid_timeout_rejected():
+    net = Network(seed=0)
+    net.add_nodes("snd", "rcv")
+    net.add_duplex_link("snd", "rcv", bandwidth=1e9, delay=1e-6)
+    with pytest.raises(ValueError):
+        TcpReceiver(net.sim, net.node("rcv"), 1, "snd",
+                    delayed_ack=True, delack_timeout=0.0)
+    with pytest.raises(ValueError):
+        TcpReceiver(net.sim, net.node("rcv"), 2, "snd",
+                    delayed_ack=True, delack_timeout=0.8)
+
+
+def test_bulk_flow_with_delayed_acks_still_saturates():
+    """End-to-end: a SACK flow against a delayed-ACK receiver reaches
+    full utilization (with roughly half the ACK traffic)."""
+    flow = make_flow("sack", tcp_config=TcpConfig(initial_ssthresh=16))
+    flow.run(until=10.0)
+    per_packet_acks = flow.receiver.acks_sent
+
+    net = Network(seed=0)
+    net.add_nodes("snd", "rcv")
+    net.add_duplex_link("snd", "rcv", bandwidth=1e6, delay=0.01, queue=100)
+    install_static_routes(net)
+    from repro.tcp.registry import make_sender
+
+    sender = make_sender("sack", net.sim, net.node("snd"), 1, "rcv",
+                         tcp_config=TcpConfig(initial_ssthresh=16))
+    receiver = TcpReceiver(net.sim, net.node("rcv"), 1, "snd", delayed_ack=True)
+    sender.start(0.0)
+    net.run(until=10.0)
+    assert receiver.delivered >= 0.8 * 125 * 10
+    assert receiver.acks_sent < 0.7 * per_packet_acks
+
+
+def test_tcp_pr_works_with_delayed_acks():
+    """TCP-PR needs no receiver changes — including a delayed-ACK one.
+    mxrtt absorbs the delack timeout into its maximum tracking."""
+    net = Network(seed=0)
+    net.add_nodes("snd", "rcv")
+    net.add_duplex_link("snd", "rcv", bandwidth=1e6, delay=0.01, queue=100)
+    install_static_routes(net)
+    from repro.core.pr import PrConfig
+    from repro.tcp.registry import make_sender
+
+    sender = make_sender("tcp-pr", net.sim, net.node("snd"), 1, "rcv",
+                         pr_config=PrConfig(initial_ssthresh=16))
+    receiver = TcpReceiver(net.sim, net.node("rcv"), 1, "snd", delayed_ack=True)
+    sender.start(0.0)
+    net.run(until=15.0)
+    assert receiver.delivered >= 0.7 * 125 * 15
+    # The held-back ACKs must not read as losses.
+    assert sender.stats.window_cuts <= 2

@@ -1,0 +1,158 @@
+"""Tests for per-packet delay models and Gilbert-Elliott bursty loss."""
+
+import random
+
+import pytest
+
+from repro.net.delays import BimodalDelay, FixedDelay, UniformJitterDelay
+from repro.net.lossgen import GilbertElliottLoss
+from repro.net.network import Network, install_static_routes
+from repro.net.packet import Packet
+from repro.analysis.reordering import reordering_ratio
+
+from conftest import make_flow
+
+
+def _packet():
+    return Packet("data", "a", "b", flow_id=1)
+
+
+# ----------------------------------------------------------------------
+# Delay models
+# ----------------------------------------------------------------------
+def test_fixed_delay():
+    model = FixedDelay(0.05)
+    assert model.delay_for(_packet()) == 0.05
+    with pytest.raises(ValueError):
+        FixedDelay(-1.0)
+
+
+def test_uniform_jitter_bounds():
+    model = UniformJitterDelay(0.01, 0.02, random.Random(1))
+    for _ in range(200):
+        delay = model.delay_for(_packet())
+        assert 0.01 <= delay <= 0.03
+
+
+def test_uniform_jitter_validates():
+    with pytest.raises(ValueError):
+        UniformJitterDelay(-0.01, 0.02, random.Random(1))
+    with pytest.raises(ValueError):
+        UniformJitterDelay(0.01, -0.02, random.Random(1))
+
+
+def test_bimodal_distribution():
+    model = BimodalDelay(0.01, 0.05, 0.3, random.Random(2))
+    delays = [model.delay_for(_packet()) for _ in range(2000)]
+    slow = sum(1 for d in delays if d > 0.03)
+    assert set(round(d, 6) for d in delays) == {0.01, 0.06}
+    assert 0.25 < slow / 2000 < 0.35
+
+
+def test_bimodal_validates():
+    with pytest.raises(ValueError):
+        BimodalDelay(0.01, 0.05, 1.5, random.Random(1))
+    with pytest.raises(ValueError):
+        BimodalDelay(-0.01, 0.05, 0.5, random.Random(1))
+
+
+def test_jitter_link_reorders_packets():
+    """A single link with jitter >> packet spacing reorders delivery."""
+    net = Network(seed=0)
+    net.add_nodes("a", "b")
+    jitter = UniformJitterDelay(0.01, 0.05, net.sim.rng.stream("jitter"))
+    net.add_link("a", "b", bandwidth=1e8, delay=0.01, queue=1000,
+                 delay_model=jitter)
+    arrivals = []
+
+    class Sink:
+        def receive(self, packet):
+            arrivals.append(packet.seq)
+
+    net.node("b").agents[1] = Sink()
+
+    def burst():
+        for i in range(300):
+            net.node("a").send(Packet("data", "a", "b", flow_id=1, seq=i))
+
+    install_static_routes(net)
+    net.sim.schedule(0.0, burst)
+    net.run(until=2.0)
+    assert len(arrivals) == 300
+    assert reordering_ratio(arrivals) > 0.3
+
+
+def test_link_without_delay_model_stays_in_order():
+    net = Network(seed=0)
+    net.add_nodes("a", "b")
+    net.add_link("a", "b", bandwidth=1e8, delay=0.01, queue=1000)
+    install_static_routes(net)
+    arrivals = []
+
+    class Sink:
+        def receive(self, packet):
+            arrivals.append(packet.seq)
+
+    net.node("b").agents[1] = Sink()
+
+    def burst():
+        for i in range(100):
+            net.node("a").send(Packet("data", "a", "b", flow_id=1, seq=i))
+
+    net.sim.schedule(0.0, burst)
+    net.run(until=2.0)
+    assert arrivals == sorted(arrivals)
+
+
+# ----------------------------------------------------------------------
+# Gilbert-Elliott loss
+# ----------------------------------------------------------------------
+def test_gilbert_elliott_validates():
+    with pytest.raises(ValueError):
+        GilbertElliottLoss(random.Random(1), good_to_bad=1.5)
+    with pytest.raises(ValueError):
+        GilbertElliottLoss(random.Random(1), bad_loss=-0.1)
+
+
+def test_gilbert_elliott_no_fades_means_no_loss():
+    model = GilbertElliottLoss(random.Random(1), good_to_bad=0.0, good_loss=0.0)
+    assert not any(model.should_drop(_packet()) for _ in range(500))
+
+
+def test_gilbert_elliott_burstiness():
+    """Losses cluster: the drop sequence has long loss-free stretches and
+    dense loss bursts, unlike Bernoulli at the same average rate."""
+    model = GilbertElliottLoss(
+        random.Random(3), good_to_bad=0.01, bad_to_good=0.1, bad_loss=1.0
+    )
+    drops = [model.should_drop(_packet()) for _ in range(20_000)]
+    assert model.bad_entries > 10
+    total = sum(drops)
+    assert total > 100
+    # Burstiness: probability that a drop follows a drop far exceeds the
+    # marginal drop rate.
+    follow = sum(1 for i in range(1, len(drops)) if drops[i] and drops[i - 1])
+    p_follow = follow / max(1, total)
+    p_marginal = total / len(drops)
+    assert p_follow > 3 * p_marginal
+
+
+def test_tcp_pr_survives_wireless_fades():
+    """Future-work scenario: bursty non-congestion loss.  TCP-PR's
+    memorize list turns each fade into one window cut (or one extreme
+    event for deep fades) and the flow keeps running."""
+    from repro.core.pr import PrConfig
+
+    net_rng = random.Random(7)
+    flow = make_flow(
+        "tcp-pr",
+        data_loss=GilbertElliottLoss(
+            net_rng, good_to_bad=0.002, bad_to_good=0.3, bad_loss=1.0
+        ),
+        bandwidth=5e6,
+        pr_config=PrConfig(initial_ssthresh=32),
+    )
+    flow.run(until=30.0)
+    # 5 Mbps = 625 seg/s; demand decent utilization despite fades.
+    assert flow.delivered > 0.4 * 625 * 30
+    assert flow.sender.stats.drops_detected > 0

@@ -1,0 +1,81 @@
+"""Behavioural tests for the Eifel and TCP-DOOR extension variants."""
+
+from repro.net.lossgen import DeterministicLoss
+from repro.tcp.base import TcpConfig
+
+from conftest import make_flow
+from test_tdfr import make_reordering_tcp_flow
+
+
+# ----------------------------------------------------------------------
+# Eifel
+# ----------------------------------------------------------------------
+def test_eifel_forces_timestamps_on():
+    flow = make_flow("eifel")
+    assert flow.sender.config.timestamps is True
+
+
+def test_eifel_real_loss_like_newreno():
+    flow = make_flow("eifel", data_loss=DeterministicLoss([40]))
+    flow.run(until=10.0)
+    stats = flow.sender.stats
+    assert stats.fast_retransmits == 1
+    assert stats.extra["eifel_undos"] == 0  # a real loss is not spurious
+    assert flow.delivered > 800
+
+
+def test_eifel_undoes_spurious_response_under_reordering():
+    net, sender, receiver = make_reordering_tcp_flow("eifel")
+    net.run(until=10.0)
+    assert sender.stats.fast_retransmits > 0
+    assert sender.stats.extra["eifel_undos"] > 0
+
+
+def test_eifel_beats_plain_newreno_under_reordering():
+    net, _, eifel_rcv = make_reordering_tcp_flow("eifel")
+    net.run(until=10.0)
+    net2, _, newreno_rcv = make_reordering_tcp_flow("newreno")
+    net2.run(until=10.0)
+    assert eifel_rcv.delivered > newreno_rcv.delivered
+
+
+def test_eifel_data_timestamps_echoed():
+    flow = make_flow("eifel", tcp_config=TcpConfig(total_segments=5))
+    flow.run(until=5.0)
+    # The flow completed, which requires ACK processing with echoes.
+    assert flow.delivered == 5
+
+
+# ----------------------------------------------------------------------
+# TCP-DOOR
+# ----------------------------------------------------------------------
+def test_door_no_reordering_behaves_like_newreno():
+    door = make_flow("door", tcp_config=TcpConfig(initial_ssthresh=16))
+    door.run(until=5.0)
+    newreno = make_flow("newreno", tcp_config=TcpConfig(initial_ssthresh=16))
+    newreno.run(until=5.0)
+    assert abs(door.delivered - newreno.delivered) <= 5
+    assert door.sender.stats.extra["ooo_events"] == 0
+
+
+def test_door_detects_out_of_order_acks():
+    net, sender, receiver = make_reordering_tcp_flow("door")
+    net.run(until=10.0)
+    assert sender.stats.extra["ooo_events"] > 0
+
+
+def test_door_disables_congestion_response_after_ooo():
+    net, door_sender, door_rcv = make_reordering_tcp_flow("door")
+    net.run(until=10.0)
+    net2, newreno_sender, newreno_rcv = make_reordering_tcp_flow("newreno")
+    net2.run(until=10.0)
+    # DOOR suppresses some of the spurious halvings NewReno takes.
+    assert door_sender.stats.recoveries_entered <= newreno_sender.stats.recoveries_entered
+    assert door_rcv.delivered >= newreno_rcv.delivered
+
+
+def test_door_real_loss_still_recovers():
+    flow = make_flow("door", data_loss=DeterministicLoss([40]))
+    flow.run(until=10.0)
+    assert flow.delivered > 800
+    assert flow.sender.stats.retransmits >= 1

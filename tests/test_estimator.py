@@ -1,0 +1,157 @@
+"""Unit tests for TCP-PR's ewrtt/mxrtt estimator (Section 3.1)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.estimator import MaxRttEstimator, newton_fractional_root
+
+
+# ----------------------------------------------------------------------
+# Newton's method for alpha**(1/cwnd) (footnote 5)
+# ----------------------------------------------------------------------
+def test_newton_exact_at_cwnd_one():
+    # x^1 = alpha converges in one step regardless of iterations.
+    assert newton_fractional_root(0.995, 1.0, 2) == pytest.approx(0.995)
+
+
+def test_newton_two_iterations_close_to_exact():
+    # The paper uses n = 2; for alpha near 1 this is very accurate.
+    for cwnd in (1.0, 2.0, 5.0, 17.3, 100.0):
+        exact = 0.995 ** (1.0 / cwnd)
+        approx = newton_fractional_root(0.995, cwnd, 2)
+        assert approx == pytest.approx(exact, rel=1e-6)
+
+
+def test_newton_more_iterations_improve():
+    cwnd, alpha = 50.0, 0.5
+    exact = alpha ** (1.0 / cwnd)
+    err2 = abs(newton_fractional_root(alpha, cwnd, 2) - exact)
+    err4 = abs(newton_fractional_root(alpha, cwnd, 4) - exact)
+    assert err4 <= err2
+
+
+def test_newton_validates_inputs():
+    with pytest.raises(ValueError):
+        newton_fractional_root(0.0, 2.0)
+    with pytest.raises(ValueError):
+        newton_fractional_root(1.5, 2.0)
+    with pytest.raises(ValueError):
+        newton_fractional_root(0.9, 0.5)
+
+
+@given(
+    st.floats(min_value=0.5, max_value=0.9999),
+    st.floats(min_value=1.0, max_value=500.0),
+)
+def test_property_newton_in_unit_interval(alpha, cwnd):
+    value = newton_fractional_root(alpha, cwnd, 2)
+    assert 0.0 < value <= 1.0
+    # alpha**(1/cwnd) >= alpha for cwnd >= 1.
+    assert value >= alpha - 1e-9
+
+
+# ----------------------------------------------------------------------
+# MaxRttEstimator
+# ----------------------------------------------------------------------
+def test_initial_mxrtt_before_samples():
+    est = MaxRttEstimator(initial_mxrtt=3.0)
+    assert est.ewrtt is None
+    assert est.mxrtt == 3.0
+
+
+def test_first_sample_sets_ewrtt():
+    est = MaxRttEstimator(beta=3.0)
+    est.observe(0.1, cwnd=1.0)
+    assert est.ewrtt == pytest.approx(0.1)
+    assert est.mxrtt == pytest.approx(0.3)
+
+
+def test_max_tracking_keeps_spikes():
+    est = MaxRttEstimator(alpha=0.995)
+    est.observe(0.1, cwnd=2.0)
+    est.observe(1.0, cwnd=2.0)  # spike
+    est.observe(0.1, cwnd=2.0)  # small sample does not erase the spike
+    assert est.ewrtt > 0.9
+
+
+def test_decay_rate_is_alpha_per_rtt():
+    """Iterating cwnd times decays ewrtt by exactly alpha (the design
+    rationale for the 1/cwnd exponent)."""
+    alpha = 0.9
+    for cwnd in (1, 4, 10):
+        est = MaxRttEstimator(alpha=alpha, exact_root=True)
+        est.observe(1.0, cwnd=cwnd)
+        for _ in range(cwnd):
+            est.observe(0.0, cwnd=cwnd)
+        assert est.ewrtt == pytest.approx(alpha, rel=1e-9)
+
+
+def test_sample_floor_wins_over_decay():
+    est = MaxRttEstimator(alpha=0.5)
+    est.observe(0.2, cwnd=1.0)
+    for _ in range(50):
+        est.observe(0.2, cwnd=1.0)
+    assert est.ewrtt == pytest.approx(0.2)
+
+
+def test_force_mxrtt_round_trips():
+    est = MaxRttEstimator(beta=3.0)
+    est.force_mxrtt(1.5)
+    assert est.mxrtt == pytest.approx(1.5)
+    assert est.ewrtt == pytest.approx(0.5)
+
+
+def test_force_mxrtt_validates():
+    est = MaxRttEstimator()
+    with pytest.raises(ValueError):
+        est.force_mxrtt(0.0)
+
+
+def test_observe_validates():
+    est = MaxRttEstimator()
+    with pytest.raises(ValueError):
+        est.observe(-1.0, cwnd=1.0)
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        MaxRttEstimator(alpha=1.0)
+    with pytest.raises(ValueError):
+        MaxRttEstimator(alpha=0.0)
+    with pytest.raises(ValueError):
+        MaxRttEstimator(beta=0.0)
+    with pytest.raises(ValueError):
+        MaxRttEstimator(initial_mxrtt=0.0)
+
+
+def test_newton_vs_exact_modes_agree_for_paper_alpha():
+    newton = MaxRttEstimator(alpha=0.995)
+    exact = MaxRttEstimator(alpha=0.995, exact_root=True)
+    for est in (newton, exact):
+        est.observe(0.5, cwnd=10)
+        for _ in range(100):
+            est.observe(0.05, cwnd=10)
+    assert newton.ewrtt == pytest.approx(exact.ewrtt, rel=1e-5)
+
+
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=10.0), min_size=1, max_size=60),
+    st.floats(min_value=1.0, max_value=100.0),
+)
+def test_property_ewrtt_upper_bounds_every_recent_sample(samples, cwnd):
+    """ewrtt never falls below the most recent sample (mxrtt must be an
+    upper bound on the RTT for TCP-PR's timers to be safe)."""
+    est = MaxRttEstimator(alpha=0.995)
+    for sample in samples:
+        est.observe(sample, cwnd=cwnd)
+        assert est.ewrtt >= sample - 1e-12
+        assert est.mxrtt >= est.beta * sample - 1e-9
+
+
+@given(st.floats(min_value=0.5, max_value=0.999))
+def test_property_decay_monotone_in_cwnd(alpha):
+    """Larger windows decay more slowly per update."""
+    est = MaxRttEstimator(alpha=alpha, exact_root=True)
+    assert est.decay_factor(1.0) <= est.decay_factor(10.0) <= est.decay_factor(100.0)

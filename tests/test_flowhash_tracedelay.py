@@ -1,0 +1,116 @@
+"""Tests for per-flow ECMP hashing and trace-replay delays."""
+
+import pytest
+
+from repro.analysis.reordering import reordering_ratio
+from repro.app.bulk import BulkTransfer
+from repro.net.delays import TraceDelay
+from repro.net.network import Network, install_static_routes
+from repro.net.packet import Packet
+from repro.routing.multipath import EpsilonMultipathPolicy, FlowHashPolicy
+
+
+def _two_path_net(seed=3):
+    net = Network(seed=seed)
+    net.add_nodes("s", "d")
+    for k in range(2):
+        mids = [f"p{k}m{i}" for i in range(k + 1)]
+        for m in mids:
+            net.add_node(m)
+        chain = ["s", *mids, "d"]
+        for u, v in zip(chain, chain[1:]):
+            net.add_duplex_link(u, v, bandwidth=1e7, delay=0.01, queue=500)
+    install_static_routes(net)
+    return net
+
+
+# ----------------------------------------------------------------------
+# FlowHashPolicy
+# ----------------------------------------------------------------------
+def test_flow_hash_is_stable_per_flow():
+    net = _two_path_net()
+    policy = FlowHashPolicy(net, "s", destinations=["d"])
+    routes = {policy.path_for_flow("d", 7) for _ in range(50)}
+    assert len(routes) == 1  # same flow, same path, always
+
+
+def test_flow_hash_spreads_flows_across_paths():
+    net = _two_path_net()
+    policy = FlowHashPolicy(net, "s", destinations=["d"])
+    chosen = {policy.path_for_flow("d", fid) for fid in range(40)}
+    assert len(chosen) == 2  # both paths carry some flows
+
+
+def test_flow_hash_unknown_destination_falls_through():
+    net = _two_path_net()
+    policy = FlowHashPolicy(net, "s", destinations=["d"])
+    assert policy.choose_route(Packet("data", "s", "elsewhere", flow_id=1)) is None
+
+
+def test_flow_hash_does_not_reorder_tcp():
+    """ECMP hashing keeps each flow on one path: in-order delivery and
+    full standard-TCP throughput — at a single path's rate.  (A finite
+    initial ssthresh avoids overshoot losses, whose retransmissions
+    would register as reordered arrivals and muddy the measurement.)"""
+    from repro.tcp.base import TcpConfig
+
+    net = _two_path_net()
+    FlowHashPolicy(net, "s", destinations=["d"]).install()
+    flow = BulkTransfer(net, "sack", "s", "d", flow_id=1,
+                        tcp_config=TcpConfig(initial_ssthresh=32))
+    net.run(until=10.0)
+    assert flow.sender.stats.retransmits == 0
+    assert flow.receiver.reordered_arrivals == 0
+    mbps = flow.delivered_bytes() * 8 / 10 / 1e6
+    assert 7.0 < mbps <= 10.2  # one 10 Mbps path, not two
+
+
+def test_per_packet_policy_reorders_where_hashing_does_not():
+    net = _two_path_net()
+    EpsilonMultipathPolicy(net, "s", epsilon=0.0, destinations=["d"]).install()
+    flow = BulkTransfer(net, "sack", "s", "d", flow_id=1)
+    net.run(until=10.0)
+    assert flow.receiver.reordered_arrivals > 0
+
+
+# ----------------------------------------------------------------------
+# TraceDelay
+# ----------------------------------------------------------------------
+def test_trace_delay_cycles():
+    model = TraceDelay([0.01, 0.02, 0.03])
+    packet = Packet("data", "a", "b", flow_id=1)
+    observed = [model.delay_for(packet) for _ in range(7)]
+    assert observed == [0.01, 0.02, 0.03, 0.01, 0.02, 0.03, 0.01]
+
+
+def test_trace_delay_validates():
+    with pytest.raises(ValueError):
+        TraceDelay([])
+    with pytest.raises(ValueError):
+        TraceDelay([0.01, -0.5])
+
+
+def test_trace_delay_reorders_when_trace_says_so():
+    net = Network(seed=0)
+    net.add_nodes("a", "b")
+    # Every 4th packet is delayed an extra 50 ms: guaranteed reordering.
+    trace = TraceDelay([0.01, 0.01, 0.01, 0.06])
+    net.add_link("a", "b", bandwidth=1e8, delay=0.01, queue=1000,
+                 delay_model=trace)
+    install_static_routes(net)
+    arrivals = []
+
+    class Sink:
+        def receive(self, packet):
+            arrivals.append(packet.seq)
+
+    net.node("b").agents[1] = Sink()
+
+    def burst():
+        for i in range(100):
+            net.node("a").send(Packet("data", "a", "b", flow_id=1, seq=i))
+
+    net.sim.schedule(0.0, burst)
+    net.run(until=2.0)
+    assert len(arrivals) == 100
+    assert reordering_ratio(arrivals) > 0.1

@@ -1,0 +1,149 @@
+"""Unit tests for link timing, queueing, and drop accounting."""
+
+import pytest
+
+from repro.net.lossgen import BernoulliLoss, DeterministicLoss
+from repro.net.network import Network
+from repro.net.packet import Packet
+from repro.sim.errors import SimulationError
+
+
+class Sink:
+    def __init__(self):
+        self.arrivals = []
+
+    def receive(self, packet):
+        self.arrivals.append(packet)
+
+
+def _two_node_net(bandwidth=1e6, delay=0.1, queue=10, loss_model=None):
+    net = Network(seed=0)
+    net.add_nodes("a", "b")
+    link = net.add_link("a", "b", bandwidth=bandwidth, delay=delay,
+                        queue=queue, loss_model=loss_model)
+    sink = Sink()
+    net.node("b").agents[1] = sink
+    return net, link, sink
+
+
+def test_serialization_plus_propagation_delay():
+    # 1000 B at 1 Mbps = 8 ms serialization; +100 ms propagation.
+    net, link, sink = _two_node_net()
+    times = []
+    original = sink.receive
+    sink.receive = lambda p: times.append(net.sim.now) or original(p)
+    packet = Packet("data", "a", "b", flow_id=1, seq=0)
+    net.sim.schedule(0.0, lambda: link.enqueue(packet))
+    net.run(until=1.0)
+    assert times == [pytest.approx(0.108)]
+
+
+def test_back_to_back_packets_are_serialized():
+    net, link, sink = _two_node_net()
+    times = []
+    original = sink.receive
+    sink.receive = lambda p: times.append(net.sim.now) or original(p)
+
+    def send_two():
+        link.enqueue(Packet("data", "a", "b", flow_id=1, seq=0))
+        link.enqueue(Packet("data", "a", "b", flow_id=1, seq=1))
+
+    net.sim.schedule(0.0, send_two)
+    net.run(until=1.0)
+    assert times[0] == pytest.approx(0.108)
+    assert times[1] == pytest.approx(0.116)  # one extra serialization time
+
+
+def test_fifo_delivery_order():
+    net, link, sink = _two_node_net()
+
+    def send_many():
+        for i in range(8):
+            link.enqueue(Packet("data", "a", "b", flow_id=1, seq=i))
+
+    net.sim.schedule(0.0, send_many)
+    net.run(until=2.0)
+    assert [p.seq for p in sink.arrivals] == list(range(8))
+
+
+def test_queue_overflow_drops_tail():
+    # Queue of 2 plus 1 in transmission = 3 accepted out of 5.
+    net, link, sink = _two_node_net(queue=2)
+
+    def send_many():
+        for i in range(5):
+            link.enqueue(Packet("data", "a", "b", flow_id=1, seq=i))
+
+    net.sim.schedule(0.0, send_many)
+    net.run(until=2.0)
+    assert [p.seq for p in sink.arrivals] == [0, 1, 2]
+    assert link.queue.drops == 2
+    assert link.total_drops == 2
+
+
+def test_loss_model_drops_before_queueing():
+    model = DeterministicLoss([1])
+    net, link, sink = _two_node_net(loss_model=model)
+
+    def send_many():
+        for i in range(3):
+            link.enqueue(Packet("data", "a", "b", flow_id=1, seq=i))
+
+    net.sim.schedule(0.0, send_many)
+    net.run(until=2.0)
+    assert [p.seq for p in sink.arrivals] == [0, 2]
+    assert link.loss_model_drops == 1
+    assert link.queue.drops == 0
+
+
+def test_drop_listener_notified():
+    net, link, sink = _two_node_net(queue=1)
+    dropped = []
+    link.drop_listeners.append(lambda lk, p: dropped.append(p.seq))
+
+    def send_many():
+        for i in range(4):
+            link.enqueue(Packet("data", "a", "b", flow_id=1, seq=i))
+
+    net.sim.schedule(0.0, send_many)
+    net.run(until=2.0)
+    assert dropped == [2, 3]
+
+
+def test_stats_counters():
+    net, link, sink = _two_node_net()
+
+    def send_two():
+        link.enqueue(Packet("data", "a", "b", flow_id=1, seq=0))
+        link.enqueue(Packet("data", "a", "b", flow_id=1, seq=1))
+
+    net.sim.schedule(0.0, send_two)
+    net.run(until=2.0)
+    assert link.tx_packets == 2
+    assert link.tx_bytes == 2000
+    assert link.arrived_packets == 2
+
+
+def test_invalid_parameters_rejected():
+    net = Network()
+    net.add_nodes("a", "b")
+    with pytest.raises(ValueError):
+        net.add_link("a", "b", bandwidth=0, delay=0.1)
+    with pytest.raises(ValueError):
+        net.add_link("a", "b", bandwidth=1e6, delay=-1)
+
+
+def test_hop_counter_increments():
+    net, link, sink = _two_node_net()
+    packet = Packet("data", "a", "b", flow_id=1, seq=0)
+    net.sim.schedule(0.0, lambda: link.enqueue(packet))
+    net.run(until=1.0)
+    assert sink.arrivals[0].hops == 1
+
+
+def test_duplicate_link_rejected():
+    net = Network()
+    net.add_nodes("a", "b")
+    net.add_link("a", "b", bandwidth=1e6, delay=0.1)
+    with pytest.raises(SimulationError):
+        net.add_link("a", "b", bandwidth=1e6, delay=0.1)

@@ -1,0 +1,79 @@
+"""Property-based tests of the link substrate's core invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.net.network import Network
+from repro.net.packet import Packet
+
+
+@given(
+    sizes=st.lists(st.integers(min_value=40, max_value=1500), min_size=1,
+                   max_size=40),
+    gaps_ms=st.lists(st.floats(min_value=0.0, max_value=5.0), min_size=1,
+                     max_size=40),
+)
+@settings(max_examples=40, deadline=None)
+def test_fifo_link_never_reorders(sizes, gaps_ms):
+    """A fixed-delay link is FIFO regardless of packet sizes and send
+    times: delivery order equals send order."""
+    net = Network(seed=0)
+    net.add_nodes("a", "b")
+    link = net.add_link("a", "b", bandwidth=1e6, delay=0.01, queue=10_000)
+    arrivals = []
+
+    class Sink:
+        def receive(self, packet):
+            arrivals.append(packet.seq)
+
+    net.node("b").agents[1] = Sink()
+
+    time = 0.0
+    count = min(len(sizes), len(gaps_ms))
+    for i in range(count):
+        time += gaps_ms[i] * 1e-3
+        packet = Packet("data", "a", "b", flow_id=1, seq=i,
+                        size_bytes=sizes[i])
+        net.sim.schedule(time, (lambda p: lambda: link.enqueue(p))(packet))
+    net.run(until=time + 10.0)
+    assert arrivals == list(range(count))
+
+
+@given(
+    count=st.integers(min_value=1, max_value=60),
+    capacity=st.integers(min_value=1, max_value=30),
+)
+@settings(max_examples=40, deadline=None)
+def test_conservation_delivered_plus_dropped(count, capacity):
+    """Every packet offered to a link is either delivered or dropped."""
+    net = Network(seed=0)
+    net.add_nodes("a", "b")
+    link = net.add_link("a", "b", bandwidth=1e6, delay=0.01, queue=capacity)
+    delivered = []
+
+    class Sink:
+        def receive(self, packet):
+            delivered.append(packet.uid)
+
+    net.node("b").agents[1] = Sink()
+
+    def burst():
+        for i in range(count):
+            link.enqueue(Packet("data", "a", "b", flow_id=1, seq=i))
+
+    net.sim.schedule(0.0, burst)
+    net.run(until=60.0)
+    assert len(delivered) + link.total_drops == count
+    assert len(delivered) == len(set(delivered))  # no duplication
+    # A burst can occupy the transmitter plus the queue.
+    assert len(delivered) == min(count, capacity + 1)
+
+
+@given(bandwidth=st.floats(min_value=1e4, max_value=1e9),
+       size=st.integers(min_value=40, max_value=9000))
+@settings(max_examples=50, deadline=None)
+def test_serialization_time_formula(bandwidth, size):
+    net = Network(seed=0)
+    net.add_nodes("a", "b")
+    link = net.add_link("a", "b", bandwidth=bandwidth, delay=0.0)
+    packet = Packet("data", "a", "b", flow_id=1, size_bytes=size)
+    assert link.transmission_time(packet) == size * 8.0 / bandwidth

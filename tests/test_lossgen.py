@@ -1,0 +1,43 @@
+"""Unit tests for artificial loss models."""
+
+import random
+
+import pytest
+
+from repro.net.lossgen import BernoulliLoss, DeterministicLoss, NoLoss
+from repro.net.packet import Packet
+
+
+def _packet():
+    return Packet("data", "a", "b", flow_id=1)
+
+
+def test_no_loss_never_drops():
+    model = NoLoss()
+    assert not any(model.should_drop(_packet()) for _ in range(100))
+
+
+def test_bernoulli_zero_and_one():
+    never = BernoulliLoss(0.0, random.Random(1))
+    always = BernoulliLoss(1.0, random.Random(1))
+    assert not any(never.should_drop(_packet()) for _ in range(50))
+    assert all(always.should_drop(_packet()) for _ in range(50))
+
+
+def test_bernoulli_rate_approximation():
+    model = BernoulliLoss(0.3, random.Random(7))
+    drops = sum(model.should_drop(_packet()) for _ in range(10_000))
+    assert 0.27 < drops / 10_000 < 0.33
+
+
+def test_bernoulli_rejects_bad_rate():
+    with pytest.raises(ValueError):
+        BernoulliLoss(1.5, random.Random(1))
+    with pytest.raises(ValueError):
+        BernoulliLoss(-0.1, random.Random(1))
+
+
+def test_deterministic_drops_exact_ordinals():
+    model = DeterministicLoss([0, 2, 5])
+    results = [model.should_drop(_packet()) for _ in range(7)]
+    assert results == [True, False, True, False, False, True, False]

@@ -1,0 +1,111 @@
+"""Behavioural tests for NewReno partial-ACK handling and SACK recovery."""
+
+from repro.net.lossgen import DeterministicLoss
+from repro.tcp.base import TcpConfig
+
+from conftest import make_flow
+
+
+def _multi_loss_flow(variant, ordinals=(30, 32, 34), **kwargs):
+    """Drop several packets from (roughly) the same window."""
+    return make_flow(variant, data_loss=DeterministicLoss(list(ordinals)), **kwargs)
+
+
+# ----------------------------------------------------------------------
+# NewReno
+# ----------------------------------------------------------------------
+def test_newreno_survives_multiple_losses_without_timeout():
+    flow = _multi_loss_flow("newreno")
+    flow.run(until=10.0)
+    stats = flow.sender.stats
+    assert stats.timeouts == 0
+    assert stats.fast_retransmits >= 1
+    assert stats.retransmits == 3
+    assert flow.delivered > 500
+
+
+def test_newreno_single_window_cut_for_loss_burst():
+    flow = _multi_loss_flow("newreno")
+    flow.run(until=10.0)
+    # One recovery episode handles the whole burst.
+    assert flow.sender.stats.recoveries_entered == 1
+
+
+def test_newreno_beats_reno_on_multi_loss():
+    newreno = _multi_loss_flow("newreno")
+    newreno.run(until=10.0)
+    reno = _multi_loss_flow("reno")
+    reno.run(until=10.0)
+    assert newreno.delivered >= reno.delivered
+    assert newreno.sender.stats.timeouts <= reno.sender.stats.timeouts
+
+
+def test_newreno_completes_capped_transfer_with_loss():
+    flow = make_flow(
+        "newreno",
+        data_loss=DeterministicLoss([10, 11]),
+        tcp_config=TcpConfig(total_segments=200),
+    )
+    flow.run(until=30.0)
+    assert flow.delivered == 200
+    assert flow.sender.done
+
+
+# ----------------------------------------------------------------------
+# SACK
+# ----------------------------------------------------------------------
+def test_sack_retransmits_only_missing_segments():
+    flow = _multi_loss_flow("sack", ordinals=(30, 32, 34, 36))
+    flow.run(until=10.0)
+    stats = flow.sender.stats
+    assert stats.timeouts == 0
+    # Exactly the four lost segments are retransmitted, nothing else.
+    assert stats.retransmits == 4
+    assert flow.receiver.duplicates == 0
+
+
+def test_sack_single_recovery_for_burst():
+    flow = _multi_loss_flow("sack", ordinals=(30, 31, 32, 33, 34))
+    flow.run(until=10.0)
+    assert flow.sender.stats.recoveries_entered == 1
+    assert flow.sender.stats.timeouts == 0
+
+
+def test_sack_scoreboard_clears_after_recovery():
+    flow = _multi_loss_flow("sack")
+    flow.run(until=10.0)
+    assert flow.sender.scoreboard.sacked_count() == 0
+    assert not flow.sender.in_recovery
+
+
+def test_sack_heavy_loss_recovers_without_timeout():
+    # Lose a 20-segment consecutive stretch: the scoreboard retransmits
+    # exactly the stretch within one recovery, no RTO needed.
+    flow = make_flow("sack", data_loss=DeterministicLoss(range(40, 60)))
+    flow.run(until=20.0)
+    assert flow.delivered > 1000
+    assert flow.sender.stats.timeouts == 0
+    assert flow.sender.stats.retransmits == 20
+    assert not flow.sender.in_recovery
+
+
+def test_sack_outperforms_newreno_under_many_losses():
+    ordinals = tuple(range(50, 62))  # 12 losses in one window region
+    sack = make_flow("sack", data_loss=DeterministicLoss(ordinals))
+    sack.run(until=15.0)
+    newreno = make_flow("newreno", data_loss=DeterministicLoss(ordinals))
+    newreno.run(until=15.0)
+    assert sack.delivered >= newreno.delivered
+
+
+def test_sack_no_loss_equals_newreno_throughput():
+    # With a finite initial ssthresh there is no overshoot loss burst, so
+    # the two variants behave identically.
+    config = TcpConfig(initial_ssthresh=16)
+    sack = make_flow("sack", tcp_config=config)
+    sack.run(until=5.0)
+    newreno = make_flow("newreno", tcp_config=TcpConfig(initial_ssthresh=16))
+    newreno.run(until=5.0)
+    assert sack.sender.stats.retransmits == 0
+    assert newreno.sender.stats.retransmits == 0
+    assert abs(sack.delivered - newreno.delivered) <= 2

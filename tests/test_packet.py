@@ -1,0 +1,57 @@
+"""Unit tests for the packet model."""
+
+import pytest
+
+from repro.net.packet import ACK_SIZE_BYTES, DATA_SIZE_BYTES, Packet
+
+
+def test_uids_are_unique_and_increasing():
+    a = Packet("data", "x", "y", flow_id=1, seq=0)
+    b = Packet("data", "x", "y", flow_id=1, seq=1)
+    assert b.uid > a.uid
+
+
+def test_default_sizes():
+    data = Packet("data", "x", "y", flow_id=1, seq=0)
+    ack = Packet("ack", "y", "x", flow_id=1, ack=1)
+    assert data.size_bytes == DATA_SIZE_BYTES
+    assert ack.size_bytes == ACK_SIZE_BYTES
+
+
+def test_explicit_size_respected():
+    packet = Packet("data", "x", "y", flow_id=1, seq=0, size_bytes=576)
+    assert packet.size_bytes == 576
+
+
+def test_kind_predicates():
+    data = Packet("data", "x", "y", flow_id=1, seq=0)
+    ack = Packet("ack", "y", "x", flow_id=1, ack=3)
+    assert data.is_data and not data.is_ack
+    assert ack.is_ack and not ack.is_data
+
+
+def test_invalid_kind_rejected():
+    with pytest.raises(ValueError):
+        Packet("syn", "x", "y", flow_id=1)
+
+
+def test_sack_blocks_are_copied():
+    blocks = [(5, 7)]
+    packet = Packet("ack", "y", "x", flow_id=1, ack=2, sack_blocks=blocks)
+    blocks.append((9, 10))
+    assert packet.sack_blocks == [(5, 7)]
+
+
+def test_options_default_to_none():
+    packet = Packet("data", "x", "y", flow_id=1, seq=0)
+    assert packet.sack_blocks is None
+    assert packet.dsack is None
+    assert packet.ts_val is None
+    assert packet.ts_echo is None
+    assert packet.route is None
+
+
+def test_repr_mentions_direction():
+    packet = Packet("data", "a", "b", flow_id=9, seq=4)
+    assert "a->b" in repr(packet)
+    assert "seq=4" in repr(packet)

@@ -1,0 +1,126 @@
+"""Unit tests for DropTail and RED queues."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.packet import Packet
+from repro.net.queues import (
+    DropTailQueue,
+    REDQueue,
+    bandwidth_delay_product_packets,
+    queue_from_spec,
+)
+
+
+def _packet(seq=0):
+    return Packet("data", "a", "b", flow_id=1, seq=seq)
+
+
+def test_droptail_accepts_until_capacity():
+    queue = DropTailQueue(3)
+    assert all(queue.push(_packet(i)) for i in range(3))
+    assert not queue.push(_packet(3))
+    assert queue.drops == 1
+    assert queue.enqueued == 3
+    assert len(queue) == 3
+
+
+def test_droptail_fifo_order():
+    queue = DropTailQueue(10)
+    for i in range(5):
+        queue.push(_packet(i))
+    popped = [queue.pop().seq for _ in range(5)]
+    assert popped == [0, 1, 2, 3, 4]
+    assert queue.pop() is None
+
+
+def test_droptail_capacity_frees_after_pop():
+    queue = DropTailQueue(1)
+    queue.push(_packet(0))
+    assert not queue.push(_packet(1))
+    queue.pop()
+    assert queue.push(_packet(2))
+
+
+def test_invalid_capacity_rejected():
+    with pytest.raises(ValueError):
+        DropTailQueue(0)
+
+
+def test_max_occupancy_tracked():
+    queue = DropTailQueue(10)
+    for i in range(4):
+        queue.push(_packet(i))
+    queue.pop()
+    queue.pop()
+    assert queue.max_occupancy == 4
+    assert queue.occupancy == 2
+
+
+@given(st.lists(st.booleans(), min_size=1, max_size=100))
+def test_property_droptail_occupancy_never_exceeds_capacity(operations):
+    queue = DropTailQueue(5)
+    for is_push in operations:
+        if is_push:
+            queue.push(_packet())
+        else:
+            queue.pop()
+        assert 0 <= len(queue) <= 5
+
+
+def test_queue_from_spec():
+    assert isinstance(queue_from_spec(7), DropTailQueue)
+    assert queue_from_spec(7).capacity == 7
+    existing = DropTailQueue(3)
+    assert queue_from_spec(existing) is existing
+    with pytest.raises(TypeError):
+        queue_from_spec("big")
+    with pytest.raises(TypeError):
+        queue_from_spec(True)
+
+
+def test_bdp_helper():
+    # 10 Mbps * 80 ms = 100 kB = 100 segments of 1000 B.
+    assert bandwidth_delay_product_packets(10e6, 0.080, 1000) == 100
+    assert bandwidth_delay_product_packets(1.0, 1e-9, 1000) == 1
+
+
+# ----------------------------------------------------------------------
+# RED
+# ----------------------------------------------------------------------
+def test_red_never_drops_when_empty_average():
+    queue = REDQueue(100, rng=random.Random(1))
+    assert queue.push(_packet())
+
+
+def test_red_hard_drop_at_capacity():
+    queue = REDQueue(4, min_thresh=1, max_thresh=2, rng=random.Random(1))
+    for i in range(20):
+        queue.push(_packet(i))
+    assert len(queue) <= 4
+    assert queue.drops > 0
+
+
+def test_red_probabilistic_drops_between_thresholds():
+    queue = REDQueue(1000, min_thresh=2, max_thresh=10, max_p=0.5,
+                     weight=1.0, rng=random.Random(3))
+    dropped = 0
+    for i in range(500):
+        if not queue.push(_packet(i)):
+            dropped += 1
+    assert dropped > 0  # early drops happened well below capacity
+    assert len(queue) < 1000
+
+
+def test_red_requires_ordered_thresholds():
+    with pytest.raises(ValueError):
+        REDQueue(10, min_thresh=5, max_thresh=5)
+
+
+def test_red_average_follows_occupancy():
+    queue = REDQueue(100, weight=0.5, rng=random.Random(1))
+    for i in range(10):
+        queue.push(_packet(i))
+    assert queue.avg > 0

@@ -1,0 +1,144 @@
+"""Tests for the variant registry and application-layer sources."""
+
+import pytest
+
+from repro.app.bulk import BulkTransfer
+from repro.app.onoff import DatagramSink, OnOffSource
+from repro.core.pr import TcpPrSender
+from repro.net.network import Network, install_static_routes
+from repro.tcp.dsack_response import DsackSender
+from repro.tcp.registry import available_variants, canonical_name, make_sender
+from repro.tcp.sack import SackSender
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+def test_available_variants_cover_figure_6():
+    variants = available_variants()
+    for name in ("tcp-pr", "tdfr", "dsack-nm", "inc-by-1", "inc-by-n", "ewma"):
+        assert name in variants
+
+
+def test_canonical_name_resolves_paper_labels():
+    assert canonical_name("TCP-PR") == "tcp-pr"
+    assert canonical_name("TD-FR") == "tdfr"
+    assert canonical_name("Inc by 1") == "inc-by-1"
+    assert canonical_name("Inc by N") == "inc-by-n"
+    assert canonical_name("TCP-SACK") == "sack"
+
+
+def test_canonical_name_rejects_unknown():
+    with pytest.raises(ValueError):
+        canonical_name("tcp-vegas")
+
+
+def _simple_net():
+    net = Network(seed=0)
+    net.add_nodes("a", "b")
+    net.add_duplex_link("a", "b", bandwidth=1e6, delay=0.01)
+    install_static_routes(net)
+    return net
+
+
+def test_make_sender_builds_each_variant():
+    for i, name in enumerate(available_variants()):
+        net = _simple_net()
+        sender = make_sender(name, net.sim, net.node("a"), 1, "b")
+        assert sender.variant in (name, "dsack")
+
+
+def test_make_sender_tcp_pr_type():
+    net = _simple_net()
+    sender = make_sender("tcp-pr", net.sim, net.node("a"), 1, "b")
+    assert isinstance(sender, TcpPrSender)
+
+
+def test_make_sender_policy_wiring():
+    net = _simple_net()
+    sender = make_sender("ewma", net.sim, net.node("a"), 1, "b")
+    assert isinstance(sender, DsackSender)
+    assert sender.policy.name == "ewma"
+
+
+# ----------------------------------------------------------------------
+# BulkTransfer
+# ----------------------------------------------------------------------
+def test_bulk_transfer_wires_flow():
+    net = _simple_net()
+    flow = BulkTransfer(net, "sack", "a", "b", flow_id=1)
+    assert isinstance(flow.sender, SackSender)
+    net.run(until=5.0)
+    assert flow.delivered_segments > 100
+    assert flow.delivered_bytes() == flow.delivered_segments * 1000
+    assert flow.throughput_bps(5.0) == pytest.approx(
+        flow.delivered_bytes() * 8 / 5.0
+    )
+
+
+def test_bulk_transfer_start_delay():
+    net = _simple_net()
+    flow = BulkTransfer(net, "sack", "a", "b", flow_id=1, start_at=2.0)
+    net.run(until=1.9)
+    assert flow.delivered_segments == 0
+    net.run(until=4.0)
+    assert flow.delivered_segments > 0
+
+
+def test_bulk_transfer_validates_interval():
+    net = _simple_net()
+    flow = BulkTransfer(net, "sack", "a", "b", flow_id=1)
+    with pytest.raises(ValueError):
+        flow.throughput_bps(0.0)
+
+
+# ----------------------------------------------------------------------
+# OnOffSource
+# ----------------------------------------------------------------------
+def test_cbr_rate_accuracy():
+    net = _simple_net()
+    source = OnOffSource(
+        net.sim, net.node("a"), 7, "b", rate_bps=400_000, mean_off=0.0
+    )
+    sink = DatagramSink(net.sim, net.node("b"), 7)
+    source.start(0.0)
+    net.run(until=10.0)
+    expected = 400_000 * 10 / 8000  # packets
+    assert sink.packets_received == pytest.approx(expected, rel=0.05)
+
+
+def test_onoff_produces_less_than_cbr():
+    net = _simple_net()
+    source = OnOffSource(
+        net.sim, net.node("a"), 7, "b",
+        rate_bps=400_000, mean_on=0.2, mean_off=0.2,
+    )
+    sink = DatagramSink(net.sim, net.node("b"), 7)
+    source.start(0.0)
+    net.run(until=10.0)
+    full_rate = 400_000 * 10 / 8000
+    assert 0 < sink.packets_received < 0.8 * full_rate
+
+
+def test_onoff_validates_rate():
+    net = _simple_net()
+    with pytest.raises(ValueError):
+        OnOffSource(net.sim, net.node("a"), 7, "b", rate_bps=0)
+
+
+def test_onoff_validates_periods():
+    net = _simple_net()
+    with pytest.raises(ValueError):
+        OnOffSource(net.sim, net.node("a"), 7, "b", rate_bps=1e5, mean_on=0.0)
+    with pytest.raises(ValueError):
+        OnOffSource(net.sim, net.node("a"), 8, "b", rate_bps=1e5, mean_off=-1.0)
+
+
+def test_onoff_start_idempotent():
+    net = _simple_net()
+    source = OnOffSource(net.sim, net.node("a"), 7, "b", rate_bps=100_000)
+    DatagramSink(net.sim, net.node("b"), 7)
+    source.start(0.0)
+    source.start(0.0)
+    net.run(until=1.0)
+    assert source.packets_sent > 0

@@ -1,0 +1,67 @@
+"""Tests for the textual reporting helpers."""
+
+import pytest
+
+from repro.experiments.report import (
+    ascii_bar,
+    bar_chart,
+    comparison_summary,
+    markdown_table,
+    table,
+)
+
+
+def test_ascii_bar_proportions():
+    assert ascii_bar(5.0, 10.0, width=10) == "#####"
+    assert ascii_bar(10.0, 10.0, width=10) == "##########"
+    assert ascii_bar(0.0, 10.0, width=10) == ""
+
+
+def test_ascii_bar_clamps():
+    assert ascii_bar(20.0, 10.0, width=10) == "##########"
+    assert ascii_bar(-1.0, 10.0, width=10) == ""
+    assert ascii_bar(1.0, 0.0) == ""
+
+
+def test_bar_chart_renders_all_rows():
+    chart = bar_chart({"tcp-pr": 30.0, "sack": 1.0}, width=10)
+    lines = chart.splitlines()
+    assert len(lines) == 2
+    assert "tcp-pr" in lines[0]
+    assert lines[0].count("#") == 10
+    assert lines[1].count("#") <= 1
+
+
+def test_bar_chart_empty():
+    assert bar_chart({}) == "(no data)"
+
+
+def test_table_alignment_and_floats():
+    text = table(["name", "value"], [["a", 1.23456], ["long-name", 2]])
+    lines = text.splitlines()
+    assert len(lines) == 4  # header, rule, two rows
+    assert "1.235" in text
+    assert "long-name" in text
+
+
+def test_markdown_table():
+    text = markdown_table(["x", "y"], [[1, 2.5]])
+    lines = text.splitlines()
+    assert lines[0] == "| x | y |"
+    assert lines[1].startswith("|")
+    assert "2.500" in lines[2]
+
+
+def test_comparison_summary():
+    text = comparison_summary({"tcp-pr": 30.0, "sack": 3.0}, reference="sack")
+    assert "10.00x" in text
+
+
+def test_comparison_summary_zero_reference():
+    text = comparison_summary({"a": 5.0, "b": 0.0}, reference="b")
+    assert "reference is 0" in text
+
+
+def test_comparison_summary_missing_reference():
+    with pytest.raises(ValueError):
+        comparison_summary({"a": 1.0}, reference="zzz")

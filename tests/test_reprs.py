@@ -1,0 +1,70 @@
+"""Smoke tests for __repr__ output (part of the debugging API)."""
+
+from repro.core.estimator import MaxRttEstimator
+from repro.core.pr import TcpPrSender
+from repro.net.network import Network, install_static_routes
+from repro.net.packet import Packet
+from repro.net.queues import REDQueue
+from repro.sim import Simulator
+from repro.tcp.receiver import TcpReceiver
+from repro.tcp.rto import RtoEstimator
+from repro.tcp.sack import SackSender
+from repro.tcp.scoreboard import Scoreboard
+
+
+def test_simulator_repr():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    text = repr(sim)
+    assert "pending=1" in text
+
+
+def test_event_handle_repr():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None, label="probe")
+    assert "probe" in repr(handle)
+    assert "pending" in repr(handle)
+    handle.cancel()
+    assert "cancelled" in repr(handle)
+
+
+def test_network_and_node_reprs():
+    net = Network()
+    net.add_nodes("a", "b")
+    net.add_duplex_link("a", "b", bandwidth=1e6, delay=0.01)
+    assert "nodes=2" in repr(net)
+    assert "a->b" in repr(net.link("a", "b"))
+    assert "'b'" in repr(net.node("a"))
+
+
+def test_red_queue_repr():
+    queue = REDQueue(100)
+    assert "REDQueue" in repr(queue)
+
+
+def test_estimator_reprs():
+    est = MaxRttEstimator()
+    assert "ewrtt=None" in repr(est)
+    est.observe(0.1, 2.0)
+    assert "0.1000" in repr(est)
+    rto = RtoEstimator()
+    assert "srtt=None" in repr(rto)
+
+
+def test_scoreboard_repr():
+    sb = Scoreboard()
+    sb.record_blocks([(1, 3)], 0)
+    assert "sacked=2" in repr(sb)
+
+
+def test_sender_receiver_reprs():
+    net = Network()
+    net.add_nodes("a", "b")
+    net.add_duplex_link("a", "b", bandwidth=1e6, delay=0.01)
+    install_static_routes(net)
+    sender = SackSender(net.sim, net.node("a"), 1, "b")
+    receiver = TcpReceiver(net.sim, net.node("b"), 1, "a")
+    pr = TcpPrSender(net.sim, net.node("a"), 2, "b")
+    assert "OPEN" in repr(sender)
+    assert "rcv_nxt=0" in repr(receiver)
+    assert "mode=slow-start" in repr(pr)

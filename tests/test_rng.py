@@ -1,0 +1,46 @@
+"""Unit tests for the per-component RNG registry."""
+
+from repro.sim.rng import RngRegistry
+
+
+def test_same_name_returns_same_stream():
+    registry = RngRegistry(7)
+    assert registry.stream("a") is registry.stream("a")
+
+
+def test_determinism_across_registries():
+    first = RngRegistry(42).stream("link:1")
+    second = RngRegistry(42).stream("link:1")
+    assert [first.random() for _ in range(10)] == [
+        second.random() for _ in range(10)
+    ]
+
+
+def test_different_names_give_independent_streams():
+    registry = RngRegistry(42)
+    a = [registry.stream("a").random() for _ in range(5)]
+    b = [registry.stream("b").random() for _ in range(5)]
+    assert a != b
+
+
+def test_different_seeds_give_different_streams():
+    a = RngRegistry(1).stream("x").random()
+    b = RngRegistry(2).stream("x").random()
+    assert a != b
+
+
+def test_adding_component_does_not_perturb_existing_stream():
+    solo = RngRegistry(5)
+    values_solo = [solo.stream("flow").random() for _ in range(5)]
+
+    mixed = RngRegistry(5)
+    mixed.stream("other")  # created first
+    values_mixed = [mixed.stream("flow").random() for _ in range(5)]
+    assert values_solo == values_mixed
+
+
+def test_names_listing():
+    registry = RngRegistry(0)
+    registry.stream("b")
+    registry.stream("a")
+    assert registry.names() == ["a", "b"]

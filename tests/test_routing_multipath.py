@@ -1,0 +1,184 @@
+"""Unit tests for the ε-multipath routing family."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.network import Network, install_static_routes
+from repro.net.packet import Packet
+from repro.routing.multipath import (
+    EpsilonMultipathPolicy,
+    PathSet,
+    discover_paths,
+    epsilon_weights,
+)
+from repro.sim.errors import SimulationError
+
+
+def _mesh(num_paths=3):
+    """Disjoint paths with 1, 2, 3 intermediate hops."""
+    net = Network(seed=5)
+    net.add_nodes("s", "d")
+    for k in range(num_paths):
+        mids = [f"p{k}m{i}" for i in range(k + 1)]
+        for m in mids:
+            net.add_node(m)
+        chain = ["s", *mids, "d"]
+        for u, v in zip(chain, chain[1:]):
+            net.add_duplex_link(u, v, bandwidth=1e7, delay=0.01, queue=500)
+    install_static_routes(net)
+    return net
+
+
+# ----------------------------------------------------------------------
+# PathSet / discovery
+# ----------------------------------------------------------------------
+def test_pathset_sorted_by_cost():
+    ps = PathSet([["s", "b", "d"], ["s", "d"]], [0.03, 0.01])
+    assert ps.paths[0] == ("s", "d")
+    assert ps.costs == [0.01, 0.03]
+    assert ps.min_cost == 0.01
+    assert len(ps) == 2
+
+
+def test_pathset_validates_inputs():
+    with pytest.raises(ValueError):
+        PathSet([], [])
+    with pytest.raises(ValueError):
+        PathSet([["a"]], [1.0, 2.0])
+
+
+def test_discover_paths_finds_all_disjoint():
+    net = _mesh(3)
+    ps = discover_paths(net, "s", "d")
+    assert len(ps) == 3
+    assert ps.costs == pytest.approx([0.02, 0.03, 0.04])
+    # Paths are node-disjoint in their interiors.
+    interiors = [set(p[1:-1]) for p in ps.paths]
+    for i in range(len(interiors)):
+        for j in range(i + 1, len(interiors)):
+            assert not interiors[i] & interiors[j]
+
+
+def test_discover_paths_max_paths_cap():
+    net = _mesh(3)
+    ps = discover_paths(net, "s", "d", max_paths=2)
+    assert len(ps) == 2
+    assert ps.costs == pytest.approx([0.02, 0.03])
+
+
+def test_discover_paths_no_route_raises():
+    net = Network()
+    net.add_nodes("s", "d")
+    with pytest.raises(SimulationError):
+        discover_paths(net, "s", "d")
+
+
+# ----------------------------------------------------------------------
+# epsilon weights
+# ----------------------------------------------------------------------
+def test_epsilon_zero_is_uniform():
+    weights = epsilon_weights([1.0, 2.0, 3.0], 0.0)
+    assert weights == pytest.approx([1 / 3, 1 / 3, 1 / 3])
+
+
+def test_large_epsilon_concentrates_on_shortest():
+    weights = epsilon_weights([1.0, 2.0, 3.0], 500.0)
+    assert weights[0] == pytest.approx(1.0)
+    assert weights[1] == pytest.approx(0.0, abs=1e-12)
+
+
+def test_intermediate_epsilon_monotone_in_cost():
+    weights = epsilon_weights([1.0, 2.0, 3.0], 2.0)
+    assert weights[0] > weights[1] > weights[2] > 0
+
+
+def test_negative_epsilon_rejected():
+    with pytest.raises(ValueError):
+        epsilon_weights([1.0], -1.0)
+
+
+@given(
+    st.lists(st.floats(min_value=0.01, max_value=10.0), min_size=1, max_size=8),
+    st.floats(min_value=0.0, max_value=100.0),
+)
+def test_property_weights_form_distribution(costs, epsilon):
+    weights = epsilon_weights(costs, epsilon)
+    assert len(weights) == len(costs)
+    assert all(w >= 0 for w in weights)
+    assert math.isclose(sum(weights), 1.0, rel_tol=1e-9)
+
+
+@given(st.floats(min_value=0.0, max_value=50.0), st.floats(min_value=0.0, max_value=50.0))
+def test_property_higher_epsilon_never_favors_longer_path(eps_low, eps_high):
+    if eps_low > eps_high:
+        eps_low, eps_high = eps_high, eps_low
+    costs = [1.0, 1.5, 2.5]
+    low = epsilon_weights(costs, eps_low)
+    high = epsilon_weights(costs, eps_high)
+    # Raising epsilon shifts mass toward the shortest path.
+    assert high[0] >= low[0] - 1e-12
+
+
+# ----------------------------------------------------------------------
+# policy behaviour
+# ----------------------------------------------------------------------
+def test_policy_stamps_source_routes():
+    net = _mesh(2)
+    policy = EpsilonMultipathPolicy(net, "s", epsilon=0.0, destinations=["d"])
+    packet = Packet("data", "s", "d", flow_id=1)
+    route = policy.choose_route(packet)
+    assert route is not None
+    assert route[0] == "s" and route[-1] == "d"
+
+
+def test_policy_ignores_unknown_destination():
+    net = _mesh(2)
+    policy = EpsilonMultipathPolicy(net, "s", epsilon=0.0, destinations=["d"])
+    packet = Packet("data", "s", "elsewhere", flow_id=1)
+    assert policy.choose_route(packet) is None
+
+
+def test_policy_usage_matches_weights():
+    net = _mesh(2)
+    policy = EpsilonMultipathPolicy(net, "s", epsilon=0.0, destinations=["d"])
+    for i in range(2000):
+        policy.choose_route(Packet("data", "s", "d", flow_id=1, seq=i))
+    counts = policy.path_counts["d"]
+    assert sum(counts) == 2000
+    assert abs(counts[0] - counts[1]) < 200  # ~uniform at eps=0
+
+
+def test_policy_install_attaches_to_node():
+    net = _mesh(2)
+    policy = EpsilonMultipathPolicy(net, "s", epsilon=1.0, destinations=["d"]).install()
+    assert net.node("s").path_policy is policy
+
+
+def test_policy_weights_exposed():
+    net = _mesh(3)
+    policy = EpsilonMultipathPolicy(net, "s", epsilon=500.0, destinations=["d"])
+    weights = policy.weights_for("d")
+    assert weights[0] == pytest.approx(1.0)
+
+
+def test_end_to_end_reordering_happens():
+    net = _mesh(2)
+    EpsilonMultipathPolicy(net, "s", epsilon=0.0, destinations=["d"]).install()
+    arrivals = []
+
+    class Sink:
+        def receive(self, packet):
+            arrivals.append(packet.seq)
+
+    net.node("d").agents[1] = Sink()
+
+    def burst():
+        for i in range(200):
+            net.node("s").send(Packet("data", "s", "d", flow_id=1, seq=i))
+
+    net.sim.schedule(0.0, burst)
+    net.run(until=5.0)
+    assert len(arrivals) == 200
+    assert arrivals != sorted(arrivals), "multipath at eps=0 must reorder"

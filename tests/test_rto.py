@@ -1,0 +1,93 @@
+"""Unit tests for the RFC 2988 RTO estimator."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tcp.rto import RtoEstimator
+
+
+def test_initial_rto_used_before_samples():
+    est = RtoEstimator(initial_rto=3.0)
+    assert est.srtt is None
+    assert est.rto == 3.0
+
+
+def test_first_sample_initializes_per_rfc():
+    est = RtoEstimator()
+    est.on_sample(0.1)
+    assert est.srtt == pytest.approx(0.1)
+    assert est.rttvar == pytest.approx(0.05)
+    # RTO = srtt + 4*rttvar = 0.3, clamped up to min_rto 1.0.
+    assert est.rto == pytest.approx(1.0)
+
+
+def test_smoothing_follows_rfc_gains():
+    est = RtoEstimator(min_rto=0.01)
+    est.on_sample(0.1)
+    est.on_sample(0.2)
+    # rttvar = 3/4*0.05 + 1/4*|0.1-0.2| = 0.0625
+    # srtt = 7/8*0.1 + 1/8*0.2 = 0.1125
+    assert est.rttvar == pytest.approx(0.0625)
+    assert est.srtt == pytest.approx(0.1125)
+    assert est.rto == pytest.approx(0.1125 + 4 * 0.0625)
+
+
+def test_min_rto_floor():
+    est = RtoEstimator(min_rto=1.0)
+    for _ in range(20):
+        est.on_sample(0.01)
+    assert est.rto == 1.0
+
+
+def test_backoff_doubles_and_caps():
+    est = RtoEstimator(min_rto=1.0, max_rto=8.0)
+    est.on_sample(0.1)
+    assert est.rto == 1.0
+    est.on_timeout()
+    assert est.rto == 2.0
+    est.on_timeout()
+    assert est.rto == 4.0
+    est.on_timeout()
+    assert est.rto == 8.0
+    est.on_timeout()
+    assert est.rto == 8.0  # capped
+
+
+def test_sample_resets_backoff():
+    est = RtoEstimator()
+    est.on_sample(0.1)
+    est.on_timeout()
+    est.on_timeout()
+    assert est.backoff == 4
+    est.on_sample(0.1)
+    assert est.backoff == 1
+
+
+def test_reset_backoff():
+    est = RtoEstimator()
+    est.on_timeout()
+    est.reset_backoff()
+    assert est.backoff == 1
+
+
+def test_negative_sample_rejected():
+    est = RtoEstimator()
+    with pytest.raises(ValueError):
+        est.on_sample(-0.1)
+
+
+def test_invalid_bounds_rejected():
+    with pytest.raises(ValueError):
+        RtoEstimator(min_rto=0.0)
+    with pytest.raises(ValueError):
+        RtoEstimator(min_rto=2.0, max_rto=1.0)
+
+
+@given(st.lists(st.floats(min_value=1e-4, max_value=5.0), min_size=1, max_size=50))
+def test_property_rto_bounded(samples):
+    est = RtoEstimator(min_rto=0.2, max_rto=60.0)
+    for sample in samples:
+        est.on_sample(sample)
+        assert 0.2 <= est.rto <= 60.0
+        assert est.srtt is not None
+        assert min(samples) * 0.5 <= est.srtt <= max(samples) * 1.5

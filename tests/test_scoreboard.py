@@ -1,0 +1,128 @@
+"""Unit tests for the SACK scoreboard."""
+
+from hypothesis import given, strategies as st
+
+from repro.tcp.scoreboard import Scoreboard
+
+
+def test_record_and_query():
+    sb = Scoreboard()
+    assert sb.record_blocks([(3, 5)], snd_una=0) == 2
+    assert sb.is_sacked(3) and sb.is_sacked(4)
+    assert not sb.is_sacked(5)
+    assert sb.sacked_count() == 2
+
+
+def test_record_ignores_below_snd_una():
+    sb = Scoreboard()
+    assert sb.record_blocks([(0, 5)], snd_una=3) == 2
+    assert not sb.is_sacked(2)
+    assert sb.is_sacked(3)
+
+
+def test_record_deduplicates():
+    sb = Scoreboard()
+    sb.record_blocks([(3, 5)], snd_una=0)
+    assert sb.record_blocks([(3, 5)], snd_una=0) == 0
+
+
+def test_record_none_and_empty():
+    sb = Scoreboard()
+    assert sb.record_blocks(None, 0) == 0
+    assert sb.record_blocks([], 0) == 0
+
+
+def test_advance_forgets_old_state():
+    sb = Scoreboard()
+    sb.record_blocks([(2, 6)], snd_una=0)
+    sb.mark_retransmitted(1)
+    sb.advance(4)
+    assert not sb.is_sacked(2)
+    assert sb.is_sacked(4)
+    assert not sb.was_retransmitted(1)
+
+
+def test_sacked_above():
+    sb = Scoreboard()
+    sb.record_blocks([(5, 8)], snd_una=0)
+    assert sb.sacked_above(0) == 3
+    assert sb.sacked_above(5) == 2
+    assert sb.sacked_above(7) == 0
+
+
+def test_is_lost_requires_dupthresh_above():
+    sb = Scoreboard()
+    sb.record_blocks([(5, 8)], snd_una=0)
+    assert sb.is_lost(0, dupthresh=3)
+    assert not sb.is_lost(5, dupthresh=3)  # SACKed itself
+    assert not sb.is_lost(6, dupthresh=3)  # only 1 above... sacked anyway
+    assert not sb.is_lost(8, dupthresh=3)
+    assert sb.is_lost(4, dupthresh=3)
+    assert not sb.is_lost(4, dupthresh=4)
+
+
+def test_next_lost_to_retransmit_skips_retransmitted():
+    sb = Scoreboard()
+    sb.record_blocks([(5, 9)], snd_una=0)
+    assert sb.next_lost_to_retransmit(0, 20, 3) == 0
+    sb.mark_retransmitted(0)
+    assert sb.next_lost_to_retransmit(0, 20, 3) == 1
+    # Scanning from above works too.
+    assert sb.next_lost_to_retransmit(3, 20, 3) == 3
+
+
+def test_next_lost_none_without_sacks():
+    sb = Scoreboard()
+    assert sb.next_lost_to_retransmit(0, 10, 3) is None
+
+
+def test_pipe_accounting():
+    sb = Scoreboard()
+    # Window [0, 10); SACKed 5-9 => 0..4 lost (5 sacked above each).
+    sb.record_blocks([(5, 10)], snd_una=0)
+    # pipe: segments 0-4 are lost & unretransmitted (0), 5-9 sacked (0).
+    assert sb.pipe(0, 10, dupthresh=3) == 0
+    sb.mark_retransmitted(0)
+    assert sb.pipe(0, 10, dupthresh=3) == 1
+    sb.mark_retransmitted(1)
+    assert sb.pipe(0, 10, dupthresh=3) == 2
+
+
+def test_pipe_counts_presumed_inflight():
+    sb = Scoreboard()
+    sb.record_blocks([(8, 9)], snd_una=0)  # only one sacked: nothing lost
+    # All of 0..7 presumed in flight; 8 sacked; 9 in flight.
+    assert sb.pipe(0, 10, dupthresh=3) == 9
+
+
+def test_clear_and_reset():
+    sb = Scoreboard()
+    sb.record_blocks([(1, 3)], 0)
+    sb.mark_retransmitted(0)
+    sb.clear_retransmitted()
+    assert not sb.was_retransmitted(0)
+    assert sb.is_sacked(1)
+    sb.reset()
+    assert sb.sacked_count() == 0
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 30), st.integers(1, 6)), min_size=1, max_size=20
+    )
+)
+def test_property_pipe_bounded_by_window(blocks):
+    sb = Scoreboard()
+    sack_blocks = [(start, start + length) for start, length in blocks]
+    sb.record_blocks(sack_blocks, snd_una=0)
+    window = 40
+    pipe = sb.pipe(0, window, dupthresh=3)
+    assert 0 <= pipe <= window
+
+
+@given(st.sets(st.integers(0, 40), max_size=30))
+def test_property_sacked_above_consistent(sacked):
+    sb = Scoreboard()
+    sb.record_blocks([(s, s + 1) for s in sacked], snd_una=0)
+    for probe in range(42):
+        assert sb.sacked_above(probe) == sum(1 for s in sacked if s > probe)

@@ -1,0 +1,148 @@
+"""Behavioural tests for the base sender / classic Reno."""
+
+import pytest
+
+from repro.net.lossgen import DeterministicLoss
+from repro.tcp.base import TcpConfig
+
+from conftest import make_flow
+
+
+def test_bulk_transfer_completes():
+    flow = make_flow("reno", tcp_config=TcpConfig(total_segments=50))
+    flow.run(until=10.0)
+    assert flow.delivered == 50
+    assert flow.sender.done
+
+
+def test_no_loss_means_no_retransmits():
+    flow = make_flow("reno", tcp_config=TcpConfig(total_segments=100))
+    flow.run(until=10.0)
+    assert flow.sender.stats.retransmits == 0
+    assert flow.sender.stats.timeouts == 0
+    assert flow.receiver.duplicates == 0
+
+
+def test_slow_start_doubles_window():
+    flow = make_flow("reno", bandwidth=1e8, delay=0.05)
+    # With a fat link there are no drops; after k RTTs cwnd ~ 2^k.
+    flow.run(until=0.35)  # a bit over 3 RTTs (RTT = 100 ms)
+    assert flow.sender.cwnd >= 6.0
+    assert flow.sender.stats.retransmits == 0
+
+
+def test_congestion_avoidance_above_ssthresh():
+    flow = make_flow(
+        "reno",
+        bandwidth=1e8,
+        delay=0.05,
+        tcp_config=TcpConfig(initial_ssthresh=4.0),
+    )
+    flow.run(until=0.5)
+    # Growth is ~1 segment/RTT above ssthresh=4: far below doubling.
+    assert 4.0 <= flow.sender.cwnd <= 12.0
+
+
+def test_fast_retransmit_on_single_loss():
+    # Drop the 11th data arrival once; dupacks trigger fast retransmit.
+    flow = make_flow("reno", data_loss=DeterministicLoss([10]))
+    flow.run(until=5.0)
+    assert flow.sender.stats.fast_retransmits == 1
+    assert flow.sender.stats.timeouts == 0
+    assert flow.sender.stats.retransmits == 1
+    assert flow.delivered > 100  # flow kept going
+
+
+def test_window_halves_after_fast_retransmit():
+    flow = make_flow("reno", data_loss=DeterministicLoss([30]))
+    flow.run(until=5.0)
+    stats = flow.sender.stats
+    assert stats.fast_retransmits == 1
+    assert flow.sender.ssthresh < stats.cwnd_peak
+
+
+def test_timeout_on_total_blackout():
+    """If every data packet after the 5th is lost, the sender must RTO."""
+    flow = make_flow(
+        "reno", data_loss=DeterministicLoss(range(5, 100_000))
+    )
+    flow.run(until=10.0)
+    assert flow.sender.stats.timeouts >= 2  # with exponential backoff
+    assert flow.sender.cwnd == 1.0
+    assert flow.sender.rto.backoff > 1
+
+
+def test_timeout_resets_to_slow_start():
+    # A short blackout forces RTOs; each RTO round consumes one link
+    # arrival, so the blackout must be short enough for the backoff
+    # series to traverse it within the run.
+    flow = make_flow("reno", data_loss=DeterministicLoss(range(5, 13)))
+    flow.run(until=30.0)
+    stats = flow.sender.stats
+    assert stats.timeouts >= 1
+    assert flow.delivered > 100
+
+
+def test_ack_loss_tolerated_by_cumulative_acks():
+    # Drop 30% of ACKs: cumulative ACKs cover the gaps, no collapse.
+    import random
+
+    from repro.net.lossgen import BernoulliLoss
+
+    flow = make_flow("reno", ack_loss=BernoulliLoss(0.3, random.Random(1)))
+    flow.run(until=10.0)
+    # 1 Mbps bottleneck = 125 seg/s max.
+    assert flow.delivered > 0.5 * 125 * 10
+
+
+def test_limited_transmit_sends_on_first_dupacks():
+    config = TcpConfig(limited_transmit=True)
+    flow = make_flow("reno", data_loss=DeterministicLoss([20]), tcp_config=config)
+    flow.run(until=5.0)
+    with_lt = flow.sender.stats.data_packets_sent
+
+    config = TcpConfig(limited_transmit=False)
+    flow2 = make_flow("reno", data_loss=DeterministicLoss([20]), tcp_config=config)
+    flow2.run(until=5.0)
+    assert with_lt >= flow2.sender.stats.data_packets_sent
+
+
+def test_receiver_window_caps_flight():
+    flow = make_flow(
+        "reno",
+        bandwidth=1e8,
+        delay=0.05,
+        tcp_config=TcpConfig(receiver_window=5),
+    )
+    flow.run(until=2.0)
+    assert flow.sender.flightsize() <= 5
+    assert flow.sender.stats.retransmits == 0
+
+
+def test_rtt_samples_track_path():
+    flow = make_flow("reno", bandwidth=1e6, delay=0.01)
+    flow.run(until=3.0)
+    # No-queue RTT is 28 ms (8 ms data serialization + 20 ms props);
+    # queueing can only raise it.
+    assert flow.sender.srtt is not None
+    assert flow.sender.srtt >= 0.027
+    # Karn timing: roughly one sample per RTT (and the queue stretches
+    # the RTT badly on a 1 Mbps link), so only a handful of samples.
+    assert flow.sender.stats.rtt_samples >= 3
+
+
+def test_throughput_saturates_bottleneck():
+    # A finite initial ssthresh avoids the slow-start overshoot (which
+    # classic Reno, unlike NewReno/SACK, recovers from only via RTO).
+    flow = make_flow(
+        "reno", bandwidth=2e6, delay=0.01, tcp_config=TcpConfig(initial_ssthresh=64)
+    )
+    flow.run(until=10.0)
+    capacity_segments = 2e6 / 8000 * 10
+    assert flow.delivered >= 0.85 * capacity_segments
+
+
+def test_stats_cwnd_peak_recorded():
+    flow = make_flow("reno")
+    flow.run(until=3.0)
+    assert flow.sender.stats.cwnd_peak >= flow.sender.cwnd - 1

@@ -1,0 +1,78 @@
+"""Edge cases of the retransmission timer and send-window machinery."""
+
+import pytest
+
+from repro.net.lossgen import DeterministicLoss
+from repro.tcp.base import TcpConfig
+
+from conftest import make_flow
+
+
+def test_timer_cancelled_when_everything_acked():
+    flow = make_flow("sack", tcp_config=TcpConfig(total_segments=10))
+    flow.run(until=5.0)
+    assert flow.sender.done
+    handle = flow.sender._timer_handle
+    assert handle is None or handle.cancelled
+    # No stray timeout fires afterwards.
+    timeouts_before = flow.sender.stats.timeouts
+    flow.run(until=15.0)
+    assert flow.sender.stats.timeouts == timeouts_before
+
+
+def test_no_timeout_while_acks_flow():
+    flow = make_flow("sack")
+    flow.run(until=10.0)
+    assert flow.sender.stats.timeouts == 0
+
+
+def test_backoff_resets_after_recovery():
+    # Blackout long enough for two RTO rounds, then clean.
+    flow = make_flow("sack", data_loss=DeterministicLoss(range(5, 12)))
+    flow.run(until=30.0)
+    assert flow.sender.stats.timeouts >= 1
+    # After recovery, fresh RTT samples reset the backoff multiplier.
+    assert flow.sender.rto.backoff == 1
+    assert flow.delivered > 500
+
+
+def test_zero_data_flow_never_times_out():
+    flow = make_flow("sack", tcp_config=TcpConfig(total_segments=0))
+    flow.run(until=5.0)
+    assert flow.sender.stats.data_packets_sent == 0
+    assert flow.sender.stats.timeouts == 0
+    assert flow.sender.done
+
+
+def test_single_segment_flow():
+    flow = make_flow("tcp-pr")
+    flow.sender.config.total_segments = 1
+    flow.run(until=5.0)
+    assert flow.delivered == 1
+    assert flow.sender.done
+
+
+def test_first_segment_lost_recovers_via_initial_rto():
+    flow = make_flow(
+        "sack",
+        data_loss=DeterministicLoss([0]),
+        tcp_config=TcpConfig(total_segments=20, initial_rto=1.0),
+    )
+    flow.run(until=15.0)
+    assert flow.sender.stats.timeouts >= 1
+    assert flow.delivered == 20
+
+
+def test_tcp_pr_first_segment_lost_uses_initial_mxrtt():
+    from repro.core.pr import PrConfig
+
+    flow = make_flow(
+        "tcp-pr",
+        data_loss=DeterministicLoss([0]),
+        pr_config=PrConfig(total_segments=20, initial_mxrtt=1.0),
+    )
+    flow.run(until=15.0)
+    assert flow.sender.stats.drops_detected >= 1
+    assert flow.sender.stats.backoff_doublings >= 1  # cwnd was 1
+    assert flow.delivered == 20
+    assert flow.sender.done

@@ -1,0 +1,63 @@
+"""Tests for TCP-PR's coarse-timer (granularity) option."""
+
+import pytest
+
+from repro.core.pr import PrConfig
+from repro.net.lossgen import DeterministicLoss
+
+from conftest import make_flow
+
+
+def test_zero_granularity_is_default():
+    assert PrConfig().timer_granularity == 0.0
+
+
+def test_quantize_rounds_up_to_tick():
+    flow = make_flow("tcp-pr", pr_config=PrConfig(timer_granularity=0.5))
+    sender = flow.sender
+    assert sender._quantize(0.3) == pytest.approx(0.5)
+    assert sender._quantize(0.5) == pytest.approx(0.5)
+    assert sender._quantize(0.51) == pytest.approx(1.0)
+    assert sender._quantize(1.75) == pytest.approx(2.0)
+
+
+def test_coarse_timer_delays_detection():
+    """With 0.5 s ticks, a drop is detected on a tick boundary, so the
+    detection latency stretches to the next multiple of the tick."""
+    detections = []
+
+    def build(granularity):
+        flow = make_flow(
+            "tcp-pr",
+            data_loss=DeterministicLoss([40]),
+            pr_config=PrConfig(initial_ssthresh=16, timer_granularity=granularity),
+        )
+        sender = flow.sender
+        original = sender._declare_drop
+
+        def spy(seq):
+            detections.append((granularity, flow.network.sim.now))
+            original(seq)
+
+        sender._declare_drop = spy
+        flow.run(until=10.0)
+        return flow
+
+    build(0.0)
+    build(0.5)
+    fine = [t for g, t in detections if g == 0.0]
+    coarse = [t for g, t in detections if g == 0.5]
+    assert len(fine) == 1 and len(coarse) == 1
+    assert coarse[0] >= fine[0]
+    assert coarse[0] == pytest.approx(round(coarse[0] / 0.5) * 0.5, abs=1e-9)
+
+
+def test_flow_still_works_with_coarse_timers():
+    flow = make_flow(
+        "tcp-pr",
+        data_loss=DeterministicLoss([40, 80, 120]),
+        pr_config=PrConfig(initial_ssthresh=16, timer_granularity=0.5),
+    )
+    flow.run(until=15.0)
+    assert flow.sender.stats.drops_detected == 3
+    assert flow.delivered > 1000

@@ -1,0 +1,120 @@
+"""Tests for the time-series analysis utilities."""
+
+import pytest
+
+from repro.analysis.throughput import FlowSample
+from repro.analysis.timeseries import (
+    SeriesPoint,
+    StepSeries,
+    convergence_time,
+    fairness_over_time,
+    goodput_series,
+    goodput_series_mbps,
+)
+
+from conftest import make_flow
+from repro.trace.monitors import FlowThroughputMonitor
+
+
+# ----------------------------------------------------------------------
+# StepSeries
+# ----------------------------------------------------------------------
+def test_step_series_lookup():
+    series = StepSeries([SeriesPoint(1.0, 10.0), SeriesPoint(2.0, 20.0)])
+    assert series.value_at(0.5) == 10.0  # before first point
+    assert series.value_at(1.0) == 10.0
+    assert series.value_at(1.5) == 10.0
+    assert series.value_at(2.0) == 20.0
+    assert series.value_at(99.0) == 20.0
+
+
+def test_step_series_validates():
+    with pytest.raises(ValueError):
+        StepSeries([])
+    with pytest.raises(ValueError):
+        StepSeries([SeriesPoint(2.0, 1.0), SeriesPoint(1.0, 2.0)])
+
+
+def test_time_weighted_mean():
+    series = StepSeries([SeriesPoint(0.0, 10.0), SeriesPoint(1.0, 30.0)])
+    # [0, 2]: 10 for 1 s, then 30 for 1 s -> mean 20.
+    assert series.time_weighted_mean(0.0, 2.0) == pytest.approx(20.0)
+    assert series.time_weighted_mean(1.0, 2.0) == pytest.approx(30.0)
+    with pytest.raises(ValueError):
+        series.time_weighted_mean(2.0, 2.0)
+
+
+# ----------------------------------------------------------------------
+# goodput series
+# ----------------------------------------------------------------------
+def test_goodput_series_rates():
+    samples = [FlowSample(0.0, 0), FlowSample(1.0, 125), FlowSample(2.0, 375)]
+    series = goodput_series(samples, mss_bytes=1000)
+    # 125 segments in 1 s = 1 Mbps, then 250 segments = 2 Mbps.
+    assert series.points[0] == SeriesPoint(1.0, pytest.approx(1e6))
+    assert series.points[1] == SeriesPoint(2.0, pytest.approx(2e6))
+    mbps = goodput_series_mbps(samples)
+    assert mbps[0].value == pytest.approx(1.0)
+
+
+def test_goodput_series_validates():
+    with pytest.raises(ValueError):
+        goodput_series([FlowSample(0.0, 0)])
+    with pytest.raises(ValueError):
+        goodput_series([FlowSample(0.0, 0), FlowSample(0.0, 5)])
+
+
+# ----------------------------------------------------------------------
+# fairness over time / convergence
+# ----------------------------------------------------------------------
+def test_fairness_over_time_equal_flows():
+    a = [FlowSample(float(t), 100 * t) for t in range(5)]
+    b = [FlowSample(float(t), 100 * t) for t in range(5)]
+    points = fairness_over_time([a, b])
+    assert all(p.value == pytest.approx(1.0) for p in points)
+
+
+def test_fairness_over_time_unfair_flows():
+    a = [FlowSample(float(t), 100 * t) for t in range(5)]
+    b = [FlowSample(float(t), 0) for t in range(5)]
+    points = fairness_over_time([a, b])
+    assert all(p.value == pytest.approx(0.5) for p in points)
+
+
+def test_convergence_time_simple():
+    points = [
+        SeriesPoint(0.0, 0.5),
+        SeriesPoint(1.0, 0.95),
+        SeriesPoint(2.0, 0.97),
+        SeriesPoint(3.0, 0.99),
+    ]
+    assert convergence_time(points, threshold=0.9, hold=1.0) == 1.0
+
+
+def test_convergence_resets_on_dip():
+    points = [
+        SeriesPoint(0.0, 0.95),
+        SeriesPoint(0.5, 0.5),  # dip resets
+        SeriesPoint(1.0, 0.95),
+        SeriesPoint(3.0, 0.95),
+    ]
+    assert convergence_time(points, threshold=0.9, hold=1.0) == 1.0
+
+
+def test_convergence_never():
+    points = [SeriesPoint(0.0, 0.3), SeriesPoint(1.0, 0.4)]
+    assert convergence_time(points) is None
+    assert convergence_time([]) is None
+
+
+# ----------------------------------------------------------------------
+# End to end with real monitors
+# ----------------------------------------------------------------------
+def test_real_flow_goodput_series():
+    flow = make_flow("sack")
+    monitor = FlowThroughputMonitor(flow.network.sim, flow.receiver, interval=0.5)
+    flow.run(until=10.0)
+    series = goodput_series(monitor.samples)
+    # Steady state within ~1 Mbps line rate.
+    assert 0 < series.value_at(9.0) <= 1.1e6
+    assert series.time_weighted_mean(5.0, 10.0) > 0.5e6

@@ -1,0 +1,47 @@
+"""Unit tests for unit helpers."""
+
+import pytest
+
+from repro.util.units import (
+    GBPS,
+    KBPS,
+    MBPS,
+    MS,
+    bits_to_mbps,
+    bytes_to_bits,
+    fmt_bandwidth,
+    fmt_time,
+)
+
+
+def test_constants():
+    assert MBPS == 1_000 * KBPS
+    assert GBPS == 1_000 * MBPS
+    assert MS == 1e-3
+
+
+def test_bytes_to_bits():
+    assert bytes_to_bits(1000) == 8000
+
+
+def test_bits_to_mbps():
+    assert bits_to_mbps(10_000_000, 1.0) == pytest.approx(10.0)
+    assert bits_to_mbps(5_000_000, 2.0) == pytest.approx(2.5)
+
+
+def test_bits_to_mbps_rejects_bad_interval():
+    with pytest.raises(ValueError):
+        bits_to_mbps(1.0, 0.0)
+
+
+def test_fmt_bandwidth():
+    assert fmt_bandwidth(10 * MBPS) == "10.00 Mbps"
+    assert fmt_bandwidth(2 * GBPS) == "2.00 Gbps"
+    assert fmt_bandwidth(64 * KBPS) == "64.00 kbps"
+    assert fmt_bandwidth(100) == "100 bps"
+
+
+def test_fmt_time():
+    assert fmt_time(1.5) == "1.500 s"
+    assert fmt_time(0.010) == "10.0 ms"
+    assert fmt_time(25e-6) == "25.0 us"
