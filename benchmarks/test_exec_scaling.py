@@ -1,0 +1,84 @@
+"""Executor scaling: serial vs ``--jobs`` vs cached on a small fig4 grid.
+
+Measures wall-clock for the same :class:`Fig4Spec` sweep executed three
+ways — serially, over a process pool, and out of a warm result cache —
+asserts all three are bit-identical, and writes the timing trajectory to
+``benchmarks/results/BENCH_exec.json`` so successive runs can be
+compared.  The parallel speedup depends on the machine's core count (and
+is recorded, not asserted); the cache speedup is structural and is
+asserted.
+"""
+
+import json
+import os
+import time
+
+from repro.exec import ParallelRunner, ResultCache
+from repro.experiments.fig4_params import Fig4Spec
+
+from conftest import RESULTS_DIR, paper_scale
+
+
+def _spec():
+    if paper_scale():
+        return Fig4Spec(
+            alphas=(0.5, 0.995), betas=(1.0, 3.0, 10.0), total_flows=8,
+            duration=40.0, measure_window=30.0, seed=0,
+        )
+    return Fig4Spec(
+        alphas=(0.5, 0.995), betas=(1.0, 3.0), total_flows=4,
+        duration=8.0, measure_window=6.0, seed=0,
+    )
+
+
+def _timed(runner, spec):
+    started = time.perf_counter()
+    result = runner.run(spec)
+    return result, time.perf_counter() - started
+
+
+def test_exec_scaling(tmp_path):
+    spec = _spec()
+    jobs = min(4, os.cpu_count() or 1)
+
+    serial_result, serial_seconds = _timed(ParallelRunner(jobs=1), spec)
+    parallel_result, parallel_seconds = _timed(ParallelRunner(jobs=jobs), spec)
+
+    cache = ResultCache(tmp_path / "cache")
+    cold_runner = ParallelRunner(jobs=1, cache=cache)
+    cold_result, cold_seconds = _timed(cold_runner, spec)
+    warm_runner = ParallelRunner(jobs=1, cache=cache)
+    warm_result, warm_seconds = _timed(warm_runner, spec)
+
+    # The executor's core guarantee: identical numbers however cells ran.
+    assert parallel_result.sack_surface == serial_result.sack_surface
+    assert parallel_result.pr_surface == serial_result.pr_surface
+    assert cold_result.sack_surface == serial_result.sack_surface
+    assert warm_result.sack_surface == serial_result.sack_surface
+    assert warm_runner.last_stats.cached == len(spec.cells())
+    assert warm_runner.last_stats.executed == 0
+
+    # Cache speedup is structural (a few JSON reads vs whole simulations).
+    assert warm_seconds < serial_seconds / 5.0, (
+        f"warm cache took {warm_seconds:.3f}s vs serial {serial_seconds:.3f}s"
+    )
+
+    trajectory = {
+        "experiment": "fig4",
+        "grid_cells": len(spec.cells()),
+        "total_flows": spec.total_flows,
+        "duration": spec.duration,
+        "cpu_count": os.cpu_count(),
+        "points": [
+            {"mode": "serial", "jobs": 1, "seconds": round(serial_seconds, 4)},
+            {"mode": "parallel", "jobs": jobs, "seconds": round(parallel_seconds, 4)},
+            {"mode": "cache-cold", "jobs": 1, "seconds": round(cold_seconds, 4)},
+            {"mode": "cache-warm", "jobs": 1, "seconds": round(warm_seconds, 4)},
+        ],
+        "parallel_speedup": round(serial_seconds / parallel_seconds, 3),
+        "cache_speedup": round(serial_seconds / max(warm_seconds, 1e-9), 1),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_exec.json"
+    path.write_text(json.dumps(trajectory, indent=2) + "\n")
+    print(f"\n{json.dumps(trajectory, indent=2)}\n[saved to {path}]")

@@ -5,23 +5,30 @@ Installed as ``repro-experiments`` (also ``python -m repro``)::
     repro-experiments variants
     repro-experiments fig2 --topology dumbbell --flows 4 8
     repro-experiments fig3 --topology parking-lot
-    repro-experiments fig4
+    repro-experiments fig4 --jobs 8
     repro-experiments fig6 --delay-ms 10 --epsilons 0 4 500
     repro-experiments compare --scenario multipath --variants tcp-pr sack
 
-Every subcommand prints the same rows/series the paper's figure shows.
-The ``--paper-scale`` flag switches from the quick defaults to the full
-configurations (much slower).
+Every subcommand prints the same rows/series the paper's figure shows
+and shares one execution path: a :class:`~repro.exec.spec.Scale` preset
+spec (``--paper-scale`` selects the full configuration), fanned out over
+``--jobs`` worker processes, with results cached on disk under
+``--cache-dir`` (default ``.repro-cache/``; disable with ``--no-cache``)
+so repeat invocations are near-instant.  ``--json PATH`` additionally
+dumps the result for external plotting tools.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
 
+from repro.exec import DEFAULT_CACHE_DIR, ParallelRunner, ResultCache, Scale, SweepCell
 from repro.experiments import fig2_fairness, fig3_cov, fig4_params, fig6_multipath
 from repro.experiments.report import bar_chart
+from repro.experiments.serialize import dump_result
 from repro.tcp.registry import available_variants
 from repro.util.units import MS
 
@@ -33,107 +40,170 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="use the full paper-scale configuration (slow)",
     )
     parser.add_argument("--seed", type=int, default=0, help="master RNG seed")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for independent sweep cells (default: 1)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the on-disk result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help=f"result cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also dump the result as JSON to PATH",
+    )
 
 
-def _cmd_variants(_args: argparse.Namespace) -> int:
-    print("Available TCP variants:")
-    for name in available_variants():
-        print(f"  {name}")
+def _cache_from(args: argparse.Namespace) -> Optional[ResultCache]:
+    return None if args.no_cache else ResultCache(args.cache_dir)
+
+
+def _finish(args: argparse.Namespace, result: Any, text: str) -> int:
+    """Shared tail of every subcommand: print, optionally dump JSON."""
+    print(text)
+    if args.json:
+        path = dump_result(result, args.json)
+        print(f"[json written to {path}]")
     return 0
 
 
-def _cmd_fig2(args: argparse.Namespace) -> int:
-    if args.paper_scale:
-        counts = args.flows or fig2_fairness.PAPER_FLOW_COUNTS
-        duration = fig2_fairness.PAPER_DURATION
-        window = fig2_fairness.PAPER_MEASURE_WINDOW
-    else:
-        counts = args.flows or fig2_fairness.QUICK_FLOW_COUNTS
-        duration = fig2_fairness.QUICK_DURATION
-        window = fig2_fairness.QUICK_MEASURE_WINDOW
-    result = fig2_fairness.run_fig2(
-        topology=args.topology,
-        flow_counts=counts,
-        duration=duration,
-        measure_window=window,
+def _cmd_variants(args: argparse.Namespace) -> int:
+    names = list(available_variants())
+    lines = ["Available TCP variants:"] + [f"  {name}" for name in names]
+    return _finish(args, {"variants": names}, "\n".join(lines))
+
+
+@dataclass(frozen=True)
+class _FigureCommand:
+    """One figure subcommand: spec class + entry point + formatter."""
+
+    spec_cls: type
+    run: Callable[..., Any]
+    fmt: Callable[[Any], str]
+    #: Maps parsed args to spec-field overrides (None values are ignored
+    #: by ``presets``, so optional CLI arguments forward verbatim).
+    overrides: Callable[[argparse.Namespace], Dict[str, Any]]
+
+
+_FIGURES: Dict[str, _FigureCommand] = {
+    "fig2": _FigureCommand(
+        spec_cls=fig2_fairness.Fig2Spec,
+        run=fig2_fairness.run_fig2,
+        fmt=fig2_fairness.format_fig2,
+        overrides=lambda args: {
+            "topology": args.topology,
+            "flow_counts": tuple(args.flows) if args.flows else None,
+            "duration": args.duration,
+            "measure_window": args.window,
+        },
+    ),
+    "fig3": _FigureCommand(
+        spec_cls=fig3_cov.Fig3Spec,
+        run=fig3_cov.run_fig3,
+        fmt=fig3_cov.format_fig3,
+        overrides=lambda args: {
+            "topology": args.topology,
+            "bandwidths_mbps": tuple(args.bandwidths) if args.bandwidths else None,
+            "total_flows": args.flows,
+            "duration": args.duration,
+            "measure_window": args.window,
+        },
+    ),
+    "fig4": _FigureCommand(
+        spec_cls=fig4_params.Fig4Spec,
+        run=fig4_params.run_fig4,
+        fmt=fig4_params.format_fig4,
+        overrides=lambda args: {
+            "alphas": tuple(args.alphas) if args.alphas else None,
+            "betas": tuple(args.betas) if args.betas else None,
+            "total_flows": args.flows,
+            "duration": args.duration,
+            "measure_window": args.window,
+        },
+    ),
+    "fig6": _FigureCommand(
+        spec_cls=fig6_multipath.Fig6Spec,
+        run=fig6_multipath.run_fig6,
+        fmt=fig6_multipath.format_fig6,
+        overrides=lambda args: {
+            "link_delay": args.delay_ms * MS if args.delay_ms is not None else None,
+            "protocols": tuple(args.protocols) if args.protocols else None,
+            "epsilons": tuple(args.epsilons) if args.epsilons else None,
+            "duration": args.duration,
+        },
+    ),
+}
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    """The single code path every figure subcommand dispatches through."""
+    command = _FIGURES[args.command]
+    spec = command.spec_cls.presets(
+        Scale.from_flag(args.paper_scale),
         seed=args.seed,
+        **command.overrides(args),
     )
-    print(fig2_fairness.format_fig2(result))
-    return 0
+    cache = _cache_from(args)
+    result = command.run(spec, jobs=args.jobs, cache=cache)
+    text = command.fmt(result)
+    payload: Any = result
 
-
-def _cmd_fig3(args: argparse.Namespace) -> int:
-    if args.paper_scale:
-        result = fig3_cov.run_fig3(
-            topology=args.topology,
-            bandwidths_mbps=fig3_cov.PAPER_BANDWIDTHS_MBPS,
-            total_flows=fig3_cov.PAPER_FLOWS,
-            duration=fig3_cov.PAPER_DURATION,
-            measure_window=fig3_cov.PAPER_MEASURE_WINDOW,
-            seed=args.seed,
+    if getattr(args, "extreme", False):
+        sweep_spec = fig4_params.BetaSweepSpec.presets(
+            Scale.from_flag(args.paper_scale), seed=args.seed
         )
-    else:
-        result = fig3_cov.run_fig3(topology=args.topology, seed=args.seed)
-    print(fig3_cov.format_fig3(result))
-    return 0
-
-
-def _cmd_fig4(args: argparse.Namespace) -> int:
-    if args.paper_scale:
-        result = fig4_params.run_fig4(
-            alphas=fig4_params.PAPER_ALPHAS,
-            betas=fig4_params.PAPER_BETAS,
-            total_flows=fig4_params.PAPER_FLOWS,
-            duration=fig4_params.PAPER_DURATION,
-            measure_window=fig4_params.PAPER_MEASURE_WINDOW,
-            seed=args.seed,
+        points = fig4_params.run_extreme_loss_beta_sweep(
+            sweep_spec, jobs=args.jobs, cache=cache
         )
-    else:
-        result = fig4_params.run_fig4(seed=args.seed)
-    print(fig4_params.format_fig4(result))
-    if args.extreme:
-        points = fig4_params.run_extreme_loss_beta_sweep(seed=args.seed)
-        print()
-        print(fig4_params.format_beta_sweep(points))
-    return 0
+        text += "\n\n" + fig4_params.format_beta_sweep(points)
+        payload = {"fig4": result, "extreme_beta_sweep": points}
 
-
-def _cmd_fig6(args: argparse.Namespace) -> int:
-    epsilons = args.epsilons or (
-        fig6_multipath.PAPER_EPSILONS if args.paper_scale
-        else fig6_multipath.QUICK_EPSILONS
-    )
-    duration = (
-        fig6_multipath.PAPER_DURATION if args.paper_scale
-        else fig6_multipath.QUICK_DURATION
-    )
-    result = fig6_multipath.run_fig6(
-        link_delay=args.delay_ms * MS,
-        epsilons=tuple(epsilons),
-        duration=duration,
-        seed=args.seed,
-    )
-    print(fig6_multipath.format_fig6(result))
-    return 0
+    return _finish(args, payload, text)
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    duration = 30.0 if args.paper_scale else 15.0
-    results = {}
-    for variant in args.variants:
-        results[variant] = fig6_multipath.run_single_multipath_flow(
-            variant,
-            epsilon=args.epsilon,
-            link_delay=args.delay_ms * MS,
-            duration=duration,
+    duration = args.duration
+    if duration is None:
+        duration = 30.0 if args.paper_scale else 15.0
+    cells = [
+        SweepCell(
+            key=variant,
+            func=fig6_multipath.CELL_FUNC,
+            params={
+                "protocol": variant,
+                "epsilon": args.epsilon,
+                "link_delay": args.delay_ms * MS,
+                "duration": duration,
+            },
             seed=args.seed,
         )
-    print(
+        for variant in args.variants
+    ]
+    runner = ParallelRunner(jobs=args.jobs, cache=_cache_from(args))
+    values = runner.run_cells(cells)
+    results = {variant: values[variant] for variant in args.variants}
+    text = (
         f"Throughput over the Figure 5 mesh (eps={args.epsilon:g}, "
-        f"{args.delay_ms} ms links, {duration:.0f} s):\n"
+        f"{args.delay_ms} ms links, {duration:.0f} s):\n\n"
+        + bar_chart(results, unit=" Mbps")
     )
-    print(bar_chart(results, unit=" Mbps"))
-    return 0
+    payload = {
+        "epsilon": args.epsilon,
+        "delay_ms": args.delay_ms,
+        "duration": duration,
+        "throughput_mbps": results,
+    }
+    return _finish(args, payload, text)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -143,36 +213,57 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("variants", help="list available TCP variants").set_defaults(
-        func=_cmd_variants
-    )
+    variants = sub.add_parser("variants", help="list available TCP variants")
+    _add_common(variants)
+    variants.set_defaults(func=_cmd_variants)
 
     fig2 = sub.add_parser("fig2", help="Figure 2: fairness vs TCP-SACK")
     fig2.add_argument("--topology", choices=["dumbbell", "parking-lot"],
                       default="dumbbell")
     fig2.add_argument("--flows", type=int, nargs="*", default=None,
                       help="total flow counts to sweep")
+    fig2.add_argument("--duration", type=float, default=None,
+                      help="seconds of simulated time per cell")
+    fig2.add_argument("--window", type=float, default=None,
+                      help="measurement window (final seconds)")
     _add_common(fig2)
-    fig2.set_defaults(func=_cmd_fig2)
+    fig2.set_defaults(func=_cmd_figure)
 
     fig3 = sub.add_parser("fig3", help="Figure 3: CoV vs loss rate")
     fig3.add_argument("--topology", choices=["dumbbell", "parking-lot"],
                       default="dumbbell")
+    fig3.add_argument("--bandwidths", type=float, nargs="*", default=None,
+                      help="bottleneck bandwidths (Mbps) to sweep")
+    fig3.add_argument("--flows", type=int, default=None,
+                      help="total number of flows")
+    fig3.add_argument("--duration", type=float, default=None)
+    fig3.add_argument("--window", type=float, default=None)
     _add_common(fig3)
-    fig3.set_defaults(func=_cmd_fig3)
+    fig3.set_defaults(func=_cmd_figure)
 
     fig4 = sub.add_parser("fig4", help="Figure 4: alpha/beta sensitivity")
+    fig4.add_argument("--alphas", type=float, nargs="*", default=None,
+                      help="TCP-PR alpha values to sweep")
+    fig4.add_argument("--betas", type=float, nargs="*", default=None,
+                      help="TCP-PR beta values to sweep")
+    fig4.add_argument("--flows", type=int, default=None,
+                      help="total number of flows")
+    fig4.add_argument("--duration", type=float, default=None)
+    fig4.add_argument("--window", type=float, default=None)
     fig4.add_argument("--extreme", action="store_true",
                       help="also run the extreme-loss beta sweep")
     _add_common(fig4)
-    fig4.set_defaults(func=_cmd_fig4)
+    fig4.set_defaults(func=_cmd_figure)
 
     fig6 = sub.add_parser("fig6", help="Figure 6: multipath throughput")
     fig6.add_argument("--delay-ms", type=float, default=10.0,
                       help="per-link delay in milliseconds (paper: 10 or 60)")
     fig6.add_argument("--epsilons", type=float, nargs="*", default=None)
+    fig6.add_argument("--protocols", nargs="*", default=None,
+                      help="subset of protocols to run")
+    fig6.add_argument("--duration", type=float, default=None)
     _add_common(fig6)
-    fig6.set_defaults(func=_cmd_fig6)
+    fig6.set_defaults(func=_cmd_figure)
 
     compare = sub.add_parser(
         "compare", help="compare chosen variants in one multipath scenario"
@@ -180,6 +271,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--variants", nargs="+", default=["tcp-pr", "sack"])
     compare.add_argument("--epsilon", type=float, default=0.0)
     compare.add_argument("--delay-ms", type=float, default=10.0)
+    compare.add_argument("--duration", type=float, default=None)
     _add_common(compare)
     compare.set_defaults(func=_cmd_compare)
 

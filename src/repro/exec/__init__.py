@@ -1,0 +1,38 @@
+"""Sweep execution subsystem: declarative specs, parallel fan-out, caching.
+
+Every paper figure is a grid of mutually independent simulations.  This
+package turns that observation into infrastructure:
+
+* :mod:`repro.exec.spec` — :class:`Scale` presets, :class:`SweepCell`,
+  and the :class:`ExperimentSpec` base class each figure subclasses;
+* :mod:`repro.exec.runner` — :class:`ParallelRunner` / :func:`run_sweep`,
+  fanning cells over a ``multiprocessing`` pool with bit-identical
+  serial/parallel results;
+* :mod:`repro.exec.cache` — :class:`ResultCache`, a content-addressed
+  on-disk store under ``.repro-cache/`` making repeat runs near-instant.
+
+See ``docs/EXECUTOR.md`` for the design.
+"""
+
+from repro.exec.cache import (
+    CACHE_SCHEMA_VERSION,
+    DEFAULT_CACHE_DIR,
+    CacheStats,
+    ResultCache,
+)
+from repro.exec.runner import ParallelRunner, RunStats, run_sweep
+from repro.exec.spec import ExperimentSpec, Scale, SweepCell, resolve_func
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "DEFAULT_CACHE_DIR",
+    "CacheStats",
+    "ExperimentSpec",
+    "ParallelRunner",
+    "ResultCache",
+    "RunStats",
+    "Scale",
+    "SweepCell",
+    "resolve_func",
+    "run_sweep",
+]

@@ -1,0 +1,154 @@
+"""Declarative sweep specifications.
+
+Every figure of the paper is a *sweep*: a grid of mutually independent
+simulations (one per flow count, per (alpha, beta) pair, per
+(protocol, epsilon) cell, ...) whose outputs are assembled into one
+result object.  This module gives that shape a first-class API:
+
+* :class:`Scale` — the quick-vs-paper configuration axis that used to be
+  spelled as per-module ``PAPER_*``/``QUICK_*`` constant pairs and
+  copy-pasted ``if args.paper_scale:`` blocks;
+* :class:`SweepCell` — one independent simulation, described by data
+  only (an importable function path, JSON-able parameters, and a
+  per-cell seed) so it can cross a process boundary and be content-hashed
+  for caching;
+* :class:`ExperimentSpec` — the base class each figure subclasses with
+  ``cells()`` (explode the spec into cells) and ``assemble()`` (fold the
+  per-cell results back into the figure's result dataclass).
+
+Because a cell's seed is a pure function of the spec — never of
+execution order — running the cells serially, in any order, or across a
+process pool yields bit-identical results (see
+:mod:`repro.exec.runner`).
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import Any, Callable, ClassVar, Dict, List, Mapping
+
+from repro.sim.rng import derive_child_seed
+
+
+class Scale(Enum):
+    """The two configuration scales every experiment ships presets for."""
+
+    QUICK = "quick"
+    PAPER = "paper"
+
+    @classmethod
+    def from_flag(cls, paper_scale: bool) -> "Scale":
+        """Map the CLI's ``--paper-scale`` boolean onto the enum."""
+        return cls.PAPER if paper_scale else cls.QUICK
+
+
+def resolve_func(path: str) -> Callable[..., Any]:
+    """Resolve a ``"package.module:function"`` path to the callable.
+
+    Cells reference their work function by path rather than by object so
+    a cell is plain data: picklable for worker processes and hashable
+    for the result cache.
+    """
+    module_name, sep, attr = path.partition(":")
+    if not sep or not module_name or not attr:
+        raise ValueError(
+            f"cell function path must look like 'pkg.module:func', got {path!r}"
+        )
+    module = importlib.import_module(module_name)
+    try:
+        func = getattr(module, attr)
+    except AttributeError as exc:
+        raise ValueError(f"module {module_name!r} has no attribute {attr!r}") from exc
+    if not callable(func):
+        raise ValueError(f"{path!r} resolved to a non-callable {func!r}")
+    return func
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One independent simulation of a sweep.
+
+    ``func`` is an importable ``"module:function"`` path; the function is
+    called as ``func(**params, seed=seed)`` and must return either
+    JSON-able data or a dataclass registered with
+    :func:`repro.experiments.serialize.register_result_type` (so cache
+    entries round-trip).  ``key`` identifies the cell within its sweep
+    (the flow count, the (alpha, beta) pair, ...).
+    """
+
+    key: Any
+    func: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    seed: int = 0
+
+    def resolve(self) -> Callable[..., Any]:
+        return resolve_func(self.func)
+
+    def run(self) -> Any:
+        """Execute the cell in-process."""
+        return self.resolve()(**dict(self.params), seed=self.seed)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Base class for declarative experiment descriptions.
+
+    Subclasses are frozen dataclasses carrying every knob of one figure
+    (topology, grid axes, durations, master ``seed``) plus two class
+    attributes:
+
+    * ``name`` — a short stable identifier (``"fig2"``, ...), used for
+      default seed derivation and display;
+    * ``SCALE_PRESETS`` — a ``{Scale: {field: value}}`` mapping holding
+      the quick/paper configurations that used to live in per-module
+      ``QUICK_*``/``PAPER_*`` constant pairs.
+
+    and two methods:
+
+    * :meth:`cells` — explode the spec into independent
+      :class:`SweepCell` instances;
+    * :meth:`assemble` — fold ``{cell.key: result}`` back into the
+      figure's result object.
+    """
+
+    name: ClassVar[str] = "experiment"
+    SCALE_PRESETS: ClassVar[Mapping[Scale, Mapping[str, Any]]] = {}
+
+    @classmethod
+    def presets(cls, scale: "Scale | str" = Scale.QUICK, **overrides: Any):
+        """Build a spec at ``scale``, with keyword overrides applied.
+
+        Overrides whose value is ``None`` are ignored, so CLI code can
+        forward optional arguments verbatim
+        (``presets(scale, flow_counts=args.flows or None)``).
+        """
+        if isinstance(scale, str):
+            scale = Scale(scale)
+        params: Dict[str, Any] = dict(cls.SCALE_PRESETS.get(scale, {}))
+        params.update(
+            (key, value) for key, value in overrides.items() if value is not None
+        )
+        return cls(**params)
+
+    def with_seed(self, seed: "int | None") -> "ExperimentSpec":
+        """A copy of the spec with ``seed`` replaced (no-op for None)."""
+        if seed is None:
+            return self
+        return replace(self, seed=seed)
+
+    def cell_seed(self, label: str) -> int:
+        """Default per-cell seed: a stable hash of (master seed, cell label).
+
+        Independent of how many cells exist or in what order they run,
+        so serial and parallel execution see identical streams.
+        """
+        master = getattr(self, "seed", 0)
+        return derive_child_seed(master, f"{self.name}/{label}")
+
+    def cells(self) -> List[SweepCell]:
+        raise NotImplementedError
+
+    def assemble(self, results: Mapping[Any, Any]) -> Any:
+        raise NotImplementedError

@@ -10,21 +10,64 @@
 * :mod:`repro.experiments.fig6_multipath` — Figure 6 (throughput under
   ε-parameterized multipath routing for all protocols).
 
-Each module exposes a ``run_*`` function returning a result dataclass,
-plus formatting helpers used by the benchmark suite to print the same
-rows/series the paper reports.
+Each figure is described by a declarative :class:`ExperimentSpec`
+subclass (``Fig2Spec`` ... ``Fig6Spec``) carrying quick/paper
+:class:`Scale` presets, and executed by the sweep executor
+(:mod:`repro.exec`): the ``run_fig*`` entry points share the uniform
+signature ``run_figN(spec, *, jobs, cache, seed)`` (legacy keyword
+forms still work), fan independent cells over a process pool, and reuse
+cached results from ``.repro-cache/``.  Formatting helpers print the
+same rows/series the paper reports.
 """
 
+from repro.exec import (
+    ExperimentSpec,
+    ParallelRunner,
+    ResultCache,
+    Scale,
+    SweepCell,
+    run_sweep,
+)
 from repro.experiments.runner import (
     FairnessResult,
     FairnessScenario,
     build_fairness_scenario,
     run_fairness,
 )
+from repro.experiments.fig2_fairness import Fig2Result, Fig2Spec, run_fig2
+from repro.experiments.fig3_cov import Fig3Result, Fig3Spec, run_fig3
+from repro.experiments.fig4_params import (
+    BetaSweepSpec,
+    Fig4Result,
+    Fig4Spec,
+    run_extreme_loss_beta_sweep,
+    run_fig4,
+)
+from repro.experiments.fig6_multipath import Fig6Result, Fig6Spec, run_fig6
 
 __all__ = [
+    "BetaSweepSpec",
+    "ExperimentSpec",
     "FairnessResult",
     "FairnessScenario",
+    "Fig2Result",
+    "Fig2Spec",
+    "Fig3Result",
+    "Fig3Spec",
+    "Fig4Result",
+    "Fig4Spec",
+    "Fig6Result",
+    "Fig6Spec",
+    "ParallelRunner",
+    "ResultCache",
+    "Scale",
+    "SweepCell",
     "build_fairness_scenario",
+    "run_extreme_loss_beta_sweep",
     "run_fairness",
+    "run_fig2",
+    "run_fig3",
+    "run_fig4",
+    "run_fig6",
+    "run_sweep",
 ]

@@ -11,9 +11,11 @@ throughput plus the per-protocol means.  The expected result: both means
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Any, ClassVar, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.pr import PrConfig
+from repro.exec.runner import ResultCache, run_sweep
+from repro.exec.spec import ExperimentSpec, Scale, SweepCell
 from repro.experiments.runner import FairnessResult, run_fairness
 from repro.topologies.dumbbell import DumbbellSpec
 
@@ -51,39 +53,133 @@ class Fig2Result:
 DUMBBELL_PER_FLOW_BPS = 1.875 * 1e6  # 15 Mbps / 8 flows
 
 
-def run_fig2(
-    topology: str = "dumbbell",
-    flow_counts: Sequence[int] = QUICK_FLOW_COUNTS,
-    duration: float = QUICK_DURATION,
-    measure_window: float = QUICK_MEASURE_WINDOW,
-    alpha: float = 0.995,
-    beta: float = 3.0,
-    seed: int = 0,
-) -> Fig2Result:
-    """Reproduce one panel of Figure 2."""
-    results: Dict[int, FairnessResult] = {}
-    for count in flow_counts:
-        kwargs = {}
-        if topology == "dumbbell":
-            scale = max(1.0, count / 8.0)
-            kwargs["dumbbell_spec"] = DumbbellSpec(
-                num_pairs=1,
-                bottleneck_bandwidth=max(15e6, DUMBBELL_PER_FLOW_BPS * count),
-                access_bandwidth=1e9,
-                access_delay=1e-3,
-                queue_packets=int(100 * scale),
-                seed=seed + count,
+#: Importable path of this figure's cell function (see :class:`SweepCell`).
+CELL_FUNC = "repro.experiments.fig2_fairness:run_fig2_cell"
+
+
+def run_fig2_cell(
+    *,
+    topology: str,
+    count: int,
+    duration: float,
+    measure_window: float,
+    alpha: float,
+    beta: float,
+    seed: int,
+) -> FairnessResult:
+    """One independent cell of Figure 2: a fairness run at one flow count."""
+    kwargs = {}
+    if topology == "dumbbell":
+        scale = max(1.0, count / 8.0)
+        kwargs["dumbbell_spec"] = DumbbellSpec(
+            num_pairs=1,
+            bottleneck_bandwidth=max(15e6, DUMBBELL_PER_FLOW_BPS * count),
+            access_bandwidth=1e9,
+            access_delay=1e-3,
+            queue_packets=int(100 * scale),
+            seed=seed,
+        )
+    return run_fairness(
+        topology=topology,
+        total_flows=count,
+        duration=duration,
+        measure_window=measure_window,
+        pr_config=PrConfig(alpha=alpha, beta=beta),
+        seed=seed,
+        **kwargs,
+    )
+
+
+@dataclass(frozen=True)
+class Fig2Spec(ExperimentSpec):
+    """Declarative description of one Figure 2 panel."""
+
+    name: ClassVar[str] = "fig2"
+    SCALE_PRESETS: ClassVar[Mapping[Scale, Mapping[str, Any]]] = {
+        Scale.QUICK: {
+            "flow_counts": QUICK_FLOW_COUNTS,
+            "duration": QUICK_DURATION,
+            "measure_window": QUICK_MEASURE_WINDOW,
+        },
+        Scale.PAPER: {
+            "flow_counts": PAPER_FLOW_COUNTS,
+            "duration": PAPER_DURATION,
+            "measure_window": PAPER_MEASURE_WINDOW,
+        },
+    }
+
+    topology: str = "dumbbell"
+    flow_counts: Tuple[int, ...] = tuple(QUICK_FLOW_COUNTS)
+    duration: float = QUICK_DURATION
+    measure_window: float = QUICK_MEASURE_WINDOW
+    alpha: float = 0.995
+    beta: float = 3.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "flow_counts", tuple(self.flow_counts))
+
+    def cells(self) -> List[SweepCell]:
+        # Per-cell seed = seed + count: each flow count gets its own
+        # independent streams regardless of execution order.
+        return [
+            SweepCell(
+                key=count,
+                func=CELL_FUNC,
+                params={
+                    "topology": self.topology,
+                    "count": count,
+                    "duration": self.duration,
+                    "measure_window": self.measure_window,
+                    "alpha": self.alpha,
+                    "beta": self.beta,
+                },
+                seed=self.seed + count,
             )
-        results[count] = run_fairness(
+            for count in self.flow_counts
+        ]
+
+    def assemble(self, results: Mapping[int, FairnessResult]) -> Fig2Result:
+        return Fig2Result(
+            topology=self.topology,
+            results={count: results[count] for count in self.flow_counts},
+        )
+
+
+def run_fig2(
+    spec: Optional[Fig2Spec] = None,
+    *,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    seed: Optional[int] = None,
+    topology: Optional[str] = None,
+    flow_counts: Optional[Sequence[int]] = None,
+    duration: Optional[float] = None,
+    measure_window: Optional[float] = None,
+    alpha: Optional[float] = None,
+    beta: Optional[float] = None,
+) -> Fig2Result:
+    """Reproduce one panel of Figure 2.
+
+    Preferred form: ``run_fig2(spec, jobs=..., cache=..., seed=...)``.
+    The pre-spec keyword form (``topology=``, ``flow_counts=``, ...) is
+    kept for backward compatibility and builds a quick-scale spec.
+    """
+    if isinstance(spec, str):  # legacy positional topology argument
+        topology, spec = spec, None
+    if spec is None:
+        spec = Fig2Spec.presets(
+            Scale.QUICK,
             topology=topology,
-            total_flows=count,
+            flow_counts=flow_counts,
             duration=duration,
             measure_window=measure_window,
-            pr_config=PrConfig(alpha=alpha, beta=beta),
-            seed=seed + count,
-            **kwargs,
+            alpha=alpha,
+            beta=beta,
+            seed=seed,
         )
-    return Fig2Result(topology=topology, results=results)
+        seed = None
+    return run_sweep(spec, jobs=jobs, cache=cache, seed=seed)
 
 
 def format_fig2(result: Fig2Result) -> str:

@@ -10,9 +10,11 @@ paper's finding: TCP-PR's CoV tracks TCP-SACK's over the whole range.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Any, ClassVar, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.pr import PrConfig
+from repro.exec.runner import ResultCache, run_sweep
+from repro.exec.spec import ExperimentSpec, Scale, SweepCell
 from repro.experiments.runner import FairnessResult, run_fairness
 from repro.topologies.dumbbell import DumbbellSpec
 from repro.topologies.parking_lot import ParkingLotSpec
@@ -46,53 +48,149 @@ class Fig3Result:
     points: List[Fig3Point]
 
 
+#: Importable path of this figure's cell function (see :class:`SweepCell`).
+CELL_FUNC = "repro.experiments.fig3_cov:run_fig3_cell"
+
+
+def run_fig3_cell(
+    *,
+    topology: str,
+    bandwidth_mbps: float,
+    total_flows: int,
+    duration: float,
+    measure_window: float,
+    alpha: float,
+    beta: float,
+    seed: int,
+) -> FairnessResult:
+    """One cell of Figure 3: a fairness run at one bottleneck bandwidth."""
+    kwargs = {}
+    if topology == "dumbbell":
+        kwargs["dumbbell_spec"] = DumbbellSpec(
+            num_pairs=1,
+            bottleneck_bandwidth=bandwidth_mbps * MBPS,
+            access_bandwidth=100 * MBPS,
+            access_delay=1e-3,
+            seed=seed,
+        )
+    elif topology == "parking-lot":
+        kwargs["parking_spec"] = ParkingLotSpec(
+            backbone_bandwidth=bandwidth_mbps * MBPS, seed=seed
+        )
+    else:
+        raise ValueError(f"unknown topology {topology!r}")
+    return run_fairness(
+        topology=topology,
+        total_flows=total_flows,
+        duration=duration,
+        measure_window=measure_window,
+        pr_config=PrConfig(alpha=alpha, beta=beta),
+        seed=seed,
+        **kwargs,
+    )
+
+
+@dataclass(frozen=True)
+class Fig3Spec(ExperimentSpec):
+    """Declarative description of one Figure 3 panel."""
+
+    name: ClassVar[str] = "fig3"
+    SCALE_PRESETS: ClassVar[Mapping[Scale, Mapping[str, Any]]] = {
+        Scale.QUICK: {
+            "bandwidths_mbps": QUICK_BANDWIDTHS_MBPS,
+            "total_flows": QUICK_FLOWS,
+            "duration": QUICK_DURATION,
+            "measure_window": QUICK_MEASURE_WINDOW,
+        },
+        Scale.PAPER: {
+            "bandwidths_mbps": PAPER_BANDWIDTHS_MBPS,
+            "total_flows": PAPER_FLOWS,
+            "duration": PAPER_DURATION,
+            "measure_window": PAPER_MEASURE_WINDOW,
+        },
+    }
+
+    topology: str = "dumbbell"
+    bandwidths_mbps: Tuple[float, ...] = tuple(QUICK_BANDWIDTHS_MBPS)
+    total_flows: int = QUICK_FLOWS
+    duration: float = QUICK_DURATION
+    measure_window: float = QUICK_MEASURE_WINDOW
+    alpha: float = 0.995
+    beta: float = 3.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "bandwidths_mbps", tuple(self.bandwidths_mbps))
+
+    def cells(self) -> List[SweepCell]:
+        return [
+            SweepCell(
+                key=bandwidth,
+                func=CELL_FUNC,
+                params={
+                    "topology": self.topology,
+                    "bandwidth_mbps": bandwidth,
+                    "total_flows": self.total_flows,
+                    "duration": self.duration,
+                    "measure_window": self.measure_window,
+                    "alpha": self.alpha,
+                    "beta": self.beta,
+                },
+                seed=self.seed,
+            )
+            for bandwidth in self.bandwidths_mbps
+        ]
+
+    def assemble(self, results: Mapping[float, FairnessResult]) -> Fig3Result:
+        points = [
+            Fig3Point(
+                bandwidth_mbps=bandwidth,
+                loss_rate=results[bandwidth].loss_rate,
+                cov=results[bandwidth].cov,
+                result=results[bandwidth],
+            )
+            for bandwidth in self.bandwidths_mbps
+        ]
+        points.sort(key=lambda point: point.loss_rate)
+        return Fig3Result(topology=self.topology, points=points)
+
+
 def run_fig3(
-    topology: str = "dumbbell",
-    bandwidths_mbps: Sequence[float] = QUICK_BANDWIDTHS_MBPS,
-    total_flows: int = QUICK_FLOWS,
-    duration: float = QUICK_DURATION,
-    measure_window: float = QUICK_MEASURE_WINDOW,
-    alpha: float = 0.995,
-    beta: float = 3.0,
-    seed: int = 0,
+    spec: Optional[Fig3Spec] = None,
+    *,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    seed: Optional[int] = None,
+    topology: Optional[str] = None,
+    bandwidths_mbps: Optional[Sequence[float]] = None,
+    total_flows: Optional[int] = None,
+    duration: Optional[float] = None,
+    measure_window: Optional[float] = None,
+    alpha: Optional[float] = None,
+    beta: Optional[float] = None,
 ) -> Fig3Result:
-    """Reproduce one panel of Figure 3."""
-    points: List[Fig3Point] = []
-    for bandwidth in bandwidths_mbps:
-        kwargs = {}
-        if topology == "dumbbell":
-            kwargs["dumbbell_spec"] = DumbbellSpec(
-                num_pairs=1,
-                bottleneck_bandwidth=bandwidth * MBPS,
-                access_bandwidth=100 * MBPS,
-                access_delay=1e-3,
-                seed=seed,
-            )
-        elif topology == "parking-lot":
-            kwargs["parking_spec"] = ParkingLotSpec(
-                backbone_bandwidth=bandwidth * MBPS, seed=seed
-            )
-        else:
-            raise ValueError(f"unknown topology {topology!r}")
-        result = run_fairness(
+    """Reproduce one panel of Figure 3.
+
+    Preferred form: ``run_fig3(spec, jobs=..., cache=..., seed=...)``.
+    The pre-spec keyword form (``topology=``, ``bandwidths_mbps=``, ...)
+    is kept for backward compatibility and builds a quick-scale spec.
+    """
+    if isinstance(spec, str):  # legacy positional topology argument
+        topology, spec = spec, None
+    if spec is None:
+        spec = Fig3Spec.presets(
+            Scale.QUICK,
             topology=topology,
+            bandwidths_mbps=bandwidths_mbps,
             total_flows=total_flows,
             duration=duration,
             measure_window=measure_window,
-            pr_config=PrConfig(alpha=alpha, beta=beta),
+            alpha=alpha,
+            beta=beta,
             seed=seed,
-            **kwargs,
         )
-        points.append(
-            Fig3Point(
-                bandwidth_mbps=bandwidth,
-                loss_rate=result.loss_rate,
-                cov=result.cov,
-                result=result,
-            )
-        )
-    points.sort(key=lambda point: point.loss_rate)
-    return Fig3Result(topology=topology, points=points)
+        seed = None
+    return run_sweep(spec, jobs=jobs, cache=cache, seed=seed)
 
 
 def format_fig3(result: Fig3Result) -> str:

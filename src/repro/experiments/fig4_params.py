@@ -14,10 +14,12 @@ beta = 10 while parity holds for 1 < beta < 5.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Any, ClassVar, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.pr import PrConfig
-from repro.experiments.runner import run_fairness
+from repro.exec.runner import ResultCache, run_sweep
+from repro.exec.spec import ExperimentSpec, Scale, SweepCell
+from repro.experiments.runner import FairnessResult, run_fairness
 from repro.topologies.dumbbell import DumbbellSpec
 from repro.util.units import MBPS
 
@@ -46,36 +48,136 @@ class Fig4Result:
     pr_surface: Dict[Tuple[float, float], float]
 
 
-def run_fig4(
-    topology: str = "dumbbell",
-    alphas: Sequence[float] = QUICK_ALPHAS,
-    betas: Sequence[float] = QUICK_BETAS,
-    total_flows: int = QUICK_FLOWS,
-    duration: float = QUICK_DURATION,
-    measure_window: float = QUICK_MEASURE_WINDOW,
-    seed: int = 0,
-) -> Fig4Result:
-    """Reproduce one panel of Figure 4."""
-    sack_surface: Dict[Tuple[float, float], float] = {}
-    pr_surface: Dict[Tuple[float, float], float] = {}
-    for alpha in alphas:
-        for beta in betas:
-            result = run_fairness(
-                topology=topology,
-                total_flows=total_flows,
-                duration=duration,
-                measure_window=measure_window,
-                pr_config=PrConfig(alpha=alpha, beta=beta),
-                seed=seed,
-            )
-            sack_surface[(alpha, beta)] = result.mean_normalized["sack"]
-            pr_surface[(alpha, beta)] = result.mean_normalized["tcp-pr"]
-    return Fig4Result(
+#: Importable path of this figure's cell function (see :class:`SweepCell`).
+CELL_FUNC = "repro.experiments.fig4_params:run_fig4_cell"
+
+
+def run_fig4_cell(
+    *,
+    topology: str,
+    alpha: float,
+    beta: float,
+    total_flows: int,
+    duration: float,
+    measure_window: float,
+    seed: int,
+) -> FairnessResult:
+    """One cell of Figure 4: a fairness run at one (alpha, beta) point."""
+    return run_fairness(
         topology=topology,
         total_flows=total_flows,
-        sack_surface=sack_surface,
-        pr_surface=pr_surface,
+        duration=duration,
+        measure_window=measure_window,
+        pr_config=PrConfig(alpha=alpha, beta=beta),
+        seed=seed,
     )
+
+
+@dataclass(frozen=True)
+class Fig4Spec(ExperimentSpec):
+    """Declarative description of the Figure 4 (alpha, beta) surface."""
+
+    name: ClassVar[str] = "fig4"
+    SCALE_PRESETS: ClassVar[Mapping[Scale, Mapping[str, Any]]] = {
+        Scale.QUICK: {
+            "alphas": QUICK_ALPHAS,
+            "betas": QUICK_BETAS,
+            "total_flows": QUICK_FLOWS,
+            "duration": QUICK_DURATION,
+            "measure_window": QUICK_MEASURE_WINDOW,
+        },
+        Scale.PAPER: {
+            "alphas": PAPER_ALPHAS,
+            "betas": PAPER_BETAS,
+            "total_flows": PAPER_FLOWS,
+            "duration": PAPER_DURATION,
+            "measure_window": PAPER_MEASURE_WINDOW,
+        },
+    }
+
+    topology: str = "dumbbell"
+    alphas: Tuple[float, ...] = tuple(QUICK_ALPHAS)
+    betas: Tuple[float, ...] = tuple(QUICK_BETAS)
+    total_flows: int = QUICK_FLOWS
+    duration: float = QUICK_DURATION
+    measure_window: float = QUICK_MEASURE_WINDOW
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "alphas", tuple(self.alphas))
+        object.__setattr__(self, "betas", tuple(self.betas))
+
+    def cells(self) -> List[SweepCell]:
+        return [
+            SweepCell(
+                key=(alpha, beta),
+                func=CELL_FUNC,
+                params={
+                    "topology": self.topology,
+                    "alpha": alpha,
+                    "beta": beta,
+                    "total_flows": self.total_flows,
+                    "duration": self.duration,
+                    "measure_window": self.measure_window,
+                },
+                seed=self.seed,
+            )
+            for alpha in self.alphas
+            for beta in self.betas
+        ]
+
+    def assemble(
+        self, results: Mapping[Tuple[float, float], FairnessResult]
+    ) -> Fig4Result:
+        sack_surface: Dict[Tuple[float, float], float] = {}
+        pr_surface: Dict[Tuple[float, float], float] = {}
+        for alpha in self.alphas:
+            for beta in self.betas:
+                result = results[(alpha, beta)]
+                sack_surface[(alpha, beta)] = result.mean_normalized["sack"]
+                pr_surface[(alpha, beta)] = result.mean_normalized["tcp-pr"]
+        return Fig4Result(
+            topology=self.topology,
+            total_flows=self.total_flows,
+            sack_surface=sack_surface,
+            pr_surface=pr_surface,
+        )
+
+
+def run_fig4(
+    spec: Optional[Fig4Spec] = None,
+    *,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    seed: Optional[int] = None,
+    topology: Optional[str] = None,
+    alphas: Optional[Sequence[float]] = None,
+    betas: Optional[Sequence[float]] = None,
+    total_flows: Optional[int] = None,
+    duration: Optional[float] = None,
+    measure_window: Optional[float] = None,
+) -> Fig4Result:
+    """Reproduce one panel of Figure 4.
+
+    Preferred form: ``run_fig4(spec, jobs=..., cache=..., seed=...)``.
+    The pre-spec keyword form (``alphas=``, ``betas=``, ...) is kept for
+    backward compatibility and builds a quick-scale spec.
+    """
+    if isinstance(spec, str):  # legacy positional topology argument
+        topology, spec = spec, None
+    if spec is None:
+        spec = Fig4Spec.presets(
+            Scale.QUICK,
+            topology=topology,
+            alphas=alphas,
+            betas=betas,
+            total_flows=total_flows,
+            duration=duration,
+            measure_window=measure_window,
+            seed=seed,
+        )
+        seed = None
+    return run_sweep(spec, jobs=jobs, cache=cache, seed=seed)
 
 
 def format_fig4(result: Fig4Result) -> str:
@@ -106,44 +208,135 @@ class BetaSweepPoint:
     sack_advantage: float  # sack mean T / pr mean T - 1
 
 
+#: Importable path of the extreme-loss sweep's cell function.
+BETA_SWEEP_CELL_FUNC = "repro.experiments.fig4_params:run_beta_sweep_cell"
+
+
+def run_beta_sweep_cell(
+    *,
+    beta: float,
+    alpha: float,
+    total_flows: int,
+    bottleneck_mbps: float,
+    duration: float,
+    measure_window: float,
+    seed: int,
+) -> FairnessResult:
+    """One cell of the extreme-loss sweep: a high-contention run at one beta."""
+    return run_fairness(
+        topology="dumbbell",
+        total_flows=total_flows,
+        duration=duration,
+        measure_window=measure_window,
+        pr_config=PrConfig(alpha=alpha, beta=beta),
+        dumbbell_spec=DumbbellSpec(
+            num_pairs=1,
+            bottleneck_bandwidth=bottleneck_mbps * MBPS,
+            access_bandwidth=100 * MBPS,
+            access_delay=1e-3,
+            seed=seed,
+        ),
+        seed=seed,
+    )
+
+
+@dataclass(frozen=True)
+class BetaSweepSpec(ExperimentSpec):
+    """Declarative description of the Section 4 extreme-loss beta sweep."""
+
+    name: ClassVar[str] = "fig4-extreme"
+    SCALE_PRESETS: ClassVar[Mapping[Scale, Mapping[str, Any]]] = {
+        Scale.QUICK: {
+            "duration": QUICK_DURATION,
+            "measure_window": QUICK_MEASURE_WINDOW,
+        },
+        Scale.PAPER: {
+            "duration": PAPER_DURATION,
+            "measure_window": PAPER_MEASURE_WINDOW,
+        },
+    }
+
+    betas: Tuple[float, ...] = (1.5, 3.0, 5.0, 10.0)
+    alpha: float = 0.995
+    total_flows: int = 8
+    bottleneck_mbps: float = 1.5
+    duration: float = QUICK_DURATION
+    measure_window: float = QUICK_MEASURE_WINDOW
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "betas", tuple(self.betas))
+
+    def cells(self) -> List[SweepCell]:
+        return [
+            SweepCell(
+                key=beta,
+                func=BETA_SWEEP_CELL_FUNC,
+                params={
+                    "beta": beta,
+                    "alpha": self.alpha,
+                    "total_flows": self.total_flows,
+                    "bottleneck_mbps": self.bottleneck_mbps,
+                    "duration": self.duration,
+                    "measure_window": self.measure_window,
+                },
+                seed=self.seed,
+            )
+            for beta in self.betas
+        ]
+
+    def assemble(
+        self, results: Mapping[float, FairnessResult]
+    ) -> List[BetaSweepPoint]:
+        points: List[BetaSweepPoint] = []
+        for beta in self.betas:
+            result = results[beta]
+            sack = result.mean_normalized["sack"]
+            pr = result.mean_normalized["tcp-pr"]
+            points.append(
+                BetaSweepPoint(
+                    beta=beta,
+                    loss_rate=result.loss_rate,
+                    sack_mean_normalized=sack,
+                    pr_mean_normalized=pr,
+                    sack_advantage=(sack / pr - 1.0) if pr > 0 else float("inf"),
+                )
+            )
+        return points
+
+
 def run_extreme_loss_beta_sweep(
-    betas: Sequence[float] = (1.5, 3.0, 5.0, 10.0),
-    total_flows: int = 8,
-    bottleneck_mbps: float = 1.5,
-    duration: float = QUICK_DURATION,
-    measure_window: float = QUICK_MEASURE_WINDOW,
-    seed: int = 0,
+    spec: Optional[BetaSweepSpec] = None,
+    *,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    seed: Optional[int] = None,
+    betas: Optional[Sequence[float]] = None,
+    total_flows: Optional[int] = None,
+    bottleneck_mbps: Optional[float] = None,
+    duration: Optional[float] = None,
+    measure_window: Optional[float] = None,
 ) -> List[BetaSweepPoint]:
-    """High-contention beta sweep (the paper's >15 %-loss robustness check)."""
-    points: List[BetaSweepPoint] = []
-    for beta in betas:
-        result = run_fairness(
-            topology="dumbbell",
+    """High-contention beta sweep (the paper's >15 %-loss robustness check).
+
+    Preferred form: ``run_extreme_loss_beta_sweep(spec, jobs=..., ...)``.
+    The pre-spec keyword form (``betas=``, ``total_flows=``, ...) is
+    kept for backward compatibility and builds a quick-scale spec.
+    """
+    if isinstance(spec, (list, tuple)):  # legacy positional betas argument
+        betas, spec = spec, None
+    if spec is None:
+        spec = BetaSweepSpec.presets(
+            Scale.QUICK,
+            betas=betas,
             total_flows=total_flows,
+            bottleneck_mbps=bottleneck_mbps,
             duration=duration,
             measure_window=measure_window,
-            pr_config=PrConfig(alpha=0.995, beta=beta),
-            dumbbell_spec=DumbbellSpec(
-                num_pairs=1,
-                bottleneck_bandwidth=bottleneck_mbps * MBPS,
-                access_bandwidth=100 * MBPS,
-                access_delay=1e-3,
-                seed=seed,
-            ),
             seed=seed,
         )
-        sack = result.mean_normalized["sack"]
-        pr = result.mean_normalized["tcp-pr"]
-        points.append(
-            BetaSweepPoint(
-                beta=beta,
-                loss_rate=result.loss_rate,
-                sack_mean_normalized=sack,
-                pr_mean_normalized=pr,
-                sack_advantage=(sack / pr - 1.0) if pr > 0 else float("inf"),
-            )
-        )
-    return points
+        seed = None
+    return run_sweep(spec, jobs=jobs, cache=cache, seed=seed)
 
 
 def format_beta_sweep(points: List[BetaSweepPoint]) -> str:

@@ -16,10 +16,12 @@ at ε = 500 (single path) everyone is equal, and everyone is slower at
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Any, ClassVar, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.app.bulk import BulkTransfer
 from repro.core.pr import PrConfig
+from repro.exec.runner import ResultCache, run_sweep
+from repro.exec.spec import ExperimentSpec, Scale, SweepCell
 from repro.tcp.base import TcpConfig
 from repro.topologies.multipath_mesh import (
     MultipathMeshSpec,
@@ -103,29 +105,110 @@ def run_single_multipath_flow(
     return flow.delivered_bytes() * 8.0 / duration / MBPS
 
 
+#: Importable path of this figure's cell function (see :class:`SweepCell`).
+CELL_FUNC = "repro.experiments.fig6_multipath:run_fig6_cell"
+
+
+def run_fig6_cell(
+    *,
+    protocol: str,
+    epsilon: float,
+    link_delay: float,
+    duration: float,
+    pr_config: Optional[PrConfig] = None,
+    seed: int,
+) -> float:
+    """One cell of Figure 6: a lone flow's goodput in Mbps."""
+    return run_single_multipath_flow(
+        protocol,
+        epsilon,
+        link_delay=link_delay,
+        duration=duration,
+        seed=seed,
+        pr_config=pr_config,
+    )
+
+
+@dataclass(frozen=True)
+class Fig6Spec(ExperimentSpec):
+    """Declarative description of one Figure 6 panel (one link delay)."""
+
+    name: ClassVar[str] = "fig6"
+    SCALE_PRESETS: ClassVar[Mapping[Scale, Mapping[str, Any]]] = {
+        Scale.QUICK: {"epsilons": QUICK_EPSILONS, "duration": QUICK_DURATION},
+        Scale.PAPER: {"epsilons": PAPER_EPSILONS, "duration": PAPER_DURATION},
+    }
+
+    link_delay: float = 10 * MS
+    protocols: Tuple[str, ...] = tuple(PAPER_PROTOCOLS)
+    epsilons: Tuple[float, ...] = tuple(QUICK_EPSILONS)
+    duration: float = QUICK_DURATION
+    pr_config: Optional[PrConfig] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "protocols", tuple(self.protocols))
+        object.__setattr__(self, "epsilons", tuple(self.epsilons))
+
+    def cells(self) -> List[SweepCell]:
+        return [
+            SweepCell(
+                key=(protocol, epsilon),
+                func=CELL_FUNC,
+                params={
+                    "protocol": protocol,
+                    "epsilon": epsilon,
+                    "link_delay": self.link_delay,
+                    "duration": self.duration,
+                    "pr_config": self.pr_config,
+                },
+                seed=self.seed,
+            )
+            for protocol in self.protocols
+            for epsilon in self.epsilons
+        ]
+
+    def assemble(self, results: Mapping[Tuple[str, float], float]) -> Fig6Result:
+        result = Fig6Result(link_delay=self.link_delay, duration=self.duration)
+        for protocol in self.protocols:
+            result.throughput_mbps[protocol] = {
+                epsilon: results[(protocol, epsilon)] for epsilon in self.epsilons
+            }
+        return result
+
+
 def run_fig6(
-    link_delay: float = 10 * MS,
-    protocols: Sequence[str] = PAPER_PROTOCOLS,
-    epsilons: Sequence[float] = QUICK_EPSILONS,
-    duration: float = QUICK_DURATION,
-    seed: int = 0,
+    spec: Optional[Fig6Spec] = None,
+    *,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    seed: Optional[int] = None,
+    link_delay: Optional[float] = None,
+    protocols: Optional[Sequence[str]] = None,
+    epsilons: Optional[Sequence[float]] = None,
+    duration: Optional[float] = None,
     pr_config: Optional[PrConfig] = None,
 ) -> Fig6Result:
-    """Reproduce one panel (one link-delay setting) of Figure 6."""
-    result = Fig6Result(link_delay=link_delay, duration=duration)
-    for protocol in protocols:
-        row: Dict[float, float] = {}
-        for epsilon in epsilons:
-            row[epsilon] = run_single_multipath_flow(
-                protocol,
-                epsilon,
-                link_delay=link_delay,
-                duration=duration,
-                seed=seed,
-                pr_config=pr_config,
-            )
-        result.throughput_mbps[protocol] = row
-    return result
+    """Reproduce one panel (one link-delay setting) of Figure 6.
+
+    Preferred form: ``run_fig6(spec, jobs=..., cache=..., seed=...)``.
+    The pre-spec keyword form (``link_delay=``, ``protocols=``, ...) is
+    kept for backward compatibility and builds a quick-scale spec.
+    """
+    if isinstance(spec, (int, float)):  # legacy positional link_delay
+        link_delay, spec = float(spec), None
+    if spec is None:
+        spec = Fig6Spec.presets(
+            Scale.QUICK,
+            link_delay=link_delay,
+            protocols=protocols,
+            epsilons=epsilons,
+            duration=duration,
+            pr_config=pr_config,
+            seed=seed,
+        )
+        seed = None
+    return run_sweep(spec, jobs=jobs, cache=cache, seed=seed)
 
 
 def format_fig6(result: Fig6Result) -> str:

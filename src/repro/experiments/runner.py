@@ -19,6 +19,7 @@ from repro.analysis.fairness import (
 )
 from repro.app.bulk import BulkTransfer
 from repro.core.pr import PrConfig
+from repro.experiments.serialize import register_result_type
 from repro.net.network import Network
 from repro.tcp.base import TcpConfig
 from repro.topologies.dumbbell import DumbbellSpec, build_dumbbell
@@ -43,9 +44,15 @@ class FairnessScenario:
     bottleneck_links: List[str] = field(default_factory=list)
 
 
+@register_result_type
 @dataclass
 class FairnessResult:
-    """Outcome of a fairness run (the quantities plotted in Figs 2-4)."""
+    """Outcome of a fairness run (the quantities plotted in Figs 2-4).
+
+    Registered with the serializer so the sweep executor's result cache
+    (:mod:`repro.exec.cache`) can round-trip it: every field is
+    JSON-able with string keys.
+    """
 
     topology: str
     total_flows: int

@@ -19,11 +19,12 @@ Example:
 from repro.sim.engine import Simulator
 from repro.sim.errors import ScheduleInPastError, SimulationError
 from repro.sim.events import EventHandle
-from repro.sim.rng import RngRegistry
+from repro.sim.rng import RngRegistry, derive_child_seed
 
 __all__ = [
     "EventHandle",
     "RngRegistry",
+    "derive_child_seed",
     "ScheduleInPastError",
     "SimulationError",
     "Simulator",

@@ -15,6 +15,21 @@ import zlib
 from typing import Dict
 
 
+def derive_child_seed(master_seed: int, name: str) -> int:
+    """Derive a child seed from ``master_seed`` and a stable ``name``.
+
+    The same derivation backs both the in-simulation RNG streams
+    (:class:`RngRegistry`) and the sweep executor's per-cell seeds
+    (:mod:`repro.exec`): a pure function of its inputs, independent of
+    creation order or process boundaries, so serial and parallel runs of
+    the same experiment are bit-identical.
+
+    crc32 is a stable, platform-independent hash of the name; Python's
+    built-in hash() is salted per-process and would break determinism.
+    """
+    return (master_seed * 0x9E3779B1 + zlib.crc32(name.encode())) % 2**63
+
+
 class RngRegistry:
     """Factory of named, independently seeded ``random.Random`` streams."""
 
@@ -30,10 +45,7 @@ class RngRegistry:
         existing = self._streams.get(name)
         if existing is not None:
             return existing
-        # crc32 is a stable, platform-independent hash of the name; Python's
-        # built-in hash() is salted per-process and would break determinism.
-        derived = (self.master_seed * 0x9E3779B1 + zlib.crc32(name.encode())) % 2**63
-        stream = random.Random(derived)
+        stream = random.Random(derive_child_seed(self.master_seed, name))
         self._streams[name] = stream
         return stream
 

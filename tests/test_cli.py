@@ -1,5 +1,7 @@
 """Tests for the repro-experiments CLI."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -23,14 +25,14 @@ def test_unknown_command_rejected():
 
 
 def test_fig2_tiny_run(capsys):
-    assert main(["fig2", "--flows", "2", "--seed", "1"]) == 0
+    assert main(["fig2", "--flows", "2", "--seed", "1", "--no-cache"]) == 0
     out = capsys.readouterr().out
     assert "Figure 2" in out
     assert "dumbbell" in out
 
 
 def test_fig6_tiny_run(capsys):
-    assert main(["fig6", "--epsilons", "500"]) == 0
+    assert main(["fig6", "--epsilons", "500", "--no-cache"]) == 0
     out = capsys.readouterr().out
     assert "Figure 6" in out
     assert "tcp-pr" in out
@@ -38,7 +40,7 @@ def test_fig6_tiny_run(capsys):
 
 def test_compare_tiny_run(capsys):
     assert main([
-        "compare", "--variants", "tcp-pr", "--epsilon", "500",
+        "compare", "--variants", "tcp-pr", "--epsilon", "500", "--no-cache",
     ]) == 0
     out = capsys.readouterr().out
     assert "tcp-pr" in out
@@ -48,3 +50,89 @@ def test_compare_tiny_run(capsys):
 def test_fig6_topology_choice_validated():
     with pytest.raises(SystemExit):
         main(["fig2", "--topology", "ring"])
+
+
+# ----------------------------------------------------------------------
+# Executor flags: --jobs / --no-cache / --cache-dir / --json
+# ----------------------------------------------------------------------
+def _fig4_tiny(*extra):
+    return [
+        "fig4", "--alphas", "0.995", "--betas", "3", "--flows", "4",
+        "--duration", "6", "--window", "4", *extra,
+    ]
+
+
+def test_fig6_parallel_matches_serial(capsys):
+    argv = [
+        "fig6", "--protocols", "tcp-pr", "--epsilons", "0", "500",
+        "--duration", "2", "--no-cache",
+    ]
+    assert main([*argv, "--jobs", "1"]) == 0
+    serial_out = capsys.readouterr().out
+    assert main([*argv, "--jobs", "2"]) == 0
+    parallel_out = capsys.readouterr().out
+    assert serial_out == parallel_out
+
+
+def test_fig4_cache_round_trip(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    assert main(_fig4_tiny("--cache-dir", cache_dir)) == 0
+    cold_out = capsys.readouterr().out
+    entries = list((tmp_path / "cache").rglob("*.json"))
+    assert entries, "the run must populate the cache"
+
+    assert main(_fig4_tiny("--cache-dir", cache_dir)) == 0
+    warm_out = capsys.readouterr().out
+    assert warm_out == cold_out
+
+
+def test_no_cache_leaves_no_cache_dir(tmp_path, capsys):
+    cache_dir = tmp_path / "cache"
+    assert main(_fig4_tiny("--no-cache", "--cache-dir", str(cache_dir))) == 0
+    capsys.readouterr()
+    assert not cache_dir.exists()
+
+
+def test_fig6_json_dump(tmp_path, capsys):
+    out_path = tmp_path / "fig6.json"
+    assert main([
+        "fig6", "--protocols", "tcp-pr", "--epsilons", "500",
+        "--duration", "2", "--no-cache", "--json", str(out_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert str(out_path) in out
+    data = json.loads(out_path.read_text())
+    assert "tcp-pr" in data["throughput_mbps"]
+    assert "500.0" in data["throughput_mbps"]["tcp-pr"]
+
+
+def test_variants_json_dump(tmp_path, capsys):
+    out_path = tmp_path / "variants.json"
+    assert main(["variants", "--json", str(out_path)]) == 0
+    capsys.readouterr()
+    data = json.loads(out_path.read_text())
+    assert "tcp-pr" in data["variants"]
+
+
+def test_compare_json_dump(tmp_path, capsys):
+    out_path = tmp_path / "compare.json"
+    assert main([
+        "compare", "--variants", "tcp-pr", "--epsilon", "500",
+        "--duration", "2", "--no-cache", "--json", str(out_path),
+    ]) == 0
+    capsys.readouterr()
+    data = json.loads(out_path.read_text())
+    assert data["epsilon"] == 500.0
+    assert data["throughput_mbps"]["tcp-pr"] > 0
+
+
+def test_every_subcommand_exposes_executor_flags():
+    parser = build_parser()
+    for command in ("variants", "fig2", "fig3", "fig4", "fig6", "compare"):
+        args = parser.parse_args([
+            command, "--jobs", "3", "--no-cache", "--cache-dir", "/tmp/x",
+        ])
+        assert args.jobs == 3
+        assert args.no_cache
+        assert args.cache_dir == "/tmp/x"
+        assert args.json is None

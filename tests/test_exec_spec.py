@@ -1,0 +1,217 @@
+"""Tests for the declarative sweep-spec layer (repro.exec.spec)."""
+
+import json
+import random
+from dataclasses import FrozenInstanceError, dataclass
+from typing import ClassVar
+
+import pytest
+
+from repro.exec.spec import ExperimentSpec, Scale, SweepCell, resolve_func
+from repro.experiments.fig2_fairness import Fig2Spec
+from repro.experiments.fig3_cov import Fig3Spec
+from repro.experiments.fig4_params import BetaSweepSpec, Fig4Spec
+from repro.experiments.fig6_multipath import Fig6Spec
+from repro.experiments import fig2_fairness, fig3_cov, fig4_params, fig6_multipath
+from repro.experiments.serialize import result_to_jsonable
+from repro.sim.rng import RngRegistry, derive_child_seed
+
+
+# ----------------------------------------------------------------------
+# Scale
+# ----------------------------------------------------------------------
+def test_scale_from_flag():
+    assert Scale.from_flag(True) is Scale.PAPER
+    assert Scale.from_flag(False) is Scale.QUICK
+
+
+def test_scale_from_string():
+    assert Scale("paper") is Scale.PAPER
+    assert Fig4Spec.presets("quick") == Fig4Spec.presets(Scale.QUICK)
+
+
+# ----------------------------------------------------------------------
+# derive_child_seed
+# ----------------------------------------------------------------------
+def test_derive_child_seed_is_stable_and_distinct():
+    assert derive_child_seed(7, "x") == derive_child_seed(7, "x")
+    assert derive_child_seed(7, "x") != derive_child_seed(7, "y")
+    assert derive_child_seed(7, "x") != derive_child_seed(8, "x")
+    assert 0 <= derive_child_seed(123, "anything") < 2**63
+
+
+def test_rng_registry_uses_derive_child_seed():
+    """The registry's streams and the public derivation must agree, so a
+    sweep cell can reproduce any in-simulation stream."""
+    registry = RngRegistry(master_seed=42)
+    direct = random.Random(derive_child_seed(42, "lossy-link"))
+    assert registry.stream("lossy-link").random() == direct.random()
+
+
+# ----------------------------------------------------------------------
+# SweepCell / resolve_func
+# ----------------------------------------------------------------------
+def test_resolve_func_roundtrip():
+    func = resolve_func(fig6_multipath.CELL_FUNC)
+    assert func is fig6_multipath.run_fig6_cell
+
+
+@pytest.mark.parametrize(
+    "bad", ["nocolon", ":leading", "trailing:", "repro.exec.spec:not_there"]
+)
+def test_resolve_func_rejects_bad_paths(bad):
+    with pytest.raises((ValueError, ModuleNotFoundError)):
+        resolve_func(bad)
+
+
+def test_resolve_func_rejects_non_callable():
+    with pytest.raises(ValueError):
+        resolve_func("repro.experiments.fig2_fairness:CELL_FUNC")
+
+
+def test_sweep_cell_runs_in_process():
+    cell = SweepCell(
+        key=("tcp-pr", 500.0),
+        func=fig6_multipath.CELL_FUNC,
+        params={
+            "protocol": "tcp-pr",
+            "epsilon": 500.0,
+            "link_delay": 0.01,
+            "duration": 2.0,
+        },
+        seed=0,
+    )
+    mbps = cell.run()
+    assert mbps == fig6_multipath.run_single_multipath_flow(
+        "tcp-pr", 500.0, duration=2.0
+    )
+
+
+# ----------------------------------------------------------------------
+# Presets
+# ----------------------------------------------------------------------
+def test_fig2_presets_match_module_constants():
+    quick = Fig2Spec.presets(Scale.QUICK)
+    paper = Fig2Spec.presets(Scale.PAPER)
+    assert quick.flow_counts == tuple(fig2_fairness.QUICK_FLOW_COUNTS)
+    assert paper.flow_counts == tuple(fig2_fairness.PAPER_FLOW_COUNTS)
+    assert paper.duration == fig2_fairness.PAPER_DURATION
+    assert paper.measure_window == fig2_fairness.PAPER_MEASURE_WINDOW
+
+
+def test_fig3_presets_match_module_constants():
+    paper = Fig3Spec.presets(Scale.PAPER)
+    assert paper.bandwidths_mbps == tuple(fig3_cov.PAPER_BANDWIDTHS_MBPS)
+    assert paper.total_flows == fig3_cov.PAPER_FLOWS
+
+
+def test_fig4_presets_match_module_constants():
+    paper = Fig4Spec.presets(Scale.PAPER)
+    assert paper.alphas == tuple(fig4_params.PAPER_ALPHAS)
+    assert paper.betas == tuple(fig4_params.PAPER_BETAS)
+    assert paper.total_flows == fig4_params.PAPER_FLOWS
+
+
+def test_fig6_presets_match_module_constants():
+    quick = Fig6Spec.presets(Scale.QUICK)
+    paper = Fig6Spec.presets(Scale.PAPER)
+    assert quick.epsilons == tuple(fig6_multipath.QUICK_EPSILONS)
+    assert paper.epsilons == tuple(fig6_multipath.PAPER_EPSILONS)
+    assert paper.duration == fig6_multipath.PAPER_DURATION
+
+
+def test_presets_overrides_apply_and_none_is_ignored():
+    spec = Fig4Spec.presets(
+        Scale.PAPER, alphas=(0.5,), betas=None, seed=9, duration=None
+    )
+    assert spec.alphas == (0.5,)
+    assert spec.betas == tuple(fig4_params.PAPER_BETAS)  # None ignored
+    assert spec.duration == fig4_params.PAPER_DURATION
+    assert spec.seed == 9
+
+
+def test_specs_are_frozen():
+    spec = Fig6Spec()
+    with pytest.raises(FrozenInstanceError):
+        spec.duration = 1.0
+
+
+def test_with_seed():
+    spec = Fig6Spec(seed=0)
+    assert spec.with_seed(None) is spec
+    assert spec.with_seed(5).seed == 5
+
+
+# ----------------------------------------------------------------------
+# Cells
+# ----------------------------------------------------------------------
+def test_fig2_cells_derive_per_count_seeds():
+    spec = Fig2Spec(flow_counts=(4, 8), seed=100)
+    cells = spec.cells()
+    assert [cell.key for cell in cells] == [4, 8]
+    assert [cell.seed for cell in cells] == [104, 108]
+    assert all(cell.func == fig2_fairness.CELL_FUNC for cell in cells)
+
+
+def test_fig4_cells_cover_the_grid():
+    spec = Fig4Spec(alphas=(0.5, 0.995), betas=(1.0, 3.0))
+    keys = {cell.key for cell in spec.cells()}
+    assert keys == {(0.5, 1.0), (0.5, 3.0), (0.995, 1.0), (0.995, 3.0)}
+
+
+def test_fig6_cells_cover_protocol_epsilon_product():
+    spec = Fig6Spec(protocols=("tcp-pr", "sack"), epsilons=(0.0, 500.0))
+    keys = {cell.key for cell in spec.cells()}
+    assert len(keys) == 4
+    assert ("sack", 0.0) in keys
+
+
+def test_beta_sweep_cells():
+    spec = BetaSweepSpec(betas=(3.0, 10.0), seed=2)
+    cells = spec.cells()
+    assert [cell.key for cell in cells] == [3.0, 10.0]
+    assert all(cell.seed == 2 for cell in cells)
+
+
+@pytest.mark.parametrize(
+    "spec",
+    [
+        Fig2Spec(flow_counts=(4,)),
+        Fig3Spec(bandwidths_mbps=(6.0,)),
+        Fig4Spec(alphas=(0.5,), betas=(3.0,)),
+        Fig6Spec(protocols=("tcp-pr",), epsilons=(0.0,)),
+        BetaSweepSpec(betas=(3.0,)),
+    ],
+)
+def test_cell_params_are_hashable_content(spec):
+    """Every cell's params must canonicalize to JSON — the cache keys on it."""
+    for cell in spec.cells():
+        json.dumps(result_to_jsonable(dict(cell.params)), sort_keys=True)
+
+
+def test_sequence_fields_are_normalized_to_tuples():
+    assert Fig2Spec(flow_counts=[2, 4]).flow_counts == (2, 4)
+    assert Fig4Spec(alphas=[0.5], betas=[1.0]).alphas == (0.5,)
+
+
+# ----------------------------------------------------------------------
+# ExperimentSpec base behaviour
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _ToySpec(ExperimentSpec):
+    name: ClassVar[str] = "toy"
+    seed: int = 0
+
+
+def test_default_cell_seed_uses_child_derivation():
+    spec = _ToySpec(seed=11)
+    assert spec.cell_seed("a") == derive_child_seed(11, "toy/a")
+    assert spec.cell_seed("a") != spec.cell_seed("b")
+
+
+def test_base_spec_methods_are_abstract():
+    spec = _ToySpec()
+    with pytest.raises(NotImplementedError):
+        spec.cells()
+    with pytest.raises(NotImplementedError):
+        spec.assemble({})
