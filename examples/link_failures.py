@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Link failures and path blackouts: TCP-PR vs NewReno (robustness demo).
+
+The paper's Section 1 scenarios — route changes, link-layer retransmission,
+wireless handoff — all involve paths that don't just reorder packets but
+occasionally *disappear*.  This example builds the Figure 5 four-path mesh
+with full per-packet multipath (ε = 0) and injects a declarative
+:class:`~repro.faults.FaultSchedule` against the shortest path:
+
+* ``t = 5 s``:  path 0 blacks out for 2 s (the router withdraws the
+  route) while its first-hop link goes down, flushing packets in flight,
+  and the reverse hop drops every ACK;
+* ``t = 7 s``:  the link returns with a 3× delay spike for 1 s (the
+  post-rerouting RTT jump);
+* ``t = 12 s``: a second, shorter outage of 1 s.
+
+A :class:`~repro.trace.FaultTimelineMonitor` records each applied event,
+and both protocols run the *same* schedule (same seeds, same topology).
+TCP-PR loses roughly the capacity the faults removed; NewReno's
+DUPACK-based recovery compounds the reordering penalty it already pays.
+
+Run:
+    python examples/link_failures.py
+"""
+
+from repro.app.bulk import BulkTransfer
+from repro.core.pr import PrConfig
+from repro.faults import (
+    AckLoss,
+    DelaySpike,
+    FaultSchedule,
+    Injector,
+    LinkDown,
+    LinkUp,
+    PathBlackout,
+)
+from repro.tcp.base import TcpConfig
+from repro.topologies.multipath_mesh import (
+    MultipathMeshSpec,
+    build_multipath_mesh,
+    install_epsilon_routing,
+)
+from repro.trace import FaultTimelineMonitor
+from repro.util.units import MBPS, MS
+
+DURATION = 20.0
+SEED = 11
+INITIAL_SSTHRESH = 128.0
+
+
+def build_schedule() -> FaultSchedule:
+    """Two compound outages against path 0 (src → p0m0 → dst)."""
+    return FaultSchedule(
+        [
+            # First outage: 2 s at t = 5.
+            PathBlackout(time=5.0, duration=2.0, origin="src", dst="dst",
+                         path_index=0),
+            LinkDown(time=5.0, src="src", dst="p0m0", flush=True),
+            AckLoss(time=5.0, duration=2.0, src="p0m0", dst="src", rate=1.0),
+            LinkUp(time=7.0, src="src", dst="p0m0"),
+            DelaySpike(time=7.0, duration=1.0, src="src", dst="p0m0",
+                       factor=3.0),
+            # Second, shorter outage: 1 s at t = 12.
+            PathBlackout(time=12.0, duration=1.0, origin="src", dst="dst",
+                         path_index=0),
+            LinkDown(time=12.0, src="src", dst="p0m0", flush=True),
+            LinkUp(time=13.0, src="src", dst="p0m0"),
+        ]
+    )
+
+
+def run_flow(protocol: str) -> float:
+    """One flow under the fault schedule; returns goodput in Mbps."""
+    net = build_multipath_mesh(MultipathMeshSpec(link_delay=10 * MS, seed=SEED))
+    install_epsilon_routing(net, epsilon=0.0)
+    monitor = FaultTimelineMonitor()
+    Injector(net, build_schedule(), monitor=monitor).arm()
+    flow = BulkTransfer(
+        net,
+        protocol,
+        "src",
+        "dst",
+        flow_id=1,
+        tcp_config=TcpConfig(initial_ssthresh=INITIAL_SSTHRESH),
+        pr_config=PrConfig(initial_ssthresh=INITIAL_SSTHRESH),
+    )
+    net.run(until=DURATION, livelock_threshold=1_000_000)
+    if protocol == "tcp-pr":  # identical timeline for both; print it once
+        print("Fault timeline (as applied):")
+        print(monitor.timeline())
+        print()
+    return flow.delivered_bytes() * 8.0 / DURATION / MBPS
+
+
+def main() -> None:
+    print("Figure 5 mesh, four 10 Mbps paths, epsilon = 0 (full per-packet")
+    print("multipath); path 0 suffers two compound outages.\n")
+    goodputs = {protocol: run_flow(protocol) for protocol in ("tcp-pr", "newreno")}
+
+    print(f"{'protocol':>9} {'goodput':>9}")
+    for protocol, mbps in goodputs.items():
+        print(f"{protocol:>9} {mbps:>7.2f} Mbps")
+
+    print("\nTCP-PR's timer-driven loss detection treats the post-outage")
+    print("reordering burst as reordering and keeps its window; NewReno's")
+    print("DUPACK logic reads it as repeated loss and collapses.")
+
+
+if __name__ == "__main__":
+    main()

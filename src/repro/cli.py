@@ -7,6 +7,7 @@ Installed as ``repro-experiments`` (also ``python -m repro``)::
     repro-experiments fig3 --topology parking-lot
     repro-experiments fig4 --jobs 8
     repro-experiments fig6 --delay-ms 10 --epsilons 0 4 500
+    repro-experiments fig7 --outages 0 1 2 --keep-going
     repro-experiments compare --scenario multipath --variants tcp-pr sack
 
 Every subcommand prints the same rows/series the paper's figure shows
@@ -16,6 +17,11 @@ spec (``--paper-scale`` selects the full configuration), fanned out over
 ``--cache-dir`` (default ``.repro-cache/``; disable with ``--no-cache``)
 so repeat invocations are near-instant.  ``--json PATH`` additionally
 dumps the result for external plotting tools.
+
+Sweeps are crash-isolated: ``--keep-going`` finishes the surviving cells
+and reports a partial figure when some fail, ``--cell-timeout`` bounds
+each cell's wall clock, and ``--retries``/``--retry-backoff`` re-attempt
+failed cells with re-derived seeds (see ``docs/FAULTS.md``).
 """
 
 from __future__ import annotations
@@ -25,8 +31,22 @@ import sys
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
-from repro.exec import DEFAULT_CACHE_DIR, ParallelRunner, ResultCache, Scale, SweepCell
-from repro.experiments import fig2_fairness, fig3_cov, fig4_params, fig6_multipath
+from repro.exec import (
+    DEFAULT_CACHE_DIR,
+    CellError,
+    ParallelRunner,
+    ResultCache,
+    Scale,
+    SweepCell,
+    SweepError,
+)
+from repro.experiments import (
+    fig2_fairness,
+    fig3_cov,
+    fig4_params,
+    fig6_multipath,
+    fig7_faults,
+)
 from repro.experiments.report import bar_chart
 from repro.experiments.serialize import dump_result
 from repro.tcp.registry import available_variants
@@ -62,10 +82,72 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="also dump the result as JSON to PATH",
     )
+    failure = parser.add_mutually_exclusive_group()
+    failure.add_argument(
+        "--keep-going",
+        dest="keep_going",
+        action="store_true",
+        help="on cell failure, finish the remaining cells and report a "
+        "partial result (failed cells are listed; exit status stays 0 "
+        "only if everything succeeded)",
+    )
+    failure.add_argument(
+        "--fail-fast",
+        dest="keep_going",
+        action="store_false",
+        help="abort the sweep on the first cell failure (default)",
+    )
+    parser.set_defaults(keep_going=False)
+    parser.add_argument(
+        "--cell-timeout",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="wall-clock budget per sweep cell; overruns count as failures",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="re-attempts per failed cell, each with a re-derived seed "
+        "(default: 0)",
+    )
+    parser.add_argument(
+        "--retry-backoff",
+        type=float,
+        metavar="SECONDS",
+        default=0.25,
+        help="base delay between attempts, doubled each retry (default: 0.25)",
+    )
 
 
 def _cache_from(args: argparse.Namespace) -> Optional[ResultCache]:
     return None if args.no_cache else ResultCache(args.cache_dir)
+
+
+def _runner_from(args: argparse.Namespace) -> ParallelRunner:
+    """One runner per invocation, so ``last_stats`` survives the sweep."""
+    return ParallelRunner(
+        jobs=args.jobs,
+        cache=_cache_from(args),
+        timeout=args.cell_timeout,
+        retries=args.retries,
+        backoff=args.retry_backoff,
+        keep_going=args.keep_going,
+    )
+
+
+def _failure_report(runner: ParallelRunner) -> str:
+    """Human-readable summary of any failed cells (empty when clean)."""
+    stats = runner.last_stats
+    if not stats.errors:
+        return ""
+    lines = [
+        f"{len(stats.errors)} of {stats.total} cells failed "
+        f"({stats.timed_out} timed out, {stats.retried} retried):"
+    ]
+    lines.extend(f"  {error.summary()}" for error in stats.errors)
+    return "\n".join(lines)
 
 
 def _finish(args: argparse.Namespace, result: Any, text: str) -> int:
@@ -142,6 +224,18 @@ _FIGURES: Dict[str, _FigureCommand] = {
             "duration": args.duration,
         },
     ),
+    "fig7": _FigureCommand(
+        spec_cls=fig7_faults.Fig7Spec,
+        run=fig7_faults.run_fig7,
+        fmt=fig7_faults.format_fig7,
+        overrides=lambda args: {
+            "link_delay": args.delay_ms * MS if args.delay_ms is not None else None,
+            "protocols": tuple(args.protocols) if args.protocols else None,
+            "outages": tuple(args.outages) if args.outages else None,
+            "period": args.period,
+            "duration": args.duration,
+        },
+    ),
 }
 
 
@@ -153,22 +247,40 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         seed=args.seed,
         **command.overrides(args),
     )
-    cache = _cache_from(args)
-    result = command.run(spec, jobs=args.jobs, cache=cache)
+    runner = _runner_from(args)
+    try:
+        result = command.run(spec, runner=runner)
+    except SweepError as exc:
+        print(f"sweep failed ({args.command}):", file=sys.stderr)
+        for error in exc.errors:
+            print(f"  {error.summary()}", file=sys.stderr)
+        return 1
     text = command.fmt(result)
     payload: Any = result
+    failures = _failure_report(runner)
 
     if getattr(args, "extreme", False):
         sweep_spec = fig4_params.BetaSweepSpec.presets(
             Scale.from_flag(args.paper_scale), seed=args.seed
         )
-        points = fig4_params.run_extreme_loss_beta_sweep(
-            sweep_spec, jobs=args.jobs, cache=cache
-        )
+        try:
+            points = fig4_params.run_extreme_loss_beta_sweep(
+                sweep_spec, runner=runner
+            )
+        except SweepError as exc:
+            print("sweep failed (extreme beta sweep):", file=sys.stderr)
+            for error in exc.errors:
+                print(f"  {error.summary()}", file=sys.stderr)
+            return 1
         text += "\n\n" + fig4_params.format_beta_sweep(points)
         payload = {"fig4": result, "extreme_beta_sweep": points}
+        extra = _failure_report(runner)
+        failures = "\n".join(part for part in (failures, extra) if part)
 
-    return _finish(args, payload, text)
+    if failures:
+        text += "\n\n" + failures
+    status = _finish(args, payload, text)
+    return 1 if failures else status
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
@@ -189,21 +301,35 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         )
         for variant in args.variants
     ]
-    runner = ParallelRunner(jobs=args.jobs, cache=_cache_from(args))
-    values = runner.run_cells(cells)
-    results = {variant: values[variant] for variant in args.variants}
+    runner = _runner_from(args)
+    try:
+        values = runner.run_cells(cells)
+    except SweepError as exc:
+        print("comparison failed:", file=sys.stderr)
+        for error in exc.errors:
+            print(f"  {error.summary()}", file=sys.stderr)
+        return 1
+    results = {
+        variant: value
+        for variant, value in values.items()
+        if not isinstance(value, CellError)
+    }
     text = (
         f"Throughput over the Figure 5 mesh (eps={args.epsilon:g}, "
         f"{args.delay_ms} ms links, {duration:.0f} s):\n\n"
         + bar_chart(results, unit=" Mbps")
     )
+    failures = _failure_report(runner)
+    if failures:
+        text += "\n\n" + failures
     payload = {
         "epsilon": args.epsilon,
         "delay_ms": args.delay_ms,
         "duration": duration,
         "throughput_mbps": results,
     }
-    return _finish(args, payload, text)
+    status = _finish(args, payload, text)
+    return 1 if failures else status
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -264,6 +390,21 @@ def build_parser() -> argparse.ArgumentParser:
     fig6.add_argument("--duration", type=float, default=None)
     _add_common(fig6)
     fig6.set_defaults(func=_cmd_figure)
+
+    fig7 = sub.add_parser(
+        "fig7", help="Figure 7: goodput under scheduled outages/blackouts"
+    )
+    fig7.add_argument("--delay-ms", type=float, default=10.0,
+                      help="per-link delay in milliseconds")
+    fig7.add_argument("--outages", type=float, nargs="*", default=None,
+                      help="outage durations (seconds) to sweep")
+    fig7.add_argument("--protocols", nargs="*", default=None,
+                      help="subset of protocols to run")
+    fig7.add_argument("--period", type=float, default=None,
+                      help="seconds between outages (default: 10)")
+    fig7.add_argument("--duration", type=float, default=None)
+    _add_common(fig7)
+    fig7.set_defaults(func=_cmd_figure)
 
     compare = sub.add_parser(
         "compare", help="compare chosen variants in one multipath scenario"

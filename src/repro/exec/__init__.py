@@ -4,14 +4,18 @@ Every paper figure is a grid of mutually independent simulations.  This
 package turns that observation into infrastructure:
 
 * :mod:`repro.exec.spec` — :class:`Scale` presets, :class:`SweepCell`,
-  and the :class:`ExperimentSpec` base class each figure subclasses;
+  the :class:`ExperimentSpec` base class each figure subclasses, and
+  :class:`PartialSweepResult` for sweeps that lost cells to failures;
 * :mod:`repro.exec.runner` — :class:`ParallelRunner` / :func:`run_sweep`,
   fanning cells over a ``multiprocessing`` pool with bit-identical
-  serial/parallel results;
+  serial/parallel results and a graceful failure policy
+  (:class:`CellError` capture, per-cell ``timeout``, ``retries`` with
+  re-derived seeds, ``keep_going`` partial assembly);
 * :mod:`repro.exec.cache` — :class:`ResultCache`, a content-addressed
   on-disk store under ``.repro-cache/`` making repeat runs near-instant.
 
-See ``docs/EXECUTOR.md`` for the design.
+See ``docs/EXECUTOR.md`` for the design and ``docs/FAULTS.md`` for the
+failure policy.
 """
 
 from repro.exec.cache import (
@@ -20,19 +24,36 @@ from repro.exec.cache import (
     CacheStats,
     ResultCache,
 )
-from repro.exec.runner import ParallelRunner, RunStats, run_sweep
-from repro.exec.spec import ExperimentSpec, Scale, SweepCell, resolve_func
+from repro.exec.runner import (
+    CellError,
+    CellTimeout,
+    ParallelRunner,
+    RunStats,
+    SweepError,
+    run_sweep,
+)
+from repro.exec.spec import (
+    ExperimentSpec,
+    PartialSweepResult,
+    Scale,
+    SweepCell,
+    resolve_func,
+)
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
     "DEFAULT_CACHE_DIR",
     "CacheStats",
+    "CellError",
+    "CellTimeout",
     "ExperimentSpec",
     "ParallelRunner",
+    "PartialSweepResult",
     "ResultCache",
     "RunStats",
     "Scale",
     "SweepCell",
+    "SweepError",
     "resolve_func",
     "run_sweep",
 ]

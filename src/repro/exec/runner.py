@@ -9,34 +9,172 @@ seed and builds its own simulator, execution order and process placement
 cannot influence the numbers: ``jobs=1`` and ``jobs=N`` are
 bit-identical.
 
+Failure policy (a sweep farm must degrade, not die):
+
+* every cell runs inside a guard that captures exceptions as data — a
+  crashing cell produces a :class:`CellError`, never an aborted grid;
+* ``timeout`` puts a per-cell wall-clock ceiling on execution (enforced
+  with ``SIGALRM`` inside the worker, so a runaway simulation cannot
+  hang the sweep);
+* ``retries`` re-runs a failed cell with exponential backoff, each
+  attempt under a freshly derived seed (``derive_child_seed(seed,
+  "attempt/k")``), so a pathological RNG draw doesn't doom the cell;
+* with ``keep_going=True`` the failed cells are reported in
+  :attr:`RunStats.errors` and handed to the spec's ``assemble_partial``;
+  the default ``keep_going=False`` raises :class:`SweepError` *after*
+  draining (and caching) every in-flight cell, so completed work is
+  never discarded either way;
+* results are cached as each cell completes, not at the end of the
+  sweep — a late crash cannot discard earlier cells' work.
+
 :func:`run_sweep` is the one-call convenience used by every
 ``run_fig*`` entry point::
 
     from repro.experiments import Fig4Spec, Scale, run_sweep
 
     spec = Fig4Spec.presets(Scale.PAPER, seed=7)
-    result = run_sweep(spec, jobs=8, cache=ResultCache())
+    result = run_sweep(spec, jobs=8, cache=ResultCache(), keep_going=True)
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import signal
 import time
-from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+import traceback as _traceback
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.exec.cache import ResultCache
 from repro.exec.spec import ExperimentSpec, SweepCell, resolve_func
+from repro.sim.rng import derive_child_seed
+
+
+class CellTimeout(Exception):
+    """Raised inside a worker when a cell exceeds its wall-clock budget."""
+
+
+@dataclass(frozen=True)
+class CellError:
+    """One cell's terminal failure, captured as plain (picklable) data.
+
+    Appears as the cell's value in keep-going results and in
+    :attr:`RunStats.errors`; never stored in the result cache, so a
+    healed code path re-runs the cell on the next invocation.
+    """
+
+    key: Any
+    func: str
+    error: str  # exception class name ("ValueError", "CellTimeout", ...)
+    message: str
+    traceback: str
+    attempts: int
+    timed_out: bool
+
+    def summary(self) -> str:
+        note = " (timed out)" if self.timed_out else ""
+        return (
+            f"{self.key!r}: {self.error}: {self.message}{note} "
+            f"[{self.attempts} attempt{'s' if self.attempts != 1 else ''}]"
+        )
+
+
+class SweepError(RuntimeError):
+    """Raised in fail-fast mode when one or more cells fail.
+
+    ``errors`` holds the per-cell failures (cell order), ``completed``
+    the successful results — which were already written to the cache, so
+    a re-run under ``keep_going`` (or after a fix) resumes from them.
+    """
+
+    def __init__(self, errors: List[CellError], completed: Dict[Any, Any]) -> None:
+        lines = "\n  ".join(error.summary() for error in errors)
+        super().__init__(
+            f"{len(errors)} sweep cell{'s' if len(errors) != 1 else ''} "
+            f"failed (completed cells are cached; pass keep_going=True / "
+            f"--keep-going to assemble partial results):\n  {lines}"
+        )
+        self.errors = errors
+        self.completed = completed
+
+
+#: Payload shipped to a worker: everything needed to run one cell with
+#: the full failure policy applied *inside* the worker, so retries and
+#: timeouts behave identically in-process and across the pool.
+_Payload = Tuple[int, str, Dict[str, Any], int, Optional[float], int, float]
+#: What comes back: (index, failure-or-None, value, attempts) where
+#: failure is (error name, message, traceback, timed_out).
+_Outcome = Tuple[int, Optional[Tuple[str, str, str, bool]], Any, int]
+
+
+@contextmanager
+def _alarm(seconds: Optional[float]):
+    """Arm a SIGALRM-based wall-clock ceiling around a cell execution.
+
+    No-op when ``seconds`` is None or the platform lacks ``SIGALRM``
+    (the pure-Python simulator checks signals between bytecodes, so the
+    alarm always lands).  The timer is cleared before results are
+    pickled back, and fork does not inherit interval timers, so workers
+    start clean.
+    """
+    if seconds is None or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise CellTimeout(f"cell exceeded its {seconds:g} s wall-clock timeout")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 def _execute_payload(payload: Tuple[str, Dict[str, Any], int]) -> Any:
-    """Worker entry point: resolve the cell function by path and run it.
+    """Bare worker entry point: resolve the cell function and run it.
 
-    Module-level (not a closure) so it pickles under every
-    multiprocessing start method.
+    Kept for backward compatibility (and the no-failure-policy serial
+    path's tests); :func:`_execute_payload_guarded` is the hardened
+    equivalent.  Module-level so it pickles under every start method.
     """
     func_path, params, seed = payload
     return resolve_func(func_path)(**params, seed=seed)
+
+
+def _execute_payload_guarded(payload: _Payload) -> _Outcome:
+    """Run one cell with exception capture, timeout, and retries.
+
+    Runs identically in-process and inside a pool worker, which is what
+    makes serial and parallel failure sets bit-identical: the guard is
+    the same code object, so captured tracebacks match exactly.
+    """
+    index, func_path, params, seed, timeout, retries, backoff = payload
+    attempt = 0
+    while True:
+        attempt_seed = (
+            seed if attempt == 0 else derive_child_seed(seed, f"attempt/{attempt}")
+        )
+        try:
+            func = resolve_func(func_path)
+            with _alarm(timeout):
+                value = func(**params, seed=attempt_seed)
+            return index, None, value, attempt + 1
+        except Exception as exc:
+            timed_out = isinstance(exc, CellTimeout)
+            failure = (
+                type(exc).__name__,
+                str(exc),
+                _traceback.format_exc(),
+                timed_out,
+            )
+        if attempt >= retries:
+            return index, failure, None, attempt + 1
+        time.sleep(backoff * (2.0 ** attempt))
+        attempt += 1
 
 
 def _default_context() -> multiprocessing.context.BaseContext:
@@ -55,13 +193,30 @@ class RunStats:
     executed: int = 0
     jobs: int = 1
     elapsed: float = 0.0
+    failed: int = 0
+    timed_out: int = 0
+    retried: int = 0
+    #: Terminal per-cell failures, in cell order (empty on a clean run).
+    errors: List[CellError] = field(default_factory=list)
 
 
 class ParallelRunner:
-    """Executes sweep cells with optional caching and process fan-out.
+    """Executes sweep cells with caching, fan-out, and graceful failure.
 
-    ``jobs`` is the maximum number of worker processes (1 = in-process
-    serial execution, no pool).  ``cache=None`` disables caching.
+    Args:
+        jobs: Maximum worker processes (1 = in-process serial execution,
+            no pool — unless ``timeout`` is set, which always uses a
+            pool so a hung cell cannot hang the parent).
+        cache: Result cache; ``None`` disables caching.
+        timeout: Per-cell wall-clock ceiling in seconds (None = no limit).
+        retries: Re-run a failed cell up to this many extra times, each
+            attempt with a re-derived seed.
+        backoff: Base of the exponential retry backoff:
+            attempt *k* sleeps ``backoff * 2**k`` seconds first.
+        keep_going: On cell failure, keep executing and report the
+            failures in :attr:`RunStats.errors` /
+            ``spec.assemble_partial`` instead of raising
+            :class:`SweepError`.
     """
 
     def __init__(
@@ -69,23 +224,65 @@ class ParallelRunner:
         jobs: int = 1,
         cache: Optional[ResultCache] = None,
         mp_context: Optional[multiprocessing.context.BaseContext] = None,
+        timeout: Optional[float] = None,
+        retries: int = 0,
+        backoff: float = 0.25,
+        keep_going: bool = False,
     ) -> None:
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if backoff < 0:
+            raise ValueError(f"backoff must be >= 0, got {backoff}")
         self.jobs = max(1, int(jobs))
         self.cache = cache
+        self.timeout = timeout
+        self.retries = int(retries)
+        self.backoff = backoff
+        self.keep_going = keep_going
         self._mp_context = mp_context
         self.last_stats = RunStats()
 
     def run(self, spec: ExperimentSpec) -> Any:
-        """Execute every cell of ``spec`` and assemble the figure result."""
-        return spec.assemble(self.run_cells(spec.cells()))
+        """Execute every cell of ``spec`` and assemble the figure result.
+
+        On a clean run this is ``spec.assemble``; when ``keep_going``
+        swallowed failures it is ``spec.assemble_partial`` over the
+        surviving cells.
+        """
+        values = self.run_cells(spec.cells())
+        errors = {
+            key: value for key, value in values.items()
+            if isinstance(value, CellError)
+        }
+        if errors:
+            good = {
+                key: value for key, value in values.items()
+                if not isinstance(value, CellError)
+            }
+            return spec.assemble_partial(good, errors)
+        return spec.assemble(values)
 
     def run_cells(self, cells: Iterable[SweepCell]) -> Dict[Any, Any]:
-        """Execute ``cells`` (cache-first) and return ``{cell.key: result}``."""
+        """Execute ``cells`` (cache-first) and return ``{cell.key: result}``.
+
+        Failed cells appear as :class:`CellError` values under
+        ``keep_going``; otherwise a :class:`SweepError` is raised after
+        every in-flight cell has drained (and been cached).  The
+        returned dict is in cell order regardless of completion order.
+        """
         started = time.perf_counter()
         cells = list(cells)
         keys = [cell.key for cell in cells]
         if len(set(keys)) != len(keys):
             raise ValueError(f"sweep cells must have unique keys, got {keys!r}")
+
+        # Fail fast on typos: resolve every cell function *before* any
+        # cache read or pool fork, so a bad path is one clear error
+        # instead of N identical worker tracebacks.
+        for func_path in dict.fromkeys(cell.func for cell in cells):
+            resolve_func(func_path)
 
         results: Dict[Any, Any] = {}
         pending: List[SweepCell] = []
@@ -97,27 +294,83 @@ class ParallelRunner:
                     continue
             pending.append(cell)
 
-        for cell, value in zip(pending, self._execute(pending)):
-            results[cell.key] = value
-            if self.cache is not None:
-                self.cache.store(cell, value)
+        errors: Dict[Any, CellError] = {}
+        retried = 0
+        timed_out = 0
+        for index, failure, value, attempts in self._execute(pending):
+            cell = pending[index]
+            retried += attempts - 1
+            if failure is None:
+                results[cell.key] = value
+                if self.cache is not None:
+                    # Store as each cell completes: a crash later in the
+                    # sweep cannot discard this cell's work.
+                    self.cache.store(cell, value)
+            else:
+                error_name, message, trace, cell_timed_out = failure
+                errors[cell.key] = CellError(
+                    key=cell.key,
+                    func=cell.func,
+                    error=error_name,
+                    message=message,
+                    traceback=trace,
+                    attempts=attempts,
+                    timed_out=cell_timed_out,
+                )
+                if cell_timed_out:
+                    timed_out += 1
 
+        error_list = [errors[cell.key] for cell in pending if cell.key in errors]
         self.last_stats = RunStats(
             total=len(cells),
             cached=len(cells) - len(pending),
             executed=len(pending),
             jobs=self.jobs,
             elapsed=time.perf_counter() - started,
+            failed=len(error_list),
+            timed_out=timed_out,
+            retried=retried,
+            errors=error_list,
         )
-        return results
+        if error_list and not self.keep_going:
+            raise SweepError(error_list, results)
+        combined = {**results, **errors}
+        return {cell.key: combined[cell.key] for cell in cells}
 
-    def _execute(self, cells: Sequence[SweepCell]) -> List[Any]:
-        payloads = [(cell.func, dict(cell.params), cell.seed) for cell in cells]
-        if self.jobs <= 1 or len(cells) <= 1:
-            return [_execute_payload(payload) for payload in payloads]
-        context = self._mp_context if self._mp_context is not None else _default_context()
-        with context.Pool(processes=min(self.jobs, len(cells))) as pool:
-            return pool.map(_execute_payload, payloads)
+    def _execute(self, cells: Sequence[SweepCell]) -> Iterator[_Outcome]:
+        """Yield guarded outcomes for ``cells`` (any completion order)."""
+        payloads: List[_Payload] = [
+            (
+                index,
+                cell.func,
+                dict(cell.params),
+                cell.seed,
+                self.timeout,
+                self.retries,
+                self.backoff,
+            )
+            for index, cell in enumerate(cells)
+        ]
+        if not payloads:
+            return
+        # A timeout always routes through a pool — SIGALRM in the parent
+        # would collide with test harnesses (and a hung cell would still
+        # hang a serial parent); a worker's main thread is all ours.
+        use_pool = (self.jobs > 1 and len(payloads) > 1) or (
+            self.timeout is not None
+        )
+        if not use_pool:
+            for payload in payloads:
+                yield _execute_payload_guarded(payload)
+            return
+        context = (
+            self._mp_context if self._mp_context is not None else _default_context()
+        )
+        with context.Pool(processes=min(self.jobs, len(payloads))) as pool:
+            # imap_unordered: one slow or crashing cell never blocks the
+            # others' results from being consumed (and cached) promptly.
+            for outcome in pool.imap_unordered(_execute_payload_guarded, payloads):
+                yield outcome
 
 
 def run_sweep(
@@ -126,11 +379,28 @@ def run_sweep(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     seed: Optional[int] = None,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    backoff: float = 0.25,
+    keep_going: bool = False,
+    runner: Optional[ParallelRunner] = None,
 ) -> Any:
     """Run a declarative sweep end-to-end and return the assembled result.
 
     ``seed``, when given, overrides the spec's master seed (the common
-    CLI case: one ``--seed`` flag threading into a preset spec).
+    CLI case: one ``--seed`` flag threading into a preset spec).  Pass a
+    pre-built ``runner`` to reuse one runner across sweeps (and read its
+    ``last_stats`` afterwards); the other executor knobs are ignored
+    then.
     """
     spec = spec.with_seed(seed)
-    return ParallelRunner(jobs=jobs, cache=cache).run(spec)
+    if runner is None:
+        runner = ParallelRunner(
+            jobs=jobs,
+            cache=cache,
+            timeout=timeout,
+            retries=retries,
+            backoff=backoff,
+            keep_going=keep_going,
+        )
+    return runner.run(spec)

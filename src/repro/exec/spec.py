@@ -92,6 +92,25 @@ class SweepCell:
 
 
 @dataclass(frozen=True)
+class PartialSweepResult:
+    """Default container for a sweep that lost cells to failures.
+
+    ``values`` holds the completed cells (``{cell.key: result}``),
+    ``errors`` the failed ones (``{cell.key: CellError}``).  Specs whose
+    result type can represent holes (e.g. ``Fig7Result``) override
+    :meth:`ExperimentSpec.assemble_partial` and never produce this.
+    """
+
+    spec_name: str
+    values: Mapping[Any, Any]
+    errors: Mapping[Any, Any]
+
+    @property
+    def complete(self) -> bool:
+        return not self.errors
+
+
+@dataclass(frozen=True)
 class ExperimentSpec:
     """Base class for declarative experiment descriptions.
 
@@ -152,3 +171,20 @@ class ExperimentSpec:
 
     def assemble(self, results: Mapping[Any, Any]) -> Any:
         raise NotImplementedError
+
+    def assemble_partial(
+        self, results: Mapping[Any, Any], errors: Mapping[Any, Any]
+    ) -> Any:
+        """Fold an *incomplete* result set (``keep_going`` after failures).
+
+        ``results`` maps completed cell keys to their values; ``errors``
+        maps failed keys to :class:`~repro.exec.runner.CellError`
+        records.  The default wraps both in a
+        :class:`PartialSweepResult`; specs whose result type tolerates
+        holes should override this to degrade gracefully instead.  Only
+        called when ``errors`` is non-empty — a clean sweep always goes
+        through :meth:`assemble`.
+        """
+        return PartialSweepResult(
+            spec_name=self.name, values=dict(results), errors=dict(errors)
+        )

@@ -1,0 +1,48 @@
+"""Importable cell functions exercising the runner's failure paths.
+
+Sweep cells reference their work by ``"module:function"`` path, so test
+cells must live in an importable module — worker processes re-resolve
+the path on their side of the fork.  These helpers are deliberately tiny
+and deterministic; the test suite (``tests/test_exec_failures.py``) and
+``docs/EXECUTOR.md`` both build scenarios from them.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict
+
+#: Importable paths, mirroring the figure modules' ``CELL_FUNC`` idiom.
+OK_CELL = "repro.exec.testing:ok_cell"
+BOOM_CELL = "repro.exec.testing:boom_cell"
+FLAKY_CELL = "repro.exec.testing:flaky_cell"
+SLEEPY_CELL = "repro.exec.testing:sleepy_cell"
+
+
+def ok_cell(*, value: Any = 1, seed: int) -> Dict[str, Any]:
+    """Succeeds immediately, echoing its inputs (cache/round-trip probe)."""
+    return {"value": value, "seed": seed}
+
+
+def boom_cell(*, message: str = "boom", seed: int) -> None:
+    """Always raises — the unconditionally crashing cell."""
+    raise ValueError(message)
+
+
+def flaky_cell(*, fail_seed: int, value: Any = 1, seed: int) -> Dict[str, Any]:
+    """Fails iff called with ``seed == fail_seed``.
+
+    Passing the cell's own seed as ``fail_seed`` makes the first attempt
+    fail deterministically while a retry — which re-derives the attempt
+    seed — succeeds, exercising the backoff/retry path without any
+    wall-clock coupling.
+    """
+    if seed == fail_seed:
+        raise RuntimeError(f"flaky failure on seed {seed}")
+    return {"value": value, "seed": seed}
+
+
+def sleepy_cell(*, sleep: float, value: Any = 1, seed: int) -> Dict[str, Any]:
+    """Sleeps ``sleep`` wall-clock seconds, then succeeds (timeout probe)."""
+    time.sleep(sleep)
+    return {"value": value, "seed": seed}

@@ -9,6 +9,9 @@
   sweep.
 * :mod:`repro.experiments.fig6_multipath` — Figure 6 (throughput under
   ε-parameterized multipath routing for all protocols).
+* :mod:`repro.experiments.fig7_faults` — Figure 7 (extension: goodput
+  under scheduled link outages, path blackouts, and ACK loss, via
+  :mod:`repro.faults`).
 
 Each figure is described by a declarative :class:`ExperimentSpec`
 subclass (``Fig2Spec`` ... ``Fig6Spec``) carrying quick/paper
@@ -44,6 +47,7 @@ from repro.experiments.fig4_params import (
     run_fig4,
 )
 from repro.experiments.fig6_multipath import Fig6Result, Fig6Spec, run_fig6
+from repro.experiments.fig7_faults import Fig7Result, Fig7Spec, run_fig7
 
 __all__ = [
     "BetaSweepSpec",
@@ -58,6 +62,8 @@ __all__ = [
     "Fig4Spec",
     "Fig6Result",
     "Fig6Spec",
+    "Fig7Result",
+    "Fig7Spec",
     "ParallelRunner",
     "ResultCache",
     "Scale",
@@ -69,5 +75,6 @@ __all__ = [
     "run_fig3",
     "run_fig4",
     "run_fig6",
+    "run_fig7",
     "run_sweep",
 ]

@@ -158,12 +158,15 @@ def run_fig2(
     measure_window: Optional[float] = None,
     alpha: Optional[float] = None,
     beta: Optional[float] = None,
+    **exec_options: Any,
 ) -> Fig2Result:
     """Reproduce one panel of Figure 2.
 
     Preferred form: ``run_fig2(spec, jobs=..., cache=..., seed=...)``.
     The pre-spec keyword form (``topology=``, ``flow_counts=``, ...) is
     kept for backward compatibility and builds a quick-scale spec.
+    Extra keyword arguments (``timeout``, ``retries``, ``keep_going``,
+    ``runner``) forward to :func:`~repro.exec.runner.run_sweep`.
     """
     if isinstance(spec, str):  # legacy positional topology argument
         topology, spec = spec, None
@@ -179,7 +182,7 @@ def run_fig2(
             seed=seed,
         )
         seed = None
-    return run_sweep(spec, jobs=jobs, cache=cache, seed=seed)
+    return run_sweep(spec, jobs=jobs, cache=cache, seed=seed, **exec_options)
 
 
 def format_fig2(result: Fig2Result) -> str:

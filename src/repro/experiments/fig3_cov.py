@@ -168,6 +168,7 @@ def run_fig3(
     measure_window: Optional[float] = None,
     alpha: Optional[float] = None,
     beta: Optional[float] = None,
+    **exec_options: Any,
 ) -> Fig3Result:
     """Reproduce one panel of Figure 3.
 
@@ -190,7 +191,7 @@ def run_fig3(
             seed=seed,
         )
         seed = None
-    return run_sweep(spec, jobs=jobs, cache=cache, seed=seed)
+    return run_sweep(spec, jobs=jobs, cache=cache, seed=seed, **exec_options)
 
 
 def format_fig3(result: Fig3Result) -> str:

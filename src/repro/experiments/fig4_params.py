@@ -156,6 +156,7 @@ def run_fig4(
     total_flows: Optional[int] = None,
     duration: Optional[float] = None,
     measure_window: Optional[float] = None,
+    **exec_options: Any,
 ) -> Fig4Result:
     """Reproduce one panel of Figure 4.
 
@@ -177,7 +178,7 @@ def run_fig4(
             seed=seed,
         )
         seed = None
-    return run_sweep(spec, jobs=jobs, cache=cache, seed=seed)
+    return run_sweep(spec, jobs=jobs, cache=cache, seed=seed, **exec_options)
 
 
 def format_fig4(result: Fig4Result) -> str:
@@ -316,6 +317,7 @@ def run_extreme_loss_beta_sweep(
     bottleneck_mbps: Optional[float] = None,
     duration: Optional[float] = None,
     measure_window: Optional[float] = None,
+    **exec_options: Any,
 ) -> List[BetaSweepPoint]:
     """High-contention beta sweep (the paper's >15 %-loss robustness check).
 
@@ -336,7 +338,7 @@ def run_extreme_loss_beta_sweep(
             seed=seed,
         )
         seed = None
-    return run_sweep(spec, jobs=jobs, cache=cache, seed=seed)
+    return run_sweep(spec, jobs=jobs, cache=cache, seed=seed, **exec_options)
 
 
 def format_beta_sweep(points: List[BetaSweepPoint]) -> str:

@@ -188,6 +188,7 @@ def run_fig6(
     epsilons: Optional[Sequence[float]] = None,
     duration: Optional[float] = None,
     pr_config: Optional[PrConfig] = None,
+    **exec_options: Any,
 ) -> Fig6Result:
     """Reproduce one panel (one link-delay setting) of Figure 6.
 
@@ -208,7 +209,7 @@ def run_fig6(
             seed=seed,
         )
         seed = None
-    return run_sweep(spec, jobs=jobs, cache=cache, seed=seed)
+    return run_sweep(spec, jobs=jobs, cache=cache, seed=seed, **exec_options)
 
 
 def format_fig6(result: Fig6Result) -> str:

@@ -1,0 +1,47 @@
+"""Fault injection: declarative schedules of network failures.
+
+The simulator's loss models express *statistical* damage; this package
+expresses *structural* damage — scheduled link outages, multipath
+blackouts, delay spikes, and reverse-path loss windows — so experiments
+can script the route-flap and extreme-loss regimes the paper reasons
+about and watch each TCP variant degrade (or not).
+
+* :mod:`repro.faults.schedule` — :class:`FaultSchedule` and the
+  :class:`FaultEvent` family (:class:`LinkDown`, :class:`LinkUp`,
+  :class:`PathBlackout`, :class:`DelaySpike`, :class:`AckLoss`),
+  JSON-round-trippable plain data;
+* :mod:`repro.faults.injector` — :class:`Injector`/:func:`inject`,
+  arming a schedule on a live :class:`~repro.net.network.Network`.
+
+See ``docs/FAULTS.md`` for semantics and examples.
+"""
+
+from repro.faults.injector import FaultTargetError, Injector, inject
+from repro.faults.schedule import (
+    AckLoss,
+    DelaySpike,
+    FaultEvent,
+    FaultSchedule,
+    FaultScheduleError,
+    LinkDown,
+    LinkUp,
+    PathBlackout,
+    fault_event,
+    registered_event_kinds,
+)
+
+__all__ = [
+    "AckLoss",
+    "DelaySpike",
+    "FaultEvent",
+    "FaultSchedule",
+    "FaultScheduleError",
+    "FaultTargetError",
+    "Injector",
+    "LinkDown",
+    "LinkUp",
+    "PathBlackout",
+    "fault_event",
+    "inject",
+    "registered_event_kinds",
+]

@@ -1,0 +1,215 @@
+"""Arming fault schedules on a live simulation.
+
+An :class:`Injector` binds a :class:`~repro.faults.schedule.FaultSchedule`
+to a :class:`~repro.net.network.Network`: :meth:`Injector.arm` resolves
+every event's target (link or routing policy), schedules the state
+changes on the simulator, and records what it applied.  Resolution
+happens eagerly at arm time so a schedule naming a nonexistent link or a
+policy without blackout support fails immediately with a
+:class:`FaultTargetError` instead of mid-run.
+
+Pass a :class:`~repro.trace.monitors.FaultTimelineMonitor` (or anything
+with the same ``record`` method) as ``monitor`` to get a trace of the
+applied faults alongside the packet trace.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, List, Optional, Tuple
+
+from repro.faults.schedule import (
+    AckLoss,
+    DelaySpike,
+    FaultEvent,
+    FaultSchedule,
+    LinkDown,
+    LinkUp,
+    PathBlackout,
+)
+from repro.sim.errors import SimulationError
+
+if TYPE_CHECKING:
+    from repro.net.link import Link
+    from repro.net.network import Network
+
+
+class FaultTargetError(SimulationError):
+    """A fault event names a target the network cannot provide."""
+
+
+class Injector:
+    """Schedules a fault schedule's state changes on a network.
+
+    Args:
+        network: The network to break.
+        schedule: What to break and when.
+        monitor: Optional fault-timeline recorder (duck-typed:
+            ``monitor.record(time, kind, target, detail)``).
+
+    Attributes:
+        applied: ``(time, event)`` pairs in application order, filled in
+            as the simulation dispatches the armed events.
+    """
+
+    def __init__(
+        self,
+        network: "Network",
+        schedule: FaultSchedule,
+        monitor: Optional[Any] = None,
+    ) -> None:
+        self.network = network
+        self.schedule = schedule
+        self.monitor = monitor
+        self.applied: List[Tuple[float, FaultEvent]] = []
+        self._armed = False
+
+    # ------------------------------------------------------------------
+    def arm(self) -> "Injector":
+        """Validate targets and schedule every event; returns self."""
+        if self._armed:
+            raise SimulationError("Injector.arm() called twice")
+        for event in self.schedule:
+            self._validate_target(event)
+        for event in self.schedule:
+            self._schedule(event)
+        self._armed = True
+        return self
+
+    # ------------------------------------------------------------------
+    # Target resolution
+    # ------------------------------------------------------------------
+    def _link(self, src: str, dst: str) -> "Link":
+        try:
+            return self.network.link(src, dst)
+        except SimulationError as exc:
+            raise FaultTargetError(
+                f"fault schedule names unknown link {src}->{dst}"
+            ) from exc
+
+    def _policy(self, event: PathBlackout) -> Any:
+        try:
+            node = self.network.node(event.origin)
+        except SimulationError as exc:
+            raise FaultTargetError(
+                f"fault schedule names unknown node {event.origin!r}"
+            ) from exc
+        policy = node.path_policy
+        if policy is None:
+            raise FaultTargetError(
+                f"node {event.origin!r} has no path policy to blackout"
+            )
+        if not hasattr(policy, "disable_path") or not hasattr(
+            policy, "enable_path"
+        ):
+            raise FaultTargetError(
+                f"path policy {type(policy).__name__} on {event.origin!r} "
+                "does not support blackouts (needs disable_path/enable_path)"
+            )
+        return policy
+
+    def _validate_target(self, event: FaultEvent) -> None:
+        if isinstance(event, (LinkDown, LinkUp, DelaySpike, AckLoss)):
+            self._link(event.src, event.dst)
+        elif isinstance(event, PathBlackout):
+            self._policy(event)
+        else:
+            raise FaultTargetError(
+                f"injector cannot apply event kind {event.kind!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # Application
+    # ------------------------------------------------------------------
+    def _schedule(self, event: FaultEvent) -> None:
+        sim = self.network.sim
+        label = f"fault {event.kind}"
+        if isinstance(event, LinkDown):
+            link = self._link(event.src, event.dst)
+            sim.schedule(
+                event.time,
+                lambda: self._apply(
+                    event, f"link {link.name}", "down",
+                    lambda: link.set_up(False, flush=event.flush),
+                ),
+                label=label,
+            )
+        elif isinstance(event, LinkUp):
+            link = self._link(event.src, event.dst)
+            sim.schedule(
+                event.time,
+                lambda: self._apply(
+                    event, f"link {link.name}", "up",
+                    lambda: link.set_up(True),
+                ),
+                label=label,
+            )
+        elif isinstance(event, PathBlackout):
+            policy = self._policy(event)
+            target = f"path[{event.path_index}] {event.origin}->{event.dst}"
+            sim.schedule(
+                event.time,
+                lambda: self._apply(
+                    event, target, "blackout",
+                    lambda: policy.disable_path(event.dst, event.path_index),
+                ),
+                label=label,
+            )
+            sim.schedule(
+                event.end,
+                lambda: self._apply(
+                    event, target, "restored",
+                    lambda: policy.enable_path(event.dst, event.path_index),
+                ),
+                label=label,
+            )
+        elif isinstance(event, DelaySpike):
+            link = self._link(event.src, event.dst)
+            sim.schedule(
+                event.time,
+                lambda: self._apply(
+                    event, f"link {link.name}", f"delay x{event.factor:g}",
+                    lambda: setattr(link, "delay_scale", event.factor),
+                ),
+                label=label,
+            )
+            sim.schedule(
+                event.end,
+                lambda: self._apply(
+                    event, f"link {link.name}", "delay restored",
+                    lambda: setattr(link, "delay_scale", 1.0),
+                ),
+                label=label,
+            )
+        elif isinstance(event, AckLoss):
+            link = self._link(event.src, event.dst)
+            sim.schedule(
+                event.time,
+                lambda: self._apply(
+                    event, f"link {link.name}", f"loss p={event.rate:g}",
+                    lambda: setattr(link, "fault_loss_rate", event.rate),
+                ),
+                label=label,
+            )
+            sim.schedule(
+                event.end,
+                lambda: self._apply(
+                    event, f"link {link.name}", "loss cleared",
+                    lambda: setattr(link, "fault_loss_rate", 0.0),
+                ),
+                label=label,
+            )
+
+    def _apply(self, event, target: str, detail: str, action) -> None:
+        action()
+        self.applied.append((self.network.sim.now, event))
+        if self.monitor is not None:
+            self.monitor.record(self.network.sim.now, event.kind, target, detail)
+
+
+def inject(
+    network: "Network",
+    schedule: FaultSchedule,
+    monitor: Optional[Any] = None,
+) -> Injector:
+    """One-call convenience: build an :class:`Injector` and arm it."""
+    return Injector(network, schedule, monitor=monitor).arm()

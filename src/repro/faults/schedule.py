@@ -1,0 +1,335 @@
+"""Declarative fault schedules.
+
+A :class:`FaultSchedule` is a time-ordered list of :class:`FaultEvent`
+records describing *when the network breaks and how*: links going down
+and up, multipath blackouts, delay spikes, and reverse-path loss
+windows.  Schedules are plain data — every event round-trips through
+JSON (:meth:`FaultSchedule.to_jsonable` / :meth:`FaultSchedule.from_jsonable`)
+so a schedule can ride inside a :class:`~repro.exec.spec.SweepCell`'s
+parameters, cross a process boundary, and participate in the result
+cache's content hash.
+
+The paper's extreme scenarios map directly onto these events:
+
+* route flaps / MANET route recomputation — :class:`PathBlackout`
+  intervals forcing the routing policy onto surviving paths;
+* "all packets within a window dropped" regimes of the Section 4
+  extreme-loss analysis — :class:`LinkDown`/:class:`LinkUp` pairs;
+* the RTT jump after a route change — :class:`DelaySpike`;
+* asymmetric ACK-path outages — :class:`AckLoss`.
+
+Arming a schedule on a live simulation is the
+:class:`~repro.faults.injector.Injector`'s job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+from typing import Any, ClassVar, Dict, Iterable, List, Sequence, Tuple, Type
+
+
+class FaultScheduleError(ValueError):
+    """A structurally invalid fault event or schedule."""
+
+
+#: Event-kind tag -> event class, for JSON round-tripping.
+_EVENT_KINDS: Dict[str, Type["FaultEvent"]] = {}
+
+
+def fault_event(kind: str):
+    """Class decorator registering a :class:`FaultEvent` subclass."""
+
+    def register(cls: Type["FaultEvent"]) -> Type["FaultEvent"]:
+        cls.kind = kind
+        _EVENT_KINDS[kind] = cls
+        return cls
+
+    return register
+
+
+def registered_event_kinds() -> Dict[str, Type["FaultEvent"]]:
+    """A copy of the kind registry (introspection/tests)."""
+    return dict(_EVENT_KINDS)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """Base class: something that happens to the network at ``time``."""
+
+    kind: ClassVar[str] = "abstract"
+
+    time: float
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise FaultScheduleError(
+                f"{type(self).__name__}.time must be >= 0, got {self.time}"
+            )
+        self.validate()
+
+    def validate(self) -> None:
+        """Subclass hook for field validation (raise FaultScheduleError)."""
+
+    # -- JSON round-trip ------------------------------------------------
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {"kind": self.kind, **asdict(self)}
+
+    @staticmethod
+    def from_jsonable(data: Dict[str, Any]) -> "FaultEvent":
+        blob = dict(data)
+        kind = blob.pop("kind", None)
+        cls = _EVENT_KINDS.get(kind)
+        if cls is None:
+            raise FaultScheduleError(
+                f"unknown fault event kind {kind!r} "
+                f"(known: {sorted(_EVENT_KINDS)})"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = set(blob) - known
+        if unknown:
+            raise FaultScheduleError(
+                f"{kind!r} event has unknown fields {sorted(unknown)}"
+            )
+        try:
+            return cls(**blob)
+        except TypeError as exc:
+            raise FaultScheduleError(f"bad {kind!r} event: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class _WindowedEvent(FaultEvent):
+    """A fault active over ``[time, time + duration)``."""
+
+    duration: float = 0.0
+
+    @property
+    def end(self) -> float:
+        return self.time + self.duration
+
+    def validate(self) -> None:
+        if self.duration <= 0:
+            raise FaultScheduleError(
+                f"{type(self).__name__}.duration must be positive, "
+                f"got {self.duration}"
+            )
+
+
+@fault_event("link-down")
+@dataclass(frozen=True)
+class LinkDown(FaultEvent):
+    """Take link ``src -> dst`` down at ``time``.
+
+    ``flush=True`` discards packets buffered in the link's queue (a
+    failed line card); ``flush=False`` holds them until a later
+    :class:`LinkUp` (a frozen interface).  Arrivals while down are
+    dropped and counted in ``link.fault_drops``.
+    """
+
+    src: str = ""
+    dst: str = ""
+    flush: bool = False
+
+    def validate(self) -> None:
+        if not self.src or not self.dst:
+            raise FaultScheduleError("LinkDown needs non-empty src and dst")
+
+
+@fault_event("link-up")
+@dataclass(frozen=True)
+class LinkUp(FaultEvent):
+    """Restore link ``src -> dst`` at ``time`` (resumes any held queue)."""
+
+    src: str = ""
+    dst: str = ""
+
+    def validate(self) -> None:
+        if not self.src or not self.dst:
+            raise FaultScheduleError("LinkUp needs non-empty src and dst")
+
+
+@fault_event("path-blackout")
+@dataclass(frozen=True)
+class PathBlackout(_WindowedEvent):
+    """The routing policy on ``origin`` loses path ``path_index`` to ``dst``.
+
+    For the window's duration the policy (an
+    :class:`~repro.routing.multipath.EpsilonMultipathPolicy` or a
+    :class:`~repro.routing.flap.RouteFlapper`) must reroute the path's
+    traffic onto the survivors; at ``time + duration`` the path returns
+    to service.
+    """
+
+    origin: str = ""
+    dst: str = ""
+    path_index: int = 0
+
+    def validate(self) -> None:
+        super().validate()
+        if not self.origin or not self.dst:
+            raise FaultScheduleError("PathBlackout needs origin and dst")
+        if self.path_index < 0:
+            raise FaultScheduleError(
+                f"path_index must be >= 0, got {self.path_index}"
+            )
+
+
+@fault_event("delay-spike")
+@dataclass(frozen=True)
+class DelaySpike(_WindowedEvent):
+    """Multiply link ``src -> dst``'s propagation delay by ``factor``.
+
+    The transient RTT inflation a route change produces (paper §1); the
+    scale reverts to 1.0 when the window ends.  Overlapping spikes on
+    one link don't stack — the most recent event wins.
+    """
+
+    src: str = ""
+    dst: str = ""
+    factor: float = 1.0
+
+    def validate(self) -> None:
+        super().validate()
+        if not self.src or not self.dst:
+            raise FaultScheduleError("DelaySpike needs non-empty src and dst")
+        if self.factor <= 0:
+            raise FaultScheduleError(
+                f"factor must be positive, got {self.factor}"
+            )
+
+
+@fault_event("ack-loss")
+@dataclass(frozen=True)
+class AckLoss(_WindowedEvent):
+    """Bernoulli-drop arrivals on link ``src -> dst`` for the window.
+
+    Intended for the *reverse* (ACK) direction of a flow — the
+    asymmetric outages that starve a sender of feedback while its data
+    keeps arriving.  ``rate=1.0`` is a total blackout of the direction.
+    """
+
+    src: str = ""
+    dst: str = ""
+    rate: float = 1.0
+
+    def validate(self) -> None:
+        super().validate()
+        if not self.src or not self.dst:
+            raise FaultScheduleError("AckLoss needs non-empty src and dst")
+        if not 0.0 < self.rate <= 1.0:
+            raise FaultScheduleError(
+                f"rate must be in (0, 1], got {self.rate}"
+            )
+
+
+class FaultSchedule:
+    """An immutable, time-ordered collection of fault events.
+
+    Construction sorts events by ``(time, registration order)`` so the
+    injector arms them deterministically.  Schedules compare by value
+    and survive a JSON round-trip unchanged, which is what lets a
+    schedule live inside a sweep cell's cache key.
+    """
+
+    def __init__(self, events: Iterable[FaultEvent] = ()) -> None:
+        ordered = sorted(
+            enumerate(events), key=lambda pair: (pair[1].time, pair[0])
+        )
+        self.events: Tuple[FaultEvent, ...] = tuple(
+            event for _, event in ordered
+        )
+        for event in self.events:
+            if not isinstance(event, FaultEvent):
+                raise FaultScheduleError(
+                    f"FaultSchedule takes FaultEvent instances, got {event!r}"
+                )
+
+    # -- collection protocol -------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, FaultSchedule) and self.events == other.events
+
+    def __hash__(self) -> int:
+        return hash(self.events)
+
+    def __repr__(self) -> str:
+        kinds = [event.kind for event in self.events]
+        return f"<FaultSchedule n={len(self.events)} kinds={kinds}>"
+
+    @property
+    def horizon(self) -> float:
+        """Time of the last scheduled state change (0.0 when empty)."""
+        horizon = 0.0
+        for event in self.events:
+            horizon = max(horizon, getattr(event, "end", event.time))
+        return horizon
+
+    def extend(self, events: Iterable[FaultEvent]) -> "FaultSchedule":
+        """A new schedule with ``events`` merged in."""
+        return FaultSchedule([*self.events, *events])
+
+    # -- JSON round-trip ------------------------------------------------
+    def to_jsonable(self) -> List[Dict[str, Any]]:
+        return [event.to_jsonable() for event in self.events]
+
+    @classmethod
+    def from_jsonable(cls, data: Sequence[Dict[str, Any]]) -> "FaultSchedule":
+        return cls(FaultEvent.from_jsonable(blob) for blob in data)
+
+    # -- convenience builders ------------------------------------------
+    @classmethod
+    def link_outage(
+        cls,
+        src: str,
+        dst: str,
+        start: float,
+        duration: float,
+        flush: bool = False,
+        duplex: bool = False,
+    ) -> "FaultSchedule":
+        """A single down/up window on one link (both directions if duplex)."""
+        if duration <= 0:
+            raise FaultScheduleError(
+                f"outage duration must be positive, got {duration}"
+            )
+        events: List[FaultEvent] = [
+            LinkDown(time=start, src=src, dst=dst, flush=flush),
+            LinkUp(time=start + duration, src=src, dst=dst),
+        ]
+        if duplex:
+            events.append(LinkDown(time=start, src=dst, dst=src, flush=flush))
+            events.append(LinkUp(time=start + duration, src=dst, dst=src))
+        return cls(events)
+
+    @classmethod
+    def periodic_blackouts(
+        cls,
+        origin: str,
+        dst: str,
+        path_index: int,
+        period: float,
+        duration: float,
+        until: float,
+        first: float | None = None,
+    ) -> "FaultSchedule":
+        """Blackout ``path_index`` for ``duration`` every ``period`` seconds."""
+        if period <= 0:
+            raise FaultScheduleError(f"period must be positive, got {period}")
+        events: List[FaultEvent] = []
+        start = period if first is None else first
+        while start + duration <= until:
+            events.append(
+                PathBlackout(
+                    time=start,
+                    duration=duration,
+                    origin=origin,
+                    dst=dst,
+                    path_index=path_index,
+                )
+            )
+            start += period
+        return cls(events)

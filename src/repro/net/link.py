@@ -11,6 +11,15 @@ While the transmitter is busy, arrivals go to the queue; if the queue
 rejects them (DropTail full, RED early drop) they are lost.  An optional
 :class:`~repro.net.lossgen.LossModel` can additionally drop packets on
 arrival, before queueing.
+
+Fault state (driven by :mod:`repro.faults`): a link carries an ``up``
+flag and a transient *fault-loss* window.  A down link drops every
+arrival (counted in :attr:`Link.fault_drops`, separate from loss-model
+and queue drops) and either flushed or held its queue when it went down;
+packets already serialized keep propagating (the bits are on the wire).
+``delay_scale`` multiplies the propagation delay — the route-change RTT
+jump of the paper's Section 1 scenarios — and ``fault_loss_rate``
+Bernoulli-drops arrivals during e.g. an ACK-path blackout.
 """
 
 from __future__ import annotations
@@ -76,6 +85,14 @@ class Link:
         self.tx_bytes = 0
         self.arrived_packets = 0
         self.loss_model_drops = 0
+        #: Fault state (see :mod:`repro.faults`).  ``fault_drops`` counts
+        #: packets lost to link-down windows and fault-loss windows,
+        #: deliberately separate from ``loss_model_drops``.
+        self.up = True
+        self.fault_drops = 0
+        self.delay_scale = 1.0
+        self.fault_loss_rate = 0.0
+        self._fault_rng = None
         #: Observers called as fn(link, packet) when a packet is dropped.
         self.drop_listeners: List[Callable[["Link", Packet], None]] = []
         src._register_link(self)
@@ -84,6 +101,14 @@ class Link:
     def enqueue(self, packet: Packet) -> None:
         """Offer ``packet`` to the link (drop, buffer, or transmit now)."""
         self.arrived_packets += 1
+        if not self.up:
+            self.fault_drops += 1
+            self._notify_drop(packet)
+            return
+        if self.fault_loss_rate > 0.0 and self._fault_draw() < self.fault_loss_rate:
+            self.fault_drops += 1
+            self._notify_drop(packet)
+            return
         if self.loss_model is not None and self.loss_model.should_drop(packet):
             self.loss_model_drops += 1
             self._notify_drop(packet)
@@ -93,6 +118,39 @@ class Link:
                 self._notify_drop(packet)
             return
         self._start_transmission(packet)
+
+    # ------------------------------------------------------------------
+    # Fault control (the attachment points of repro.faults.Injector)
+    # ------------------------------------------------------------------
+    def set_up(self, up: bool, flush: bool = False) -> None:
+        """Bring the link up or down.
+
+        Going down with ``flush=True`` discards the queue contents
+        (counted in :attr:`fault_drops`); ``flush=False`` holds them for
+        retransmission when the link recovers.  Going up resumes the held
+        queue.  Idempotent in both directions.
+        """
+        if up == self.up:
+            return
+        self.up = up
+        if not up:
+            if flush:
+                while True:
+                    packet = self.queue.pop()
+                    if packet is None:
+                        break
+                    self.fault_drops += 1
+                    self._notify_drop(packet)
+            return
+        if not self._busy:
+            next_packet = self.queue.pop()
+            if next_packet is not None:
+                self._start_transmission(next_packet)
+
+    def _fault_draw(self) -> float:
+        if self._fault_rng is None:
+            self._fault_rng = self.sim.rng.stream(f"fault:{self.name}")
+        return self._fault_rng.random()
 
     def transmission_time(self, packet: Packet) -> float:
         """Serialization time of ``packet`` on this link, in seconds."""
@@ -117,10 +175,13 @@ class Link:
             else self.delay
         )
         self.sim.schedule_in(
-            delay,
+            delay * self.delay_scale,
             lambda: self.dst.receive(packet),
             label=f"rx {self.name}",
         )
+        if not self.up:  # link died mid-serialization: hold the queue
+            self._busy = False
+            return
         next_packet = self.queue.pop()
         if next_packet is None:
             self._busy = False
@@ -134,8 +195,8 @@ class Link:
     # ------------------------------------------------------------------
     @property
     def total_drops(self) -> int:
-        """All drops on this link (queue overflow + artificial loss)."""
-        return self.queue.drops + self.loss_model_drops
+        """All drops on this link (queue overflow + loss model + faults)."""
+        return self.queue.drops + self.loss_model_drops + self.fault_drops
 
     @property
     def utilization_bytes(self) -> int:

@@ -177,9 +177,25 @@ class Network:
     def dead_letters(self) -> int:
         return sum(node.dead_letters for node in self.nodes.values())
 
-    def run(self, until: float, max_events: Optional[int] = None) -> None:
-        """Run the simulation until ``until`` seconds."""
-        self.sim.run(until=until, max_events=max_events)
+    def run(
+        self,
+        until: float,
+        max_events: Optional[int] = None,
+        deadline: Optional[float] = None,
+        livelock_threshold: Optional[int] = None,
+    ) -> None:
+        """Run the simulation until ``until`` seconds.
+
+        ``deadline`` (wall-clock seconds) and ``livelock_threshold``
+        (events without clock progress) arm the simulator's watchdog —
+        see :meth:`repro.sim.engine.Simulator.run`.
+        """
+        self.sim.run(
+            until=until,
+            max_events=max_events,
+            deadline=deadline,
+            livelock_threshold=livelock_threshold,
+        )
 
     def __repr__(self) -> str:
         return f"<Network nodes={len(self.nodes)} links={len(self.links)}>"

@@ -17,6 +17,7 @@ from typing import List, Optional, Sequence
 from repro.net.network import Network
 from repro.net.packet import Packet
 from repro.routing.multipath import PathSet, discover_paths
+from repro.sim.errors import SimulationError
 
 
 class RouteFlapper:
@@ -67,12 +68,50 @@ class RouteFlapper:
             f"flap:{origin}->{dst}"
         )
         self._active = 0
+        self._disabled: set = set()
         self.flaps = 0
         self._schedule_next()
 
     @property
     def active_path(self) -> Sequence[str]:
         return self.path_set.paths[self._active]
+
+    # -- Fault hooks (repro.faults.PathBlackout) ------------------------
+    def disable_path(self, dst: str, index: int) -> None:
+        """Blackout path ``index``: the flapper stops landing on it.
+
+        If the blacked-out path is currently active, an immediate forced
+        flap moves traffic off it (counted in :attr:`flaps`).
+        """
+        self._check_path(dst, index)
+        self._disabled.add(index)
+        if len(self._disabled) >= len(self.path_set):
+            raise SimulationError(
+                f"every path {self.origin}->{self.dst} is disabled (blackout "
+                "schedules must leave at least one path usable)"
+            )
+        if self._active == index:
+            self._flap_to_enabled()
+
+    def enable_path(self, dst: str, index: int) -> None:
+        """End the blackout of path ``index``."""
+        self._check_path(dst, index)
+        self._disabled.discard(index)
+
+    def disabled_paths(self, dst: str) -> List[int]:
+        return sorted(self._disabled)
+
+    def _check_path(self, dst: str, index: int) -> None:
+        if dst != self.dst:
+            raise SimulationError(
+                f"flapper on {self.origin!r} routes to {self.dst!r}, "
+                f"not {dst!r}"
+            )
+        if not 0 <= index < len(self.path_set):
+            raise SimulationError(
+                f"path index {index} out of range for {self.origin}->{self.dst} "
+                f"({len(self.path_set)} paths)"
+            )
 
     # -- PathPolicy protocol -------------------------------------------
     def choose_route(self, packet: Packet) -> Optional[List[str]]:
@@ -92,10 +131,22 @@ class RouteFlapper:
         self.network.sim.schedule_in(delay, self._flap, label="route flap")
 
     def _flap(self) -> None:
-        if self.randomize:
-            choices = [i for i in range(len(self.path_set)) if i != self._active]
-            self._active = self._rng.choice(choices)
-        else:
-            self._active = (self._active + 1) % len(self.path_set)
-        self.flaps += 1
+        self._flap_to_enabled()
         self._schedule_next()
+
+    def _flap_to_enabled(self) -> None:
+        if self.randomize:
+            choices = [
+                i for i in range(len(self.path_set))
+                if i != self._active and i not in self._disabled
+            ]
+            if choices:
+                self._active = self._rng.choice(choices)
+        else:
+            candidate = self._active
+            for _ in range(len(self.path_set)):
+                candidate = (candidate + 1) % len(self.path_set)
+                if candidate not in self._disabled:
+                    break
+            self._active = candidate
+        self.flaps += 1

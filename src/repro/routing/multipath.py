@@ -147,6 +147,9 @@ class EpsilonMultipathPolicy:
         self._path_sets: Dict[str, PathSet] = {}
         self._weights: Dict[str, List[float]] = {}
         self._cumulative: Dict[str, List[float]] = {}
+        #: Sample position -> path index (identity until paths are disabled).
+        self._choices: Dict[str, List[int]] = {}
+        self._disabled: Dict[str, set] = {}
         self.path_counts: Dict[str, List[int]] = {}
         if destinations:
             for destination in destinations:
@@ -155,18 +158,65 @@ class EpsilonMultipathPolicy:
     def add_destination(self, dst: str, max_paths: Optional[int] = None) -> PathSet:
         """Precompute disjoint paths and sampling weights toward ``dst``."""
         path_set = discover_paths(self.network, self.origin, dst, max_paths=max_paths)
-        weights = epsilon_weights(path_set.costs, self.epsilon)
+        self._path_sets[dst] = path_set
+        self._weights[dst] = epsilon_weights(path_set.costs, self.epsilon)
+        self._disabled[dst] = set()
+        self.path_counts[dst] = [0] * len(path_set)
+        self._rebuild(dst)
+        return path_set
+
+    def _rebuild(self, dst: str) -> None:
+        """Recompute the sampling distribution over the enabled paths."""
+        weights = self._weights[dst]
+        choices = [
+            index for index in range(len(weights))
+            if index not in self._disabled[dst]
+        ]
+        if not choices:
+            raise SimulationError(
+                f"every path {self.origin}->{dst} is disabled (blackout "
+                "schedules must leave at least one path usable)"
+            )
+        total = sum(weights[index] for index in choices)
         cumulative: List[float] = []
         running = 0.0
-        for weight in weights:
-            running += weight
+        for index in choices:
+            running += weights[index] / total
             cumulative.append(running)
         cumulative[-1] = 1.0  # guard against float round-off
-        self._path_sets[dst] = path_set
-        self._weights[dst] = weights
+        self._choices[dst] = choices
         self._cumulative[dst] = cumulative
-        self.path_counts[dst] = [0] * len(path_set)
-        return path_set
+
+    # -- Fault hooks (repro.faults.PathBlackout) ------------------------
+    def disable_path(self, dst: str, index: int) -> None:
+        """Blackout path ``index`` toward ``dst``: reroute its traffic.
+
+        Remaining probability mass is renormalized over the surviving
+        paths, so an ε = 0 policy stays uniform over what is left.
+        """
+        self._check_path(dst, index)
+        self._disabled[dst].add(index)
+        self._rebuild(dst)
+
+    def enable_path(self, dst: str, index: int) -> None:
+        """End the blackout of path ``index`` toward ``dst``."""
+        self._check_path(dst, index)
+        self._disabled[dst].discard(index)
+        self._rebuild(dst)
+
+    def disabled_paths(self, dst: str) -> List[int]:
+        return sorted(self._disabled[dst])
+
+    def _check_path(self, dst: str, index: int) -> None:
+        if dst not in self._path_sets:
+            raise SimulationError(
+                f"policy on {self.origin!r} has no destination {dst!r}"
+            )
+        if not 0 <= index < len(self._path_sets[dst]):
+            raise SimulationError(
+                f"path index {index} out of range for {self.origin}->{dst} "
+                f"({len(self._path_sets[dst])} paths)"
+            )
 
     def weights_for(self, dst: str) -> List[float]:
         return list(self._weights[dst])
@@ -180,7 +230,7 @@ class EpsilonMultipathPolicy:
         if cumulative is None:
             return None
         draw = self._rng.random()
-        index = _bisect(cumulative, draw)
+        index = self._choices[packet.dst][_bisect(cumulative, draw)]
         self.path_counts[packet.dst][index] += 1
         return list(self._path_sets[packet.dst].paths[index])
 

@@ -10,11 +10,23 @@ logic lives in the components.
 from __future__ import annotations
 
 import heapq
+import time as _time
 from typing import Any, Callable, Optional
 
-from repro.sim.errors import ScheduleInPastError, SimulationError
+from repro.sim.errors import (
+    DeadlineExceededError,
+    LivelockError,
+    ScheduleInPastError,
+    SimulationError,
+)
 from repro.sim.events import EventHandle
 from repro.sim.rng import RngRegistry
+
+#: How many dispatched events pass between wall-clock deadline checks.
+#: ``time.monotonic`` costs ~50 ns, an event dispatch ~1 µs, so checking
+#: every event would be measurable; every 256th is free and still bounds
+#: the overshoot to well under a millisecond of wall time.
+_DEADLINE_CHECK_INTERVAL = 256
 
 
 class Simulator:
@@ -74,6 +86,8 @@ class Simulator:
         self,
         until: Optional[float] = None,
         max_events: Optional[int] = None,
+        deadline: Optional[float] = None,
+        livelock_threshold: Optional[int] = None,
     ) -> None:
         """Dispatch events in time order.
 
@@ -84,10 +98,27 @@ class Simulator:
             max_events: Safety valve — abort with :class:`SimulationError`
                 after dispatching this many events (catches accidental
                 infinite event loops in tests).
+            deadline: Wall-clock watchdog — abort with
+                :class:`DeadlineExceededError` once this many real seconds
+                have elapsed since the call started (checked every
+                ``_DEADLINE_CHECK_INTERVAL`` events, so very cheap).
+            livelock_threshold: Livelock watchdog — abort with
+                :class:`LivelockError` after this many consecutive events
+                dispatched without the clock advancing (a zero-delay event
+                loop; legitimate same-instant bursts are orders of
+                magnitude smaller than a sensible threshold).
         """
         if self._running:
             raise SimulationError("Simulator.run() is not reentrant")
+        if deadline is not None and deadline <= 0:
+            raise ValueError(f"deadline must be positive, got {deadline}")
+        if livelock_threshold is not None and livelock_threshold <= 0:
+            raise ValueError(
+                f"livelock_threshold must be positive, got {livelock_threshold}"
+            )
         self._running = True
+        started_wall = _time.monotonic() if deadline is not None else 0.0
+        stalled = 0
         try:
             heap = self._heap
             pop = heapq.heappop
@@ -99,6 +130,13 @@ class Simulator:
                 if until is not None and head_time > until:
                     break
                 pop(heap)
+                if livelock_threshold is not None:
+                    if head_time > self.now:
+                        stalled = 0
+                    else:
+                        stalled += 1
+                        if stalled >= livelock_threshold:
+                            raise LivelockError(head_time, stalled)
                 self.now = head_time
                 callback = head.callback
                 head.callback = None  # mark dispatched
@@ -107,6 +145,14 @@ class Simulator:
                 if max_events is not None and self._dispatched >= max_events:
                     raise SimulationError(
                         f"event budget exhausted ({max_events} events)"
+                    )
+                if (
+                    deadline is not None
+                    and self._dispatched % _DEADLINE_CHECK_INTERVAL == 0
+                    and _time.monotonic() - started_wall > deadline
+                ):
+                    raise DeadlineExceededError(
+                        deadline, self.now, self._dispatched
                     )
             if until is not None and self.now < until:
                 self.now = until
@@ -146,10 +192,17 @@ class Simulator:
         return self._dispatched
 
     def peek_time(self) -> Optional[float]:
-        """Time of the next pending event, or None if the queue is empty."""
-        for time, _, event in sorted(self._heap):
-            if event.callback is not None:
-                return time
+        """Time of the next pending event, or None if the queue is empty.
+
+        Pops lazily-deleted (cancelled) heads on the way — the heap root
+        is already the minimum, so no sort is ever needed, and discarded
+        entries don't have to be skipped again by the next caller.
+        """
+        heap = self._heap
+        while heap:
+            if heap[0][2].callback is not None:
+                return heap[0][0]
+            heapq.heappop(heap)
         return None
 
     def __repr__(self) -> str:

@@ -17,3 +17,44 @@ class ScheduleInPastError(SimulationError):
         )
         self.event_time = event_time
         self.now = now
+
+
+class WatchdogError(SimulationError):
+    """Base class for the :meth:`Simulator.run` watchdog errors.
+
+    Both subclasses indicate a run that would otherwise never return a
+    result: catch :class:`WatchdogError` to treat "too slow" and "stuck"
+    uniformly (the sweep executor's per-cell failure capture does).
+    """
+
+
+class DeadlineExceededError(WatchdogError):
+    """The run exceeded its wall-clock ``deadline``."""
+
+    def __init__(self, deadline: float, sim_time: float, dispatched: int) -> None:
+        super().__init__(
+            f"simulation exceeded its {deadline:g} s wall-clock deadline "
+            f"(sim time t={sim_time:.6f}, {dispatched} events dispatched)"
+        )
+        self.deadline = deadline
+        self.sim_time = sim_time
+        self.dispatched = dispatched
+
+
+class LivelockError(WatchdogError):
+    """Events kept firing while the simulation clock stopped advancing.
+
+    The classic cause is a zero-delay event loop (a component that
+    reschedules itself at ``now`` forever) — cf. the divergence of
+    non-converging retransmission-timeout loops: the event queue never
+    drains and ``until`` is never reached, yet every individual event
+    looks healthy.
+    """
+
+    def __init__(self, sim_time: float, stalled_events: int) -> None:
+        super().__init__(
+            f"livelock detected: {stalled_events} events dispatched while "
+            f"the clock stayed at t={sim_time:.6f}"
+        )
+        self.sim_time = sim_time
+        self.stalled_events = stalled_events

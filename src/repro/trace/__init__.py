@@ -1,14 +1,17 @@
-"""Observability: flow/queue monitors and packet event traces."""
+"""Observability: flow/queue monitors, packet event traces, fault timelines."""
 
 from repro.trace.monitors import (
     CwndMonitor,
+    FaultTimelineMonitor,
     FlowThroughputMonitor,
     QueueMonitor,
 )
-from repro.trace.events import PacketTracer
+from repro.trace.events import FaultRecord, PacketTracer
 
 __all__ = [
     "CwndMonitor",
+    "FaultRecord",
+    "FaultTimelineMonitor",
     "FlowThroughputMonitor",
     "PacketTracer",
     "QueueMonitor",

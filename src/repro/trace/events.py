@@ -32,6 +32,16 @@ class TraceEvent:
     ack: int
 
 
+@dataclass(frozen=True)
+class FaultRecord:
+    """One applied fault-injection state change (see :mod:`repro.faults`)."""
+
+    time: float
+    kind: str  # "link-down" | "link-up" | "path-blackout" | ...
+    target: str  # link name or path description
+    detail: str  # human-readable state change ("down", "delay x3", ...)
+
+
 class PacketTracer:
     """Records arrivals at chosen nodes and drops on chosen links."""
 

@@ -12,6 +12,7 @@ from bisect import bisect_left
 from typing import TYPE_CHECKING, List
 
 from repro.analysis.throughput import FlowSample, goodput_bps
+from repro.trace.events import FaultRecord
 
 if TYPE_CHECKING:
     from repro.net.queues import Queue
@@ -102,6 +103,44 @@ class CwndMonitor:
 
     def mean_cwnd(self) -> float:
         return sum(self.values) / len(self.values)
+
+
+class FaultTimelineMonitor:
+    """Records fault-injection state changes as an injector applies them.
+
+    Pass an instance as ``monitor=`` to
+    :class:`~repro.faults.injector.Injector`; each applied event becomes
+    a :class:`~repro.trace.events.FaultRecord`, so an experiment's fault
+    timeline can be lined up against its packet trace and throughput
+    samples.
+    """
+
+    def __init__(self) -> None:
+        self.records: List[FaultRecord] = []
+
+    def record(self, time: float, kind: str, target: str, detail: str) -> None:
+        self.records.append(
+            FaultRecord(time=time, kind=kind, target=target, detail=detail)
+        )
+
+    def of_kind(self, kind: str) -> List[FaultRecord]:
+        return [record for record in self.records if record.kind == kind]
+
+    def between(self, start: float, end: float) -> List[FaultRecord]:
+        """Records applied in ``[start, end)``."""
+        return [
+            record for record in self.records if start <= record.time < end
+        ]
+
+    def timeline(self) -> str:
+        """A human-readable one-line-per-fault rendering."""
+        if not self.records:
+            return "(no faults applied)"
+        return "\n".join(
+            f"t={record.time:9.4f}  {record.kind:<14} {record.target}: "
+            f"{record.detail}"
+            for record in self.records
+        )
 
 
 class QueueMonitor:

@@ -1,11 +1,61 @@
-"""Shared test fixtures: a two-node flow harness with scriptable loss."""
+"""Shared test fixtures: a two-node flow harness with scriptable loss,
+plus a per-test wall-clock ceiling (pytest-timeout, with a SIGALRM
+fallback when the plugin is not installed)."""
 
 from __future__ import annotations
 
+import importlib.util
+import signal
 from dataclasses import dataclass
 from typing import Optional
 
 import pytest
+
+_HAVE_PYTEST_TIMEOUT = importlib.util.find_spec("pytest_timeout") is not None
+
+
+def pytest_addoption(parser):
+    if not _HAVE_PYTEST_TIMEOUT:
+        # Claim the ini key pytest-timeout would own, so `timeout = 120`
+        # in pytest.ini works (and warns about nothing) either way.
+        parser.addini(
+            "timeout",
+            "per-test wall-clock ceiling in seconds "
+            "(pytest-timeout compatible; SIGALRM fallback)",
+            default="0",
+        )
+
+
+if not _HAVE_PYTEST_TIMEOUT and hasattr(signal, "SIGALRM"):
+
+    @pytest.fixture(autouse=True)
+    def _test_deadline(request):
+        """Fail any test that exceeds the configured wall-clock budget.
+
+        The sweep runner only ever arms SIGALRM inside pool *workers*
+        (never in this process), so the parent-side alarm here cannot
+        collide with a cell timeout.
+        """
+        limit = float(request.config.getini("timeout") or 0)
+        marker = request.node.get_closest_marker("timeout")
+        if marker is not None and marker.args:
+            limit = float(marker.args[0])
+        if limit <= 0:
+            yield
+            return
+
+        def _on_alarm(signum, frame):
+            raise TimeoutError(
+                f"test exceeded the {limit:g}s wall-clock ceiling"
+            )
+
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, limit)
+        try:
+            yield
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
 
 from repro.core.pr import PrConfig, TcpPrSender
 from repro.net.lossgen import LossModel

@@ -128,7 +128,8 @@ def test_compare_json_dump(tmp_path, capsys):
 
 def test_every_subcommand_exposes_executor_flags():
     parser = build_parser()
-    for command in ("variants", "fig2", "fig3", "fig4", "fig6", "compare"):
+    for command in ("variants", "fig2", "fig3", "fig4", "fig6", "fig7",
+                    "compare"):
         args = parser.parse_args([
             command, "--jobs", "3", "--no-cache", "--cache-dir", "/tmp/x",
         ])
@@ -136,3 +137,77 @@ def test_every_subcommand_exposes_executor_flags():
         assert args.no_cache
         assert args.cache_dir == "/tmp/x"
         assert args.json is None
+        assert args.keep_going is False
+        assert args.cell_timeout is None
+        assert args.retries == 0
+
+
+# ----------------------------------------------------------------------
+# Failure-policy flags: --keep-going / --fail-fast / --cell-timeout
+# ----------------------------------------------------------------------
+def _fig7_tiny(*extra):
+    return [
+        "fig7", "--protocols", "tcp-pr", "--outages", "0", "2",
+        "--duration", "8", "--period", "4", *extra,
+    ]
+
+
+def test_fig7_tiny_run(capsys):
+    assert main(_fig7_tiny("--no-cache")) == 0
+    out = capsys.readouterr().out
+    assert "Figure 7" in out
+    assert "tcp-pr" in out
+
+
+def test_fig7_cache_round_trip(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    assert main(_fig7_tiny("--cache-dir", cache_dir)) == 0
+    cold_out = capsys.readouterr().out
+    assert list((tmp_path / "cache").rglob("*.json"))
+    assert main(_fig7_tiny("--cache-dir", cache_dir)) == 0
+    assert capsys.readouterr().out == cold_out
+
+
+def test_keep_going_and_fail_fast_are_exclusive():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(
+            ["fig7", "--keep-going", "--fail-fast"]
+        )
+
+
+def test_fig7_keep_going_reports_partial_result(capsys):
+    argv = [
+        "fig7", "--protocols", "tcp-pr", "nosuch", "--outages", "0",
+        "--duration", "4", "--period", "2", "--no-cache", "--keep-going",
+    ]
+    assert main(argv) == 1  # partial => nonzero exit
+    out = capsys.readouterr().out
+    assert "Figure 7" in out  # the surviving cells still render
+    assert "--" in out  # the failed cell shows as a hole
+    assert "cells failed" in out
+
+
+def test_fig7_fail_fast_aborts_with_error_listing(capsys):
+    argv = [
+        "fig7", "--protocols", "nosuch", "--outages", "0",
+        "--duration", "4", "--period", "2", "--no-cache",
+    ]
+    assert main(argv) == 1
+    captured = capsys.readouterr()
+    assert "sweep failed" in captured.err
+    assert "Figure 7" not in captured.out
+
+
+def test_keep_going_json_dump_includes_failures(tmp_path, capsys):
+    out_path = tmp_path / "fig7.json"
+    argv = [
+        "fig7", "--protocols", "tcp-pr", "nosuch", "--outages", "0",
+        "--duration", "4", "--period", "2", "--no-cache", "--keep-going",
+        "--json", str(out_path),
+    ]
+    assert main(argv) == 1
+    capsys.readouterr()
+    data = json.loads(out_path.read_text())
+    assert data["goodput_mbps"]["tcp-pr"]["0.0"] > 0
+    assert data["goodput_mbps"]["nosuch"]["0.0"] is None
+    assert any(key.startswith("nosuch") for key in data["failures"])

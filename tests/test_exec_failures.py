@@ -1,0 +1,190 @@
+"""Tests for the runner's failure policy: crash isolation, timeouts,
+retries, and keep-going partial assembly (repro.exec.runner)."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.exec.cache import ResultCache
+from repro.exec.runner import CellError, ParallelRunner, SweepError
+from repro.exec.spec import ExperimentSpec, PartialSweepResult, SweepCell
+from repro.exec.testing import BOOM_CELL, FLAKY_CELL, OK_CELL, SLEEPY_CELL
+from repro.sim.rng import derive_child_seed
+
+pytestmark = pytest.mark.faults
+
+
+def _ok(key, value=1, seed=0):
+    return SweepCell(key=key, func=OK_CELL, params={"value": value}, seed=seed)
+
+
+def _boom(key, message="boom"):
+    return SweepCell(key=key, func=BOOM_CELL, params={"message": message})
+
+
+def _sleepy(key, sleep):
+    return SweepCell(key=key, func=SLEEPY_CELL, params={"sleep": sleep})
+
+
+def _mixed_cells():
+    return [_ok("a"), _boom("b"), _ok("c", value=3)]
+
+
+# ----------------------------------------------------------------------
+# Fail-fast (default): SweepError after draining, completed work kept
+# ----------------------------------------------------------------------
+def test_fail_fast_raises_sweep_error_with_completed_cells():
+    with pytest.raises(SweepError) as excinfo:
+        ParallelRunner().run_cells(_mixed_cells())
+    error = excinfo.value
+    assert [cell_error.key for cell_error in error.errors] == ["b"]
+    assert error.errors[0].error == "ValueError"
+    assert "boom" in error.errors[0].message
+    # Every non-failing cell still drained to completion.
+    assert set(error.completed) == {"a", "c"}
+
+
+def test_fail_fast_still_caches_completed_cells(tmp_path):
+    cache = ResultCache(tmp_path)
+    with pytest.raises(SweepError):
+        ParallelRunner(cache=cache).run_cells(_mixed_cells())
+    assert cache.stats.stores == 2  # the two good cells survived the crash
+
+    # A fixed re-run (failing cell replaced) reuses the cached work.
+    fixed = [_ok("a"), _ok("b", value=2), _ok("c", value=3)]
+    runner = ParallelRunner(cache=cache)
+    values = runner.run_cells(fixed)
+    assert runner.last_stats.cached == 2
+    assert runner.last_stats.executed == 1
+    assert values["a"] == {"value": 1, "seed": 0}
+    assert values["b"] == {"value": 2, "seed": 0}
+
+
+# ----------------------------------------------------------------------
+# keep_going: partial results with CellError values
+# ----------------------------------------------------------------------
+def test_keep_going_returns_cell_errors_inline():
+    runner = ParallelRunner(keep_going=True)
+    values = runner.run_cells(_mixed_cells())
+    assert list(values) == ["a", "b", "c"]  # cell order preserved
+    assert values["a"] == {"value": 1, "seed": 0}
+    assert isinstance(values["b"], CellError)
+    assert values["c"] == {"value": 3, "seed": 0}
+    assert runner.last_stats.failed == 1
+    assert runner.last_stats.errors[0].key == "b"
+
+
+def test_keep_going_serial_and_parallel_agree():
+    cells = [_ok("a"), _boom("b"), _ok("c", value=3), _boom("d", "other")]
+    serial = ParallelRunner(jobs=1, keep_going=True).run_cells(cells)
+    parallel = ParallelRunner(jobs=4, keep_going=True).run_cells(cells)
+    # Bit-identical including the error records (same tracebacks aside,
+    # CellError compares by value).
+    assert serial == parallel
+
+
+# ----------------------------------------------------------------------
+# Per-cell timeout
+# ----------------------------------------------------------------------
+def test_timeout_kills_overrunning_cell_only():
+    cells = [_sleepy("slow", sleep=10.0), _sleepy("fast", sleep=0.01)]
+    runner = ParallelRunner(jobs=2, timeout=1.0, keep_going=True)
+    values = runner.run_cells(cells)
+    assert isinstance(values["slow"], CellError)
+    assert values["slow"].timed_out
+    assert values["fast"] == {"value": 1, "seed": 0}
+    assert runner.last_stats.timed_out == 1
+
+
+def test_timeout_applies_even_with_one_job():
+    runner = ParallelRunner(jobs=1, timeout=1.0, keep_going=True)
+    values = runner.run_cells([_sleepy("slow", sleep=10.0)])
+    assert isinstance(values["slow"], CellError)
+    assert values["slow"].timed_out
+
+
+# ----------------------------------------------------------------------
+# Retries with re-derived attempt seeds
+# ----------------------------------------------------------------------
+def test_retry_rederives_seed_and_succeeds():
+    seed = 42
+    cell = SweepCell(
+        key="flaky", func=FLAKY_CELL, params={"fail_seed": seed}, seed=seed
+    )
+    runner = ParallelRunner(retries=1, backoff=0.0)
+    values = runner.run_cells([cell])
+    assert values["flaky"]["seed"] == derive_child_seed(seed, "attempt/1")
+    assert runner.last_stats.retried == 1
+    assert runner.last_stats.failed == 0
+
+
+def test_retries_exhausted_reports_attempt_count():
+    runner = ParallelRunner(retries=2, backoff=0.0, keep_going=True)
+    values = runner.run_cells([_boom("b")])
+    assert isinstance(values["b"], CellError)
+    assert values["b"].attempts == 3
+
+
+# ----------------------------------------------------------------------
+# Eager function validation
+# ----------------------------------------------------------------------
+def test_bad_func_path_fails_before_execution():
+    cells = [
+        _ok("good"),
+        SweepCell(key="bad", func="repro.exec.testing:no_such_cell"),
+    ]
+    with pytest.raises(ValueError, match="no attribute"):
+        ParallelRunner(jobs=2).run_cells(cells)
+
+
+def test_malformed_func_path_rejected():
+    with pytest.raises(ValueError, match="pkg.module:func"):
+        ParallelRunner().run_cells([SweepCell(key="x", func="not-a-path")])
+
+
+# ----------------------------------------------------------------------
+# assemble_partial via run(spec)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _ToySpec(ExperimentSpec):
+    name = "toy"
+    keys: tuple = ("a", "b", "c")
+
+    def cells(self):
+        return [
+            _boom(key) if key == "b" else _ok(key, value=ord(key))
+            for key in self.keys
+        ]
+
+    def assemble(self, results):
+        return dict(results)
+
+
+def test_run_spec_clean_path_uses_assemble():
+    result = ParallelRunner(keep_going=True).run(_ToySpec(keys=("a", "c")))
+    assert result == {
+        "a": {"value": 97, "seed": 0},
+        "c": {"value": 99, "seed": 0},
+    }
+
+
+def test_run_spec_partial_path_uses_assemble_partial():
+    result = ParallelRunner(keep_going=True).run(_ToySpec())
+    assert isinstance(result, PartialSweepResult)
+    assert result.spec_name == "toy"
+    assert not result.complete
+    assert set(result.values) == {"a", "c"}
+    assert set(result.errors) == {"b"}
+    assert isinstance(result.errors["b"], CellError)
+
+
+# ----------------------------------------------------------------------
+# CellError ergonomics
+# ----------------------------------------------------------------------
+def test_cell_error_summary_mentions_key_error_and_attempts():
+    runner = ParallelRunner(retries=1, backoff=0.0, keep_going=True)
+    values = runner.run_cells([_boom("b")])
+    summary = values["b"].summary()
+    assert "b" in summary
+    assert "ValueError" in summary
+    assert "2 attempts" in summary

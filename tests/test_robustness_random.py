@@ -110,3 +110,108 @@ def test_chaos_then_heal(variant, seed, loss_rate):
     # No packets wandered into the void: every data packet was either
     # delivered to an agent, dropped at a link, or is still in flight.
     assert net.dead_letters() == 0
+
+
+# ----------------------------------------------------------------------
+# Randomized fault schedules: never a deadlock
+# ----------------------------------------------------------------------
+@pytest.mark.faults
+@settings(max_examples=5, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    outage_starts=st.lists(
+        st.floats(min_value=0.5, max_value=10.0), min_size=0, max_size=3
+    ),
+    outage_len=st.floats(min_value=0.1, max_value=2.0),
+    spike_factor=st.floats(min_value=1.5, max_value=8.0),
+    ack_rate=st.floats(min_value=0.2, max_value=1.0),
+    blackout_path=st.integers(min_value=0, max_value=3),
+)
+def test_random_fault_schedule_never_deadlocks(
+    seed, outage_starts, outage_len, spike_factor, ack_rate, blackout_path
+):
+    """Any restorable fault schedule either completes or trips the
+    watchdog — the event loop never silently wedges."""
+    from repro.faults import (
+        AckLoss, DelaySpike, FaultSchedule, PathBlackout, inject,
+    )
+    from repro.topologies.multipath_mesh import (
+        MultipathMeshSpec, build_multipath_mesh, install_epsilon_routing,
+    )
+    from repro.app.bulk import BulkTransfer
+
+    duration = 14.0
+    events = [
+        PathBlackout(time=1.0, duration=2.0, origin="src", dst="dst",
+                     path_index=blackout_path),
+        DelaySpike(time=2.0, duration=1.0, src="src", dst="p0m0",
+                   factor=spike_factor),
+        AckLoss(time=3.0, duration=1.5, src="p0m0", dst="src",
+                rate=ack_rate),
+    ]
+    schedule = FaultSchedule(events)
+    for start in outage_starts:
+        schedule = schedule.extend(
+            FaultSchedule.link_outage(
+                "src", "p0m0", start=start, duration=outage_len, flush=True
+            )
+        )
+
+    net = build_multipath_mesh(MultipathMeshSpec(seed=seed))
+    install_epsilon_routing(net, epsilon=0.0)
+    inject(net, schedule)
+    flow = BulkTransfer(net, "tcp-pr", "src", "dst", flow_id=1)
+
+    # The watchdog is the test: a livelock or runaway loop raises
+    # instead of hanging the suite.
+    net.run(until=duration, livelock_threshold=1_000_000, deadline=60.0)
+    assert net.sim.now == duration
+    # Every fault in this schedule is restorable and ends well before
+    # `duration`; with three untouched paths the flow must make progress.
+    assert schedule.horizon < duration
+    assert flow.delivered_bytes() > 0
+    assert net.dead_letters() == 0
+
+
+# ----------------------------------------------------------------------
+# Randomized sweep failures: serial == parallel partial results
+# ----------------------------------------------------------------------
+@pytest.mark.faults
+@settings(max_examples=10, deadline=None)
+@given(
+    plan=st.lists(
+        st.sampled_from(["ok", "boom", "flaky"]), min_size=1, max_size=8
+    ),
+    seed=st.integers(min_value=0, max_value=1_000),
+)
+def test_random_failure_mix_serial_matches_parallel(plan, seed):
+    """keep_going partial results (values AND error records) are
+    bit-identical across jobs=1 and jobs=4 for any failure mix."""
+    from repro.exec.runner import CellError, ParallelRunner
+    from repro.exec.spec import SweepCell
+    from repro.exec.testing import BOOM_CELL, FLAKY_CELL, OK_CELL
+
+    cells = []
+    for index, kind in enumerate(plan):
+        cell_seed = seed + index
+        if kind == "ok":
+            cells.append(SweepCell(key=index, func=OK_CELL,
+                                   params={"value": index}, seed=cell_seed))
+        elif kind == "boom":
+            cells.append(SweepCell(key=index, func=BOOM_CELL,
+                                   params={"message": f"boom-{index}"},
+                                   seed=cell_seed))
+        else:  # first attempt fails deterministically, retry succeeds
+            cells.append(SweepCell(key=index, func=FLAKY_CELL,
+                                   params={"fail_seed": cell_seed},
+                                   seed=cell_seed))
+
+    serial = ParallelRunner(jobs=1, retries=1, backoff=0.0,
+                            keep_going=True).run_cells(cells)
+    parallel = ParallelRunner(jobs=4, retries=1, backoff=0.0,
+                              keep_going=True).run_cells(cells)
+    assert serial == parallel
+    assert list(serial) == list(range(len(plan)))  # cell order preserved
+    for index, kind in enumerate(plan):
+        assert isinstance(serial[index], CellError) == (kind == "boom")
