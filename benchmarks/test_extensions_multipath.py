@@ -12,7 +12,8 @@ landscape.
 
 import pytest
 
-from repro.experiments.fig6_multipath import run_fig6, format_fig6
+from repro.exec.spec import Scale
+from repro.experiments.fig6_multipath import Fig6Spec, format_fig6, run_fig6
 from repro.util.units import MS
 
 from conftest import paper_scale, save_result
@@ -27,12 +28,13 @@ def test_extensions_on_multipath(benchmark):
     duration = 30.0 if paper_scale() else 15.0
 
     def run():
-        return run_fig6(
+        return run_fig6(Fig6Spec.presets(
+            Scale.QUICK,
             link_delay=10 * MS,
             protocols=EXTENSION_PROTOCOLS,
             epsilons=epsilons,
             duration=duration,
-        )
+        ))
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
     save_result(

@@ -7,7 +7,9 @@ stay ≈ 1 across the whole range on both topologies.
 
 import pytest
 
+from repro.exec.spec import Scale
 from repro.experiments.fig2_fairness import (
+    Fig2Spec,
     PAPER_DURATION,
     PAPER_FLOW_COUNTS,
     PAPER_MEASURE_WINDOW,
@@ -32,12 +34,13 @@ def test_fig2_fairness(benchmark, topology):
     flow_counts, duration, window = _params()
 
     def run():
-        return run_fig2(
+        return run_fig2(Fig2Spec.presets(
+            Scale.QUICK,
             topology=topology,
             flow_counts=flow_counts,
             duration=duration,
             measure_window=window,
-        )
+        ))
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
     save_result(f"fig2_{topology}", format_fig2(result))

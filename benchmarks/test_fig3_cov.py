@@ -7,7 +7,9 @@ rates of roughly 4-13 %.
 
 import pytest
 
+from repro.exec.spec import Scale
 from repro.experiments.fig3_cov import (
+    Fig3Spec,
     PAPER_BANDWIDTHS_MBPS,
     PAPER_DURATION,
     PAPER_FLOWS,
@@ -39,13 +41,14 @@ def test_fig3_cov_vs_loss(benchmark, topology):
     bandwidths, flows, duration, window = _params()
 
     def run():
-        return run_fig3(
+        return run_fig3(Fig3Spec.presets(
+            Scale.QUICK,
             topology=topology,
             bandwidths_mbps=bandwidths,
             total_flows=flows,
             duration=duration,
             measure_window=window,
-        )
+        ))
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
     save_result(f"fig3_{topology}", format_fig3(result))

@@ -10,7 +10,10 @@ loss TCP-SACK's advantage stays ≤ ~20 % at beta = 10 and vanishes for
 
 import pytest
 
+from repro.exec.spec import Scale
 from repro.experiments.fig4_params import (
+    BetaSweepSpec,
+    Fig4Spec,
     PAPER_ALPHAS,
     PAPER_BETAS,
     PAPER_DURATION,
@@ -40,13 +43,14 @@ def test_fig4_alpha_beta_surface(benchmark):
     alphas, betas, flows, duration, window = _params()
 
     def run():
-        return run_fig4(
+        return run_fig4(Fig4Spec.presets(
+            Scale.QUICK,
             alphas=alphas,
             betas=betas,
             total_flows=flows,
             duration=duration,
             measure_window=window,
-        )
+        ))
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
     save_result("fig4_surface", format_fig4(result))
@@ -74,9 +78,11 @@ def test_extreme_loss_beta_sweep(benchmark):
     window = PAPER_MEASURE_WINDOW if paper_scale() else QUICK_MEASURE_WINDOW
 
     def run():
-        return run_extreme_loss_beta_sweep(
-            betas=betas, total_flows=8, duration=duration, measure_window=window
-        )
+        return run_extreme_loss_beta_sweep(BetaSweepSpec.presets(
+            Scale.QUICK,
+            betas=betas, total_flows=8, duration=duration,
+            measure_window=window,
+        ))
 
     points = benchmark.pedantic(run, rounds=1, iterations=1)
     save_result("fig4_beta_extreme", format_beta_sweep(points))

@@ -16,7 +16,9 @@ Expected shape:
 
 import pytest
 
+from repro.exec.spec import Scale
 from repro.experiments.fig6_multipath import (
+    Fig6Spec,
     PAPER_DURATION,
     PAPER_EPSILONS,
     PAPER_PROTOCOLS,
@@ -41,12 +43,13 @@ def test_fig6_multipath(benchmark, delay_ms):
     epsilons, duration = _params()
 
     def run():
-        return run_fig6(
+        return run_fig6(Fig6Spec.presets(
+            Scale.QUICK,
             link_delay=delay_ms * MS,
             protocols=PAPER_PROTOCOLS,
             epsilons=epsilons,
             duration=duration,
-        )
+        ))
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
     save_result(f"fig6_{delay_ms}ms", format_fig6(result))
@@ -75,14 +78,14 @@ def test_fig6_60ms_slower_than_10ms_at_single_path(benchmark):
     duration = PAPER_DURATION if paper_scale() else QUICK_DURATION
 
     def run():
-        fast = run_fig6(
-            link_delay=10 * MS, protocols=("tcp-pr", "tdfr"),
+        fast = run_fig6(Fig6Spec.presets(
+            Scale.QUICK, link_delay=10 * MS, protocols=("tcp-pr", "tdfr"),
             epsilons=(500.0,), duration=duration,
-        )
-        slow = run_fig6(
-            link_delay=60 * MS, protocols=("tcp-pr", "tdfr"),
+        ))
+        slow = run_fig6(Fig6Spec.presets(
+            Scale.QUICK, link_delay=60 * MS, protocols=("tcp-pr", "tdfr"),
             epsilons=(500.0,), duration=duration,
-        )
+        ))
         return fast, slow
 
     fast, slow = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -14,7 +14,7 @@ with full per-packet multipath (ε = 0) and injects a declarative
   post-rerouting RTT jump);
 * ``t = 12 s``: a second, shorter outage of 1 s.
 
-A :class:`~repro.trace.FaultTimelineMonitor` records each applied event,
+A :class:`~repro.obs.FaultTimelineMonitor` records each applied event,
 and both protocols run the *same* schedule (same seeds, same topology).
 TCP-PR loses roughly the capacity the faults removed; NewReno's
 DUPACK-based recovery compounds the reordering penalty it already pays.
@@ -40,7 +40,7 @@ from repro.topologies.multipath_mesh import (
     build_multipath_mesh,
     install_epsilon_routing,
 )
-from repro.trace import FaultTimelineMonitor
+from repro.obs import FaultTimelineMonitor
 from repro.util.units import MBPS, MS
 
 DURATION = 20.0

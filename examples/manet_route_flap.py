@@ -16,7 +16,7 @@ from repro import RouteFlapper, TcpReceiver, make_sender
 from repro.analysis.reordering import reordering_ratio
 from repro.experiments.report import bar_chart
 from repro.net.network import Network, install_static_routes
-from repro.trace.events import PacketTracer
+from repro.obs import PacketTracer
 from repro.util.units import MBPS
 
 DURATION = 20.0

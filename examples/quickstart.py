@@ -11,7 +11,7 @@ Run:
 """
 
 from repro import BulkTransfer, DumbbellSpec, build_dumbbell
-from repro.trace.monitors import CwndMonitor
+from repro.obs import CwndMonitor
 from repro.util.units import MBPS, fmt_bandwidth, fmt_time
 
 DURATION = 10.0

@@ -15,15 +15,18 @@ Run:
 import sys
 import time
 
-from repro.experiments.fig2_fairness import format_fig2, run_fig2
-from repro.experiments.fig3_cov import format_fig3, run_fig3
+from repro.exec.spec import Scale
+from repro.experiments.fig2_fairness import Fig2Spec, format_fig2, run_fig2
+from repro.experiments.fig3_cov import Fig3Spec, format_fig3, run_fig3
 from repro.experiments.fig4_params import (
+    BetaSweepSpec,
+    Fig4Spec,
     format_beta_sweep,
     format_fig4,
     run_extreme_loss_beta_sweep,
     run_fig4,
 )
-from repro.experiments.fig6_multipath import format_fig6, run_fig6
+from repro.experiments.fig6_multipath import Fig6Spec, format_fig6, run_fig6
 from repro.util.units import MS
 
 
@@ -40,30 +43,47 @@ def main() -> None:
 
     section(
         "Figure 2 (dumbbell)",
-        format_fig2(run_fig2(topology="dumbbell", flow_counts=(4, 8))),
+        format_fig2(run_fig2(Fig2Spec.presets(
+            Scale.QUICK, topology="dumbbell", flow_counts=(4, 8)
+        ))),
     )
     section(
         "Figure 2 (parking lot)",
-        format_fig2(run_fig2(topology="parking-lot", flow_counts=(4, 8))),
+        format_fig2(run_fig2(Fig2Spec.presets(
+            Scale.QUICK, topology="parking-lot", flow_counts=(4, 8)
+        ))),
     )
-    section("Figure 3 (dumbbell)", format_fig3(run_fig3(topology="dumbbell")))
+    section(
+        "Figure 3 (dumbbell)",
+        format_fig3(run_fig3(Fig3Spec.presets(
+            Scale.QUICK, topology="dumbbell"
+        ))),
+    )
     section(
         "Figure 4 (alpha/beta surface)",
-        format_fig4(run_fig4(alphas=(0.995,), betas=(1.0, 3.0))),
+        format_fig4(run_fig4(Fig4Spec.presets(
+            Scale.QUICK, alphas=(0.995,), betas=(1.0, 3.0)
+        ))),
     )
     section(
         "Section 4 extreme-loss beta sweep",
-        format_beta_sweep(run_extreme_loss_beta_sweep(betas=(3.0, 10.0))),
+        format_beta_sweep(run_extreme_loss_beta_sweep(BetaSweepSpec.presets(
+            Scale.QUICK, betas=(3.0, 10.0)
+        ))),
     )
     section(
         "Figure 6 (10 ms)",
-        format_fig6(run_fig6(link_delay=10 * MS, epsilons=(0.0, 4.0, 500.0),
-                             duration=15.0)),
+        format_fig6(run_fig6(Fig6Spec.presets(
+            Scale.QUICK, link_delay=10 * MS, epsilons=(0.0, 4.0, 500.0),
+            duration=15.0,
+        ))),
     )
     section(
         "Figure 6 (60 ms)",
-        format_fig6(run_fig6(link_delay=60 * MS, epsilons=(0.0, 4.0, 500.0),
-                             duration=15.0)),
+        format_fig6(run_fig6(Fig6Spec.presets(
+            Scale.QUICK, link_delay=60 * MS, epsilons=(0.0, 4.0, 500.0),
+            duration=15.0,
+        ))),
     )
 
     with open(output_path, "w") as handle:

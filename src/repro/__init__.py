@@ -10,10 +10,10 @@ The package bundles:
 * TCP-PR itself (:mod:`repro.core`) plus every baseline the paper
   compares against — Reno, NewReno, SACK, TD-FR, and the DSACK-based
   dupthresh-mitigation variants (:mod:`repro.tcp`);
-* topology builders, traffic sources, metrics, monitors, and the
-  experiment harness that regenerates each of the paper's figures
-  (:mod:`repro.topologies`, :mod:`repro.app`, :mod:`repro.analysis`,
-  :mod:`repro.trace`, :mod:`repro.experiments`).
+* topology builders, traffic sources, metrics, the unified
+  observability layer, and the experiment harness that regenerates each
+  of the paper's figures (:mod:`repro.topologies`, :mod:`repro.app`,
+  :mod:`repro.analysis`, :mod:`repro.obs`, :mod:`repro.experiments`).
 
 Quickstart::
 
@@ -58,7 +58,15 @@ from repro.topologies import (
     build_multipath_mesh,
     build_parking_lot,
 )
-from repro.trace import CwndMonitor, FlowThroughputMonitor, PacketTracer, QueueMonitor
+from repro.obs import (
+    CwndMonitor,
+    FlowThroughputMonitor,
+    Instrumentation,
+    MetricsRegistry,
+    PacketTracer,
+    QueueMonitor,
+    observe,
+)
 
 __version__ = "1.0.0"
 
@@ -68,7 +76,9 @@ __all__ = [
     "DumbbellSpec",
     "EpsilonMultipathPolicy",
     "FlowThroughputMonitor",
+    "Instrumentation",
     "MaxRttEstimator",
+    "MetricsRegistry",
     "MultipathMeshSpec",
     "Network",
     "OnOffSource",
@@ -93,5 +103,6 @@ __all__ = [
     "make_sender",
     "mean_normalized_throughput",
     "normalized_throughputs",
+    "observe",
     "__version__",
 ]

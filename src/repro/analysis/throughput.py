@@ -3,7 +3,7 @@
 The paper measures a flow's throughput as "the total data sent during the
 last 60 seconds of the simulation"; we measure in-order goodput at the
 receiver over a window, via the sampling monitors in
-:mod:`repro.trace.monitors`.
+:mod:`repro.obs.monitors`.
 """
 
 from __future__ import annotations

@@ -1,7 +1,7 @@
 """Time-series utilities over monitor samples.
 
 Turns the raw ``(time, delivered)`` samples of
-:class:`~repro.trace.monitors.FlowThroughputMonitor` into throughput
+:class:`~repro.obs.monitors.FlowThroughputMonitor` into throughput
 time series, and computes convergence diagnostics (how quickly competing
 flows settle to a fair share — the property the AIMD analysis of [4, 7]
 cited in Section 4 guarantees).

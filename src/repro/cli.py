@@ -22,6 +22,12 @@ Sweeps are crash-isolated: ``--keep-going`` finishes the surviving cells
 and reports a partial figure when some fail, ``--cell-timeout`` bounds
 each cell's wall clock, and ``--retries``/``--retry-backoff`` re-attempt
 failed cells with re-derived seeds (see ``docs/FAULTS.md``).
+
+Observability: ``--metrics-out PATH`` streams per-flow metric
+timeseries plus per-cell and sweep telemetry as ``repro.obs/v1`` JSONL;
+``--trace-out PATH`` does the same for packet/fault trace events; and
+``repro-experiments obs summary|convert FILE`` inspects or converts an
+existing stream (see ``docs/OBSERVABILITY.md``).
 """
 
 from __future__ import annotations
@@ -29,6 +35,7 @@ from __future__ import annotations
 import argparse
 import sys
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.exec import (
@@ -49,6 +56,7 @@ from repro.experiments import (
 )
 from repro.experiments.report import bar_chart
 from repro.experiments.serialize import dump_result
+from repro.obs import read_jsonl, summarize_records, write_csv, write_jsonl
 from repro.tcp.registry import available_variants
 from repro.util.units import MS
 
@@ -119,6 +127,21 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         default=0.25,
         help="base delay between attempts, doubled each retry (default: 0.25)",
     )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="collect per-flow metric timeseries inside each cell and "
+        "write them, with per-cell and sweep telemetry, as "
+        "repro.obs/v1 JSONL",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="collect packet arrival/drop and fault trace events inside "
+        "each cell and write them as repro.obs/v1 JSONL",
+    )
 
 
 def _cache_from(args: argparse.Namespace) -> Optional[ResultCache]:
@@ -134,7 +157,30 @@ def _runner_from(args: argparse.Namespace) -> ParallelRunner:
         retries=args.retries,
         backoff=args.retry_backoff,
         keep_going=args.keep_going,
+        collect_metrics=bool(args.metrics_out),
+        collect_trace=bool(args.trace_out),
     )
+
+
+def _write_observability(args: argparse.Namespace, telemetries: List[Any]) -> None:
+    """Serialize collected sweep telemetry to ``--metrics-out``/``--trace-out``."""
+    telemetries = [telemetry for telemetry in telemetries if telemetry is not None]
+    if args.metrics_out:
+        records = [
+            record
+            for telemetry in telemetries
+            for record in telemetry.metric_records()
+        ]
+        path = write_jsonl(records, args.metrics_out, command=args.command)
+        print(f"[metrics written to {path}]")
+    if args.trace_out:
+        records = [
+            record
+            for telemetry in telemetries
+            for record in telemetry.trace_records()
+        ]
+        path = write_jsonl(records, args.trace_out, command=args.command)
+        print(f"[trace written to {path}]")
 
 
 def _failure_report(runner: ParallelRunner) -> str:
@@ -258,6 +304,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     text = command.fmt(result)
     payload: Any = result
     failures = _failure_report(runner)
+    telemetries = [runner.last_stats.telemetry]
 
     if getattr(args, "extreme", False):
         sweep_spec = fig4_params.BetaSweepSpec.presets(
@@ -276,10 +323,12 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         payload = {"fig4": result, "extreme_beta_sweep": points}
         extra = _failure_report(runner)
         failures = "\n".join(part for part in (failures, extra) if part)
+        telemetries.append(runner.last_stats.telemetry)
 
     if failures:
         text += "\n\n" + failures
     status = _finish(args, payload, text)
+    _write_observability(args, telemetries)
     return 1 if failures else status
 
 
@@ -329,7 +378,20 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         "throughput_mbps": results,
     }
     status = _finish(args, payload, text)
+    _write_observability(args, [runner.last_stats.telemetry])
     return 1 if failures else status
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    """Inspect or convert an existing ``repro.obs/v1`` record stream."""
+    records = read_jsonl(args.file)
+    if args.obs_command == "summary":
+        print(summarize_records(records))
+        return 0
+    output = args.output or str(Path(args.file).with_suffix(".csv"))
+    path = write_csv(records, output)
+    print(f"[csv written to {path}]")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -406,6 +468,27 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(fig7)
     fig7.set_defaults(func=_cmd_figure)
 
+    obs = sub.add_parser(
+        "obs", help="inspect or convert a repro.obs/v1 record stream"
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_summary = obs_sub.add_parser(
+        "summary", help="print a human-readable digest of FILE"
+    )
+    obs_summary.add_argument("file", metavar="FILE", help="JSONL record stream")
+    obs_summary.set_defaults(func=_cmd_obs)
+    obs_convert = obs_sub.add_parser(
+        "convert", help="convert FILE (JSONL) to CSV"
+    )
+    obs_convert.add_argument("file", metavar="FILE", help="JSONL record stream")
+    obs_convert.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="output CSV path (default: FILE with a .csv suffix)",
+    )
+    obs_convert.set_defaults(func=_cmd_obs)
+
     compare = sub.add_parser(
         "compare", help="compare chosen variants in one multipath scenario"
     )
@@ -422,7 +505,13 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `| head`) closed the pipe; exit
+        # quietly like any well-behaved filter.
+        sys.stderr.close()
+        return 0
 
 
 if __name__ == "__main__":

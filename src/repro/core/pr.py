@@ -189,6 +189,9 @@ class TcpPrSender(Agent):
         self.memorize: Set[int] = set()
         self.cburst = 0
         self.stats = PrStats()
+        #: Metrics probe installed by repro.obs (None = not observed;
+        #: every hook below is a single is-not-None check then).
+        self.obs = None
         self._retransmitted: Set[int] = set()
         #: Transient mxrtt inflation (Section 3.2).  The paper's update
         #: rule ``mxrtt := beta * ewrtt`` runs on every ACK, so a forced
@@ -250,6 +253,8 @@ class TcpPrSender(Agent):
         self._mxrtt_override = None
         for seq in acked:
             self._process_acked_packet(seq)
+        if self.obs is not None:
+            self.obs.on_ack(self)
         self._flush_cwnd()
 
     def _collect_acked(self, packet: Packet) -> List[int]:
@@ -338,6 +343,8 @@ class TcpPrSender(Agent):
         """Table 1, "time > time(n) + mxrtt (drop detected for packet n)"."""
         sent_time, cwnd_at_send = self.to_be_ack.pop(seq)
         self.stats.drops_detected += 1
+        if self.obs is not None:
+            self.obs.on_loss(self)
         self._queue_retransmission(seq)
         if seq in self.memorize:
             # Part of an already-reacted-to loss event: no window cut.
@@ -453,6 +460,8 @@ class TcpPrSender(Agent):
         if is_retransmit:
             self.stats.retransmits += 1
             self._retransmitted.add(seq)
+            if self.obs is not None:
+                self.obs.on_retransmit(self)
         else:
             self.snd_nxt += 1
         now = self.sim.now

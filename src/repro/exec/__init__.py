@@ -12,10 +12,14 @@ package turns that observation into infrastructure:
   (:class:`CellError` capture, per-cell ``timeout``, ``retries`` with
   re-derived seeds, ``keep_going`` partial assembly);
 * :mod:`repro.exec.cache` — :class:`ResultCache`, a content-addressed
-  on-disk store under ``.repro-cache/`` making repeat runs near-instant.
+  on-disk store under ``.repro-cache/`` making repeat runs near-instant;
+* :mod:`repro.exec.telemetry` — :class:`CellTelemetry` /
+  :class:`SweepTelemetry`, the per-cell execution stories (cache hits,
+  retries, timeouts, wall time, metric summaries) every run attaches to
+  :attr:`RunStats.telemetry`.
 
-See ``docs/EXECUTOR.md`` for the design and ``docs/FAULTS.md`` for the
-failure policy.
+See ``docs/EXECUTOR.md`` for the design, ``docs/FAULTS.md`` for the
+failure policy, and ``docs/OBSERVABILITY.md`` for metric collection.
 """
 
 from repro.exec.cache import (
@@ -39,12 +43,14 @@ from repro.exec.spec import (
     SweepCell,
     resolve_func,
 )
+from repro.exec.telemetry import CellTelemetry, SweepTelemetry
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
     "DEFAULT_CACHE_DIR",
     "CacheStats",
     "CellError",
+    "CellTelemetry",
     "CellTimeout",
     "ExperimentSpec",
     "ParallelRunner",
@@ -54,6 +60,7 @@ __all__ = [
     "Scale",
     "SweepCell",
     "SweepError",
+    "SweepTelemetry",
     "resolve_func",
     "run_sweep",
 ]

@@ -48,6 +48,13 @@ from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tupl
 
 from repro.exec.cache import ResultCache
 from repro.exec.spec import ExperimentSpec, SweepCell, resolve_func
+from repro.exec.telemetry import (
+    CellTelemetry,
+    SweepTelemetry,
+    summaries_from_records,
+)
+from repro.obs.export import key_to_str
+from repro.obs.instrument import Instrumentation, ambient
 from repro.sim.rng import derive_child_seed
 
 
@@ -101,11 +108,23 @@ class SweepError(RuntimeError):
 
 #: Payload shipped to a worker: everything needed to run one cell with
 #: the full failure policy applied *inside* the worker, so retries and
-#: timeouts behave identically in-process and across the pool.
-_Payload = Tuple[int, str, Dict[str, Any], int, Optional[float], int, float]
-#: What comes back: (index, failure-or-None, value, attempts) where
-#: failure is (error name, message, traceback, timed_out).
-_Outcome = Tuple[int, Optional[Tuple[str, str, str, bool]], Any, int]
+#: timeouts behave identically in-process and across the pool.  The two
+#: trailing booleans are (collect_metrics, collect_trace).
+_Payload = Tuple[
+    int, str, Dict[str, Any], int, Optional[float], int, float, bool, bool
+]
+#: What comes back: (index, failure-or-None, value, attempts, wall_time,
+#: records) where failure is (error name, message, traceback, timed_out)
+#: and records holds the cell's repro.obs/v1 records — plain dicts so
+#: they pickle across the pool — or None when collection was off.
+_Outcome = Tuple[
+    int,
+    Optional[Tuple[str, str, str, bool]],
+    Any,
+    int,
+    float,
+    Optional[List[Dict[str, Any]]],
+]
 
 
 @contextmanager
@@ -151,8 +170,26 @@ def _execute_payload_guarded(payload: _Payload) -> _Outcome:
     Runs identically in-process and inside a pool worker, which is what
     makes serial and parallel failure sets bit-identical: the guard is
     the same code object, so captured tracebacks match exactly.
+
+    When collection is requested, an ambient
+    :class:`~repro.obs.instrument.Instrumentation` is active around each
+    attempt (fresh per attempt, so retries never double-record); cell
+    functions opt in by calling
+    :func:`~repro.obs.instrument.maybe_observe`.
     """
-    index, func_path, params, seed, timeout, retries, backoff = payload
+    (
+        index,
+        func_path,
+        params,
+        seed,
+        timeout,
+        retries,
+        backoff,
+        collect_metrics,
+        collect_trace,
+    ) = payload
+    started = time.perf_counter()
+    collect = collect_metrics or collect_trace
     attempt = 0
     while True:
         attempt_seed = (
@@ -160,9 +197,20 @@ def _execute_payload_guarded(payload: _Payload) -> _Outcome:
         )
         try:
             func = resolve_func(func_path)
-            with _alarm(timeout):
-                value = func(**params, seed=attempt_seed)
-            return index, None, value, attempt + 1
+            if collect:
+                instrumentation = Instrumentation(trace=collect_trace)
+                with ambient(instrumentation):
+                    with _alarm(timeout):
+                        value = func(**params, seed=attempt_seed)
+                records: Optional[List[Dict[str, Any]]] = (
+                    instrumentation.to_records()
+                )
+            else:
+                with _alarm(timeout):
+                    value = func(**params, seed=attempt_seed)
+                records = None
+            wall = time.perf_counter() - started
+            return index, None, value, attempt + 1, wall, records
         except Exception as exc:
             timed_out = isinstance(exc, CellTimeout)
             failure = (
@@ -172,7 +220,8 @@ def _execute_payload_guarded(payload: _Payload) -> _Outcome:
                 timed_out,
             )
         if attempt >= retries:
-            return index, failure, None, attempt + 1
+            wall = time.perf_counter() - started
+            return index, failure, None, attempt + 1, wall, None
         time.sleep(backoff * (2.0 ** attempt))
         attempt += 1
 
@@ -198,6 +247,9 @@ class RunStats:
     retried: int = 0
     #: Terminal per-cell failures, in cell order (empty on a clean run).
     errors: List[CellError] = field(default_factory=list)
+    #: Per-cell execution stories + collected metric records (see
+    #: :mod:`repro.exec.telemetry`); populated by every run.
+    telemetry: Optional[SweepTelemetry] = None
 
 
 class ParallelRunner:
@@ -217,6 +269,13 @@ class ParallelRunner:
             failures in :attr:`RunStats.errors` /
             ``spec.assemble_partial`` instead of raising
             :class:`SweepError`.
+        collect_metrics: Activate an ambient
+            :class:`~repro.obs.instrument.Instrumentation` around each
+            cell; cell functions that call ``maybe_observe(...)`` get
+            their metrics shipped back and attached to
+            :attr:`RunStats.telemetry`.
+        collect_trace: Additionally enable packet/fault tracing on the
+            ambient instrumentation (expensive; opt-in separately).
     """
 
     def __init__(
@@ -228,6 +287,8 @@ class ParallelRunner:
         retries: int = 0,
         backoff: float = 0.25,
         keep_going: bool = False,
+        collect_metrics: bool = False,
+        collect_trace: bool = False,
     ) -> None:
         if timeout is not None and timeout <= 0:
             raise ValueError(f"timeout must be positive, got {timeout}")
@@ -241,6 +302,8 @@ class ParallelRunner:
         self.retries = int(retries)
         self.backoff = backoff
         self.keep_going = keep_going
+        self.collect_metrics = collect_metrics
+        self.collect_trace = collect_trace
         self._mp_context = mp_context
         self.last_stats = RunStats()
 
@@ -295,11 +358,22 @@ class ParallelRunner:
             pending.append(cell)
 
         errors: Dict[Any, CellError] = {}
+        cell_stories: Dict[Any, CellTelemetry] = {}
+        collected: List[Dict[str, Any]] = []
         retried = 0
         timed_out = 0
-        for index, failure, value, attempts in self._execute(pending):
+        for index, failure, value, attempts, wall, records in self._execute(
+            pending
+        ):
             cell = pending[index]
             retried += attempts - 1
+            if records:
+                tag = key_to_str(cell.key)
+                for record in records:
+                    record["cell"] = tag
+                collected.extend(records)
+            error_text: Optional[str] = None
+            cell_timed_out = False
             if failure is None:
                 results[cell.key] = value
                 if self.cache is not None:
@@ -308,6 +382,7 @@ class ParallelRunner:
                     self.cache.store(cell, value)
             else:
                 error_name, message, trace, cell_timed_out = failure
+                error_text = f"{error_name}: {message}"
                 errors[cell.key] = CellError(
                     key=cell.key,
                     func=cell.func,
@@ -319,18 +394,54 @@ class ParallelRunner:
                 )
                 if cell_timed_out:
                     timed_out += 1
+            cell_stories[cell.key] = CellTelemetry(
+                key=cell.key,
+                cached=False,
+                attempts=attempts,
+                timed_out=cell_timed_out,
+                error=error_text,
+                wall_time=wall,
+                metrics=summaries_from_records(records) if records else {},
+            )
 
         error_list = [errors[cell.key] for cell in pending if cell.key in errors]
+        elapsed = time.perf_counter() - started
+        telemetry = SweepTelemetry(
+            cells=[
+                cell_stories.get(
+                    cell.key,
+                    CellTelemetry(
+                        key=cell.key,
+                        cached=True,
+                        attempts=0,
+                        timed_out=False,
+                        error=None,
+                        wall_time=0.0,
+                    ),
+                )
+                for cell in cells
+            ],
+            collected=collected,
+            total=len(cells),
+            cached=len(cells) - len(pending),
+            executed=len(pending),
+            failed=len(error_list),
+            timed_out=timed_out,
+            retried=retried,
+            elapsed=elapsed,
+            jobs=self.jobs,
+        )
         self.last_stats = RunStats(
             total=len(cells),
             cached=len(cells) - len(pending),
             executed=len(pending),
             jobs=self.jobs,
-            elapsed=time.perf_counter() - started,
+            elapsed=elapsed,
             failed=len(error_list),
             timed_out=timed_out,
             retried=retried,
             errors=error_list,
+            telemetry=telemetry,
         )
         if error_list and not self.keep_going:
             raise SweepError(error_list, results)
@@ -348,6 +459,8 @@ class ParallelRunner:
                 self.timeout,
                 self.retries,
                 self.backoff,
+                self.collect_metrics,
+                self.collect_trace,
             )
             for index, cell in enumerate(cells)
         ]
@@ -383,6 +496,8 @@ def run_sweep(
     retries: int = 0,
     backoff: float = 0.25,
     keep_going: bool = False,
+    collect_metrics: bool = False,
+    collect_trace: bool = False,
     runner: Optional[ParallelRunner] = None,
 ) -> Any:
     """Run a declarative sweep end-to-end and return the assembled result.
@@ -402,5 +517,7 @@ def run_sweep(
             retries=retries,
             backoff=backoff,
             keep_going=keep_going,
+            collect_metrics=collect_metrics,
+            collect_trace=collect_trace,
         )
     return runner.run(spec)

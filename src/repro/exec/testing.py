@@ -17,6 +17,7 @@ OK_CELL = "repro.exec.testing:ok_cell"
 BOOM_CELL = "repro.exec.testing:boom_cell"
 FLAKY_CELL = "repro.exec.testing:flaky_cell"
 SLEEPY_CELL = "repro.exec.testing:sleepy_cell"
+METRIC_CELL = "repro.exec.testing:metric_cell"
 
 
 def ok_cell(*, value: Any = 1, seed: int) -> Dict[str, Any]:
@@ -45,4 +46,20 @@ def flaky_cell(*, fail_seed: int, value: Any = 1, seed: int) -> Dict[str, Any]:
 def sleepy_cell(*, sleep: float, value: Any = 1, seed: int) -> Dict[str, Any]:
     """Sleeps ``sleep`` wall-clock seconds, then succeeds (timeout probe)."""
     time.sleep(sleep)
+    return {"value": value, "seed": seed}
+
+
+def metric_cell(*, value: float = 1.0, seed: int) -> Dict[str, Any]:
+    """Records one counter on the ambient instrumentation, then succeeds.
+
+    With a runner's ``collect_metrics=True`` the counter crosses the
+    process boundary as a ``metric`` record tagged with the cell key;
+    without collection there is no ambient instrumentation and the cell
+    records nothing (telemetry-collection probe).
+    """
+    from repro.obs import get_ambient
+
+    inst = get_ambient()
+    if inst is not None:
+        inst.registry.counter("test.cell_value", seed=seed).inc(value)
     return {"value": value, "seed": seed}

@@ -1,0 +1,24 @@
+"""Shared DeprecationWarning for the legacy keyword entry points.
+
+Each figure's ``run_figN`` historically accepted loose keyword
+arguments and built a quick-scale spec internally.  The spec-first form
+(``run_figN(FigNSpec.presets(...), runner=...)``) is the supported API;
+the keyword form still works but warns through this helper so the
+``repro.``-prefixed message trips the test suite's
+DeprecationWarning-as-error filter.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+
+def warn_legacy_keywords(func: str, spec_cls: str) -> None:
+    """Warn that ``func`` was called without an explicit spec."""
+    warnings.warn(
+        f"repro.experiments.{func}(**kwargs) without a spec is deprecated; "
+        f"build a {spec_cls} (e.g. {spec_cls}.presets(Scale.QUICK, ...)) "
+        "and pass it as the first argument (see docs/EXECUTOR.md)",
+        DeprecationWarning,
+        stacklevel=3,
+    )

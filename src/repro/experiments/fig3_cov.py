@@ -14,6 +14,7 @@ from typing import Any, ClassVar, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.pr import PrConfig
 from repro.exec.runner import ResultCache, run_sweep
+from repro.experiments._deprecation import warn_legacy_keywords
 from repro.exec.spec import ExperimentSpec, Scale, SweepCell
 from repro.experiments.runner import FairnessResult, run_fairness
 from repro.topologies.dumbbell import DumbbellSpec
@@ -179,6 +180,7 @@ def run_fig3(
     if isinstance(spec, str):  # legacy positional topology argument
         topology, spec = spec, None
     if spec is None:
+        warn_legacy_keywords("run_fig3", "Fig3Spec")
         spec = Fig3Spec.presets(
             Scale.QUICK,
             topology=topology,

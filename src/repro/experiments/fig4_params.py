@@ -18,6 +18,7 @@ from typing import Any, ClassVar, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.pr import PrConfig
 from repro.exec.runner import ResultCache, run_sweep
+from repro.experiments._deprecation import warn_legacy_keywords
 from repro.exec.spec import ExperimentSpec, Scale, SweepCell
 from repro.experiments.runner import FairnessResult, run_fairness
 from repro.topologies.dumbbell import DumbbellSpec
@@ -167,6 +168,7 @@ def run_fig4(
     if isinstance(spec, str):  # legacy positional topology argument
         topology, spec = spec, None
     if spec is None:
+        warn_legacy_keywords("run_fig4", "Fig4Spec")
         spec = Fig4Spec.presets(
             Scale.QUICK,
             topology=topology,
@@ -328,6 +330,9 @@ def run_extreme_loss_beta_sweep(
     if isinstance(spec, (list, tuple)):  # legacy positional betas argument
         betas, spec = spec, None
     if spec is None:
+        warn_legacy_keywords(
+            "run_extreme_loss_beta_sweep", "BetaSweepSpec"
+        )
         spec = BetaSweepSpec.presets(
             Scale.QUICK,
             betas=betas,

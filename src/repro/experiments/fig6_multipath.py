@@ -21,7 +21,9 @@ from typing import Any, ClassVar, Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.app.bulk import BulkTransfer
 from repro.core.pr import PrConfig
 from repro.exec.runner import ResultCache, run_sweep
+from repro.experiments._deprecation import warn_legacy_keywords
 from repro.exec.spec import ExperimentSpec, Scale, SweepCell
+from repro.obs import maybe_observe
 from repro.tcp.base import TcpConfig
 from repro.topologies.multipath_mesh import (
     MultipathMeshSpec,
@@ -101,6 +103,7 @@ def run_single_multipath_flow(
         pr_config=pr_config,
         receiver_delayed_ack=receiver_delayed_ack,
     )
+    maybe_observe(net)
     net.run(until=duration)
     return flow.delivered_bytes() * 8.0 / duration / MBPS
 
@@ -199,6 +202,7 @@ def run_fig6(
     if isinstance(spec, (int, float)):  # legacy positional link_delay
         link_delay, spec = float(spec), None
     if spec is None:
+        warn_legacy_keywords("run_fig6", "Fig6Spec")
         spec = Fig6Spec.presets(
             Scale.QUICK,
             link_delay=link_delay,

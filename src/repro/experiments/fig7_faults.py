@@ -32,6 +32,7 @@ from typing import Any, ClassVar, Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.app.bulk import BulkTransfer
 from repro.core.pr import PrConfig
 from repro.exec.runner import ResultCache, run_sweep
+from repro.experiments._deprecation import warn_legacy_keywords
 from repro.exec.spec import ExperimentSpec, Scale, SweepCell
 from repro.faults.injector import Injector
 from repro.faults.schedule import (
@@ -43,6 +44,7 @@ from repro.faults.schedule import (
     LinkUp,
     PathBlackout,
 )
+from repro.obs import maybe_observe
 from repro.tcp.base import TcpConfig
 from repro.topologies.multipath_mesh import (
     MultipathMeshSpec,
@@ -151,11 +153,22 @@ def run_fig7_cell(
 
     ``schedule`` arrives in its JSON form (cells are plain data for the
     cache and the process boundary) and is revived here.
+
+    When the executor activated ambient instrumentation (``--metrics-out``),
+    the cell records its fault timeline and per-flow metrics; otherwise
+    every :func:`maybe_observe` call is a no-op.  The construction order
+    (injector armed before the flow) is part of the cached results'
+    event ordering and must not change.
     """
     mesh_spec = MultipathMeshSpec(link_delay=link_delay, seed=seed)
     net = build_multipath_mesh(mesh_spec)
     install_epsilon_routing(net, epsilon=0.0, reorder_acks=True)
-    Injector(net, FaultSchedule.from_jsonable(schedule)).arm()
+    inst = maybe_observe()
+    Injector(
+        net,
+        FaultSchedule.from_jsonable(schedule),
+        monitor=inst.fault_timeline() if inst is not None else None,
+    ).arm()
     flow = BulkTransfer(
         net,
         protocol,
@@ -165,6 +178,7 @@ def run_fig7_cell(
         tcp_config=TcpConfig(initial_ssthresh=DEFAULT_INITIAL_SSTHRESH),
         pr_config=PrConfig(initial_ssthresh=DEFAULT_INITIAL_SSTHRESH),
     )
+    maybe_observe(net)
     net.run(until=duration, livelock_threshold=LIVELOCK_THRESHOLD)
     return flow.delivered_bytes() * 8.0 / duration / MBPS
 
@@ -262,6 +276,7 @@ def run_fig7(
     :func:`~repro.exec.runner.run_sweep`.
     """
     if spec is None:
+        warn_legacy_keywords("run_fig7", "Fig7Spec")
         spec = Fig7Spec.presets(
             Scale.QUICK,
             link_delay=link_delay,

@@ -28,7 +28,8 @@ from repro.topologies.parking_lot import (
     ParkingLotSpec,
     build_parking_lot,
 )
-from repro.trace.monitors import FlowThroughputMonitor
+from repro.obs import maybe_observe
+from repro.obs.monitors import FlowThroughputMonitor
 from repro.util.units import MBPS
 
 
@@ -160,6 +161,7 @@ def build_fairness_scenario(
                 )
             )
 
+    maybe_observe(network)
     return FairnessScenario(
         network=network,
         topology=topology,

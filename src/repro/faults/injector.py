@@ -8,9 +8,10 @@ happens eagerly at arm time so a schedule naming a nonexistent link or a
 policy without blackout support fails immediately with a
 :class:`FaultTargetError` instead of mid-run.
 
-Pass a :class:`~repro.trace.monitors.FaultTimelineMonitor` (or anything
+Pass a :class:`~repro.obs.monitors.FaultTimelineMonitor` (or anything
 with the same ``record`` method) as ``monitor`` to get a trace of the
-applied faults alongside the packet trace.
+applied faults alongside the packet trace — most conveniently via
+:meth:`repro.obs.Instrumentation.fault_timeline`.
 """
 
 from __future__ import annotations

@@ -95,6 +95,8 @@ class Link:
         self._fault_rng = None
         #: Observers called as fn(link, packet) when a packet is dropped.
         self.drop_listeners: List[Callable[["Link", Packet], None]] = []
+        #: Metrics probe installed by repro.obs (None = not observed).
+        self.obs = None
         src._register_link(self)
 
     # ------------------------------------------------------------------
@@ -103,14 +105,20 @@ class Link:
         self.arrived_packets += 1
         if not self.up:
             self.fault_drops += 1
+            if self.obs is not None:
+                self.obs.drop("fault")
             self._notify_drop(packet)
             return
         if self.fault_loss_rate > 0.0 and self._fault_draw() < self.fault_loss_rate:
             self.fault_drops += 1
+            if self.obs is not None:
+                self.obs.drop("fault")
             self._notify_drop(packet)
             return
         if self.loss_model is not None and self.loss_model.should_drop(packet):
             self.loss_model_drops += 1
+            if self.obs is not None:
+                self.obs.drop("loss_model")
             self._notify_drop(packet)
             return
         if self._busy:
@@ -140,6 +148,8 @@ class Link:
                     if packet is None:
                         break
                     self.fault_drops += 1
+                    if self.obs is not None:
+                        self.obs.drop("fault")
                     self._notify_drop(packet)
             return
         if not self._busy:

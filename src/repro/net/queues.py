@@ -34,6 +34,10 @@ class Queue:
         self.drops = 0
         self.enqueued = 0
         self.max_occupancy = 0
+        #: Metrics probe installed by repro.obs (None = not observed).
+        #: The owning link shares its probe with the queue, since a
+        #: queue has no simulator reference of its own.
+        self.obs = None
 
     def push(self, packet: Packet) -> bool:
         """Try to buffer ``packet``; return False (and count a drop) if rejected."""
@@ -42,7 +46,10 @@ class Queue:
     def pop(self) -> Optional[Packet]:
         """Dequeue the next packet in FIFO order, or None if empty."""
         if self._buffer:
-            return self._buffer.popleft()
+            packet = self._buffer.popleft()
+            if self.obs is not None:
+                self.obs.queue_depth()
+            return packet
         return None
 
     def _accept(self, packet: Packet) -> bool:
@@ -50,7 +57,15 @@ class Queue:
         self.enqueued += 1
         if len(self._buffer) > self.max_occupancy:
             self.max_occupancy = len(self._buffer)
+        if self.obs is not None:
+            self.obs.queue_depth()
         return True
+
+    def _reject(self) -> None:
+        """Count (and report) one rejected arrival."""
+        self.drops += 1
+        if self.obs is not None:
+            self.obs.queue_drop()
 
     def __len__(self) -> int:
         return len(self._buffer)
@@ -65,7 +80,7 @@ class DropTailQueue(Queue):
 
     def push(self, packet: Packet) -> bool:
         if len(self._buffer) >= self.capacity:
-            self.drops += 1
+            self._reject()
             return False
         return self._accept(packet)
 
@@ -102,7 +117,7 @@ class REDQueue(Queue):
     def push(self, packet: Packet) -> bool:
         self.avg = (1 - self.weight) * self.avg + self.weight * len(self._buffer)
         if len(self._buffer) >= self.capacity:
-            self.drops += 1
+            self._reject()
             self._count_since_drop = 0
             return False
         drop_p = self._drop_probability()
@@ -112,7 +127,7 @@ class REDQueue(Queue):
             denominator = max(1e-12, 1 - self._count_since_drop * drop_p)
             effective_p = min(1.0, drop_p / denominator)
             if self._rng.random() < effective_p:
-                self.drops += 1
+                self._reject()
                 self._count_since_drop = 0
                 return False
         else:

@@ -1,0 +1,248 @@
+"""Structured export: ``repro.obs/v1`` records to JSONL / CSV.
+
+Every export — a registry, a packet trace, a fault timeline, sweep
+telemetry — is a stream of flat JSON objects sharing one envelope
+field, ``record``, which names the record type:
+
+``header``
+    First line of every file: ``{"record": "header", "schema":
+    "repro.obs/v1", ...}``.  Consumers should check ``schema``.
+``metric``
+    One metric's full state: ``kind`` (counter / gauge / histogram /
+    timeseries), ``name``, ``labels``, and the kind-specific payload
+    (``value``, ``buckets``/``counts``/``count``/``sum``/``min``/``max``,
+    or parallel ``times``/``values`` arrays).  Records collected inside a
+    sweep cell additionally carry ``cell`` (the cell key, JSON-rendered).
+``trace``
+    One :class:`~repro.obs.trace.TraceEvent`: ``time``, ``kind``
+    (recv / drop), ``where``, ``packet_uid``, ``flow_id``,
+    ``packet_kind``, ``seq``, ``ack``.
+``fault``
+    One :class:`~repro.obs.trace.FaultRecord`: ``time``, ``kind``,
+    ``target``, ``detail``.
+``cell``
+    One sweep cell's telemetry: ``key``, ``cached``, ``attempts``,
+    ``timed_out``, ``error``, ``wall_time``, ``metrics`` (per-metric
+    summaries, no sample arrays).
+``sweep``
+    One per sweep: the aggregate counters (``total``, ``cached``,
+    ``executed``, ``failed``, ``timed_out``, ``retried``, ``elapsed``,
+    ``jobs``).
+
+The schema is append-only: new record types and new optional fields may
+appear under ``repro.obs/v1``; existing fields never change meaning.
+See ``docs/OBSERVABILITY.md`` for the full field tables.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import FaultRecord, PacketTracer, TraceEvent
+
+#: The schema identifier written into every header record.
+SCHEMA = "repro.obs/v1"
+
+PathLike = Union[str, Path]
+
+
+def header_record(**extra: Any) -> Dict[str, Any]:
+    """The leading record of a ``repro.obs/v1`` stream."""
+    return {"record": "header", "schema": SCHEMA, **extra}
+
+
+def trace_event_record(event: TraceEvent) -> Dict[str, Any]:
+    """One :class:`TraceEvent` as a schema record."""
+    return {
+        "record": "trace",
+        "time": event.time,
+        "kind": event.kind,
+        "where": event.where,
+        "packet_uid": event.packet_uid,
+        "flow_id": event.flow_id,
+        "packet_kind": event.packet_kind,
+        "seq": event.seq,
+        "ack": event.ack,
+    }
+
+
+def fault_record(record: FaultRecord) -> Dict[str, Any]:
+    """One :class:`FaultRecord` as a schema record."""
+    return {
+        "record": "fault",
+        "time": record.time,
+        "kind": record.kind,
+        "target": record.target,
+        "detail": record.detail,
+    }
+
+
+def key_to_str(key: Any) -> str:
+    """Render a sweep-cell key stably (strings verbatim, else JSON)."""
+    if isinstance(key, str):
+        return key
+    try:
+        return json.dumps(key, default=str)
+    except TypeError:
+        return repr(key)
+
+
+def registry_records(
+    registry: MetricsRegistry, cell: Optional[Any] = None
+) -> List[Dict[str, Any]]:
+    """A registry's metrics as records, optionally tagged with a cell key."""
+    records = registry.to_records()
+    if cell is not None:
+        tag = key_to_str(cell)
+        for record in records:
+            record["cell"] = tag
+    return records
+
+
+def tracer_records(tracer: PacketTracer) -> List[Dict[str, Any]]:
+    """A packet tracer's events as records."""
+    return [trace_event_record(event) for event in tracer.events]
+
+
+# ----------------------------------------------------------------------
+# JSONL
+# ----------------------------------------------------------------------
+def write_jsonl(
+    records: Iterable[Dict[str, Any]],
+    path: PathLike,
+    header: bool = True,
+    **header_fields: Any,
+) -> Path:
+    """Write records to ``path`` as JSON Lines; returns the path.
+
+    A header record is prepended unless ``header=False`` or the first
+    record already is one.
+    """
+    path = Path(path)
+    records = list(records)
+    if header and not (records and records[0].get("record") == "header"):
+        records.insert(0, header_record(**header_fields))
+    with path.open("w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, default=str))
+            handle.write("\n")
+    return path
+
+
+def read_jsonl(path: PathLike) -> List[Dict[str, Any]]:
+    """Read a JSONL record stream (blank lines ignored)."""
+    records: List[Dict[str, Any]] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+# ----------------------------------------------------------------------
+# CSV
+# ----------------------------------------------------------------------
+def write_csv(records: Iterable[Dict[str, Any]], path: PathLike) -> Path:
+    """Write records to ``path`` as CSV; returns the path.
+
+    The column set is the union of all record keys (in first-seen
+    order); nested values (labels, arrays, summaries) are JSON-encoded
+    in their cells so the file round-trips losslessly.
+    """
+    path = Path(path)
+    records = list(records)
+    columns: List[str] = []
+    seen = set()
+    for record in records:
+        for key in record:
+            if key not in seen:
+                seen.add(key)
+                columns.append(key)
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(columns)
+        for record in records:
+            writer.writerow(
+                [_csv_cell(record[key]) if key in record else "" for key in columns]
+            )
+    return path
+
+
+def _csv_cell(value: Any) -> Any:
+    if isinstance(value, (dict, list, tuple)):
+        return json.dumps(value, default=str)
+    return value
+
+
+# ----------------------------------------------------------------------
+# Summaries (the `repro obs summary` view)
+# ----------------------------------------------------------------------
+def summarize_records(records: Iterable[Dict[str, Any]]) -> str:
+    """A human-readable digest of a record stream."""
+    records = list(records)
+    by_type: Dict[str, int] = {}
+    for record in records:
+        kind = record.get("record", "?")
+        by_type[kind] = by_type.get(kind, 0) + 1
+    out = io.StringIO()
+    schema = next(
+        (r.get("schema") for r in records if r.get("record") == "header"), None
+    )
+    out.write(f"schema: {schema or '(no header)'}\n")
+    out.write(
+        "records: "
+        + ", ".join(f"{kind}={count}" for kind, count in sorted(by_type.items()))
+        + "\n"
+    )
+    metrics = [r for r in records if r.get("record") == "metric"]
+    if metrics:
+        out.write("metrics:\n")
+        for record in metrics:
+            labels = record.get("labels") or {}
+            label_text = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+            cell = record.get("cell")
+            origin = f" cell={cell}" if cell is not None else ""
+            out.write(
+                f"  {record.get('name')}{{{label_text}}} "
+                f"[{record.get('kind')}]{origin} {_metric_digest(record)}\n"
+            )
+    cells = [r for r in records if r.get("record") == "cell"]
+    if cells:
+        out.write("cells:\n")
+        for record in cells:
+            status = "cached" if record.get("cached") else (
+                record.get("error") or "ok"
+            )
+            out.write(
+                f"  {record.get('key')}: {status}, "
+                f"attempts={record.get('attempts')}, "
+                f"wall={record.get('wall_time', 0.0):.3f}s\n"
+            )
+    sweeps = [r for r in records if r.get("record") == "sweep"]
+    for record in sweeps:
+        out.write(
+            f"sweep: total={record.get('total')} cached={record.get('cached')} "
+            f"executed={record.get('executed')} failed={record.get('failed')} "
+            f"timed_out={record.get('timed_out')} retried={record.get('retried')}\n"
+        )
+    return out.getvalue().rstrip("\n")
+
+
+def _metric_digest(record: Dict[str, Any]) -> str:
+    kind = record.get("kind")
+    if kind in ("counter", "gauge"):
+        return f"value={record.get('value')}"
+    if kind == "histogram":
+        return f"count={record.get('count')} sum={record.get('sum')}"
+    if kind == "timeseries":
+        times = record.get("times") or []
+        values = record.get("values") or []
+        last = values[-1] if values else None
+        return f"n={len(times)} last={last}"
+    return ""

@@ -1,0 +1,306 @@
+"""The metrics registry: counters, gauges, histograms, timeseries.
+
+A :class:`MetricsRegistry` is the single sink every instrumentation
+probe writes into (see :mod:`repro.obs.instrument`).  Metrics are
+identified by ``(kind, name, labels)`` — asking twice for the same
+identity returns the same object, so probes can be created eagerly and
+hot paths touch only pre-resolved metric objects.
+
+Design constraints, in order:
+
+* **Appending must be cheap.**  A timeseries is two parallel Python
+  lists (``times`` / ``values``); recording a sample is two appends, no
+  allocation beyond the floats themselves.  This is what lets the
+  per-ACK hooks in :mod:`repro.tcp.base` and :mod:`repro.core.pr` run
+  inline instead of via scheduled sampling events (which would perturb
+  the simulator's event count).
+* **Export must be stable.**  :meth:`MetricsRegistry.to_records`
+  produces the plain-dict records of the ``repro.obs/v1`` schema
+  (see :mod:`repro.obs.export` and ``docs/OBSERVABILITY.md``).
+* **Nothing here knows about the simulator.**  Time is whatever the
+  caller passes; the registry crosses process boundaries as records.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+#: Default fixed buckets for reorder-displacement-style histograms
+#: (segment counts; Fibonacci-ish so the tail stays resolved).
+DEFAULT_BUCKETS: Tuple[float, ...] = (1, 2, 3, 5, 8, 13, 21, 34, 55, 89)
+
+LabelItems = Tuple[Tuple[str, Any], ...]
+
+
+def _label_items(labels: Mapping[str, Any]) -> LabelItems:
+    return tuple(sorted(labels.items()))
+
+
+class Metric:
+    """Common identity carried by every metric type."""
+
+    kind = "metric"
+    __slots__ = ("name", "labels")
+
+    def __init__(self, name: str, labels: LabelItems) -> None:
+        self.name = name
+        self.labels = labels
+
+    @property
+    def label_dict(self) -> Dict[str, Any]:
+        return dict(self.labels)
+
+    def _identity(self) -> Dict[str, Any]:
+        return {
+            "record": "metric",
+            "kind": self.kind,
+            "name": self.name,
+            "labels": self.label_dict,
+        }
+
+    def to_record(self) -> Dict[str, Any]:
+        """One ``repro.obs/v1`` record describing this metric's state."""
+        raise NotImplementedError
+
+    def summary(self) -> Dict[str, Any]:
+        """A compact aggregate (for sweep telemetry; no sample arrays)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        labels = ",".join(f"{key}={value}" for key, value in self.labels)
+        return f"<{type(self).__name__} {self.name}{{{labels}}}>"
+
+
+class Counter(Metric):
+    """A monotonically increasing count."""
+
+    kind = "counter"
+    __slots__ = ("value",)
+
+    def __init__(self, name: str, labels: LabelItems) -> None:
+        super().__init__(name, labels)
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        self.value += amount
+
+    def to_record(self) -> Dict[str, Any]:
+        return {**self._identity(), "value": self.value}
+
+    def summary(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Gauge(Metric):
+    """A value that can go up and down (last write wins)."""
+
+    kind = "gauge"
+    __slots__ = ("value",)
+
+    def __init__(self, name: str, labels: LabelItems) -> None:
+        super().__init__(name, labels)
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def to_record(self) -> Dict[str, Any]:
+        return {**self._identity(), "value": self.value}
+
+    def summary(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Histogram(Metric):
+    """Fixed-bucket histogram (bucket edges are upper bounds, ``le``)."""
+
+    kind = "histogram"
+    __slots__ = ("buckets", "counts", "count", "total", "min", "max")
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelItems,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, labels)
+        edges = tuple(float(edge) for edge in buckets)
+        if not edges or list(edges) != sorted(set(edges)):
+            raise ValueError(
+                f"histogram buckets must be strictly increasing, got {buckets!r}"
+            )
+        self.buckets = edges
+        #: counts[i] = observations with value <= buckets[i];
+        #: counts[-1] = overflow (> the last edge).
+        self.counts = [0] * (len(edges) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.total / self.count if self.count else None
+
+    def to_record(self) -> Dict[str, Any]:
+        return {
+            **self._identity(),
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class Timeseries(Metric):
+    """Timestamped samples held as parallel ``times`` / ``values`` lists.
+
+    The parallel-array layout keeps appends allocation-light and makes
+    :meth:`sample_at_or_before` a plain bisect — no per-call list
+    rebuild (the failure mode the old
+    ``FlowThroughputMonitor.sample_at_or_before`` had).
+    """
+
+    kind = "timeseries"
+    __slots__ = ("times", "values")
+
+    def __init__(self, name: str, labels: LabelItems) -> None:
+        super().__init__(name, labels)
+        self.times: List[float] = []
+        self.values: List[float] = []
+
+    def append(self, time: float, value: float) -> None:
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    @property
+    def last(self) -> Optional[float]:
+        return self.values[-1] if self.values else None
+
+    def sample_at_or_before(self, time: float) -> Tuple[float, float]:
+        """Latest ``(time, value)`` sample with ``sample time <= time``."""
+        if not self.times:
+            raise ValueError(f"timeseries {self.name!r} has no samples")
+        index = bisect_right(self.times, time)
+        index = max(index - 1, 0)
+        return self.times[index], self.values[index]
+
+    def to_record(self) -> Dict[str, Any]:
+        return {
+            **self._identity(),
+            "times": list(self.times),
+            "values": list(self.values),
+        }
+
+    def summary(self) -> Dict[str, Any]:
+        values = self.values
+        return {
+            "kind": self.kind,
+            "n": len(values),
+            "last": values[-1] if values else None,
+            "min": min(values) if values else None,
+            "max": max(values) if values else None,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create home for every metric of one observed run.
+
+    The accessors (:meth:`counter`, :meth:`gauge`, :meth:`histogram`,
+    :meth:`timeseries`) return the existing metric when the
+    ``(name, labels)`` identity was seen before — with a
+    :class:`TypeError` if it was seen as a *different* kind, since that
+    is always an instrumentation bug.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[Tuple[str, LabelItems], Metric] = {}
+
+    # ------------------------------------------------------------------
+    def _get_or_create(self, cls, name: str, labels: Mapping[str, Any], **kwargs):
+        key = (name, _label_items(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name, key[1], **kwargs)
+            self._metrics[key] = metric
+        elif type(metric) is not cls:
+            raise TypeError(
+                f"metric {name!r}{dict(key[1])!r} already registered as "
+                f"{metric.kind}, not {cls.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get_or_create(Gauge, name, labels)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        **labels: Any,
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, labels, buckets=buckets)
+
+    def timeseries(self, name: str, **labels: Any) -> Timeseries:
+        return self._get_or_create(Timeseries, name, labels)
+
+    # ------------------------------------------------------------------
+    def metrics(self) -> List[Metric]:
+        """Every registered metric, in registration order."""
+        return list(self._metrics.values())
+
+    def get(self, name: str, **labels: Any) -> Optional[Metric]:
+        """The metric with this exact identity, or None."""
+        return self._metrics.get((name, _label_items(labels)))
+
+    def find(self, name: str) -> List[Metric]:
+        """All metrics with this name, across label sets."""
+        return [metric for metric in self._metrics.values() if metric.name == name]
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    # ------------------------------------------------------------------
+    def to_records(self) -> List[Dict[str, Any]]:
+        """All metrics as ``repro.obs/v1`` records (see docs/OBSERVABILITY.md)."""
+        return [metric.to_record() for metric in self._metrics.values()]
+
+    def summaries(self) -> Dict[str, Dict[str, Any]]:
+        """``"name{label=value,...}" -> summary`` for sweep telemetry."""
+        out: Dict[str, Dict[str, Any]] = {}
+        for metric in self._metrics.values():
+            labels = ",".join(f"{key}={value}" for key, value in metric.labels)
+            out[f"{metric.name}{{{labels}}}"] = metric.summary()
+        return out
+
+    def __repr__(self) -> str:
+        return f"<MetricsRegistry metrics={len(self._metrics)}>"

@@ -19,12 +19,16 @@ Example:
 from repro.sim.engine import Simulator
 from repro.sim.errors import ScheduleInPastError, SimulationError
 from repro.sim.events import EventHandle
+from repro.sim.profile import GroupStats, SimStats, group_label
 from repro.sim.rng import RngRegistry, derive_child_seed
 
 __all__ = [
     "EventHandle",
+    "GroupStats",
     "RngRegistry",
+    "SimStats",
     "derive_child_seed",
+    "group_label",
     "ScheduleInPastError",
     "SimulationError",
     "Simulator",

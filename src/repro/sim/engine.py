@@ -20,6 +20,7 @@ from repro.sim.errors import (
     SimulationError,
 )
 from repro.sim.events import EventHandle
+from repro.sim.profile import SimProfile, SimStats, build_stats
 from repro.sim.rng import RngRegistry
 
 #: How many dispatched events pass between wall-clock deadline checks.
@@ -34,13 +35,18 @@ class Simulator:
 
     Args:
         seed: Master seed for the per-component RNG streams.
+        profile: Collect per-label-group event counts, callback wall
+            time, and the heap high-water mark (see
+            :mod:`repro.sim.profile`); read the report from
+            :attr:`stats`.  Off by default — profiling adds a
+            ``perf_counter`` pair around every dispatch.
 
     Attributes:
         now: Current simulation time in seconds.
         rng: The :class:`RngRegistry` for this run.
     """
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0, profile: bool = False) -> None:
         self.now: float = 0.0
         self.rng = RngRegistry(seed)
         # Heap entries are (time, seq, handle) tuples: tuple comparison is
@@ -49,6 +55,7 @@ class Simulator:
         self._seq = 0
         self._dispatched = 0
         self._running = False
+        self._profile: SimProfile | None = SimProfile() if profile else None
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -69,6 +76,9 @@ class Simulator:
         handle = EventHandle(time, self._seq, callback, label)
         heapq.heappush(self._heap, (time, self._seq, handle))
         self._seq += 1
+        profile = self._profile
+        if profile is not None and len(self._heap) > profile.heap_high_water:
+            profile.heap_high_water = len(self._heap)
         return handle
 
     def schedule_in(
@@ -122,6 +132,9 @@ class Simulator:
         try:
             heap = self._heap
             pop = heapq.heappop
+            # Hoisted: the detached-profiling cost inside the loop is one
+            # local-variable None check per event.
+            profile = self._profile
             while heap:
                 head_time, _, head = heap[0]
                 if head.callback is None:  # lazily-deleted (cancelled) event
@@ -140,7 +153,14 @@ class Simulator:
                 self.now = head_time
                 callback = head.callback
                 head.callback = None  # mark dispatched
-                callback()
+                if profile is None:
+                    callback()
+                else:
+                    started = _time.perf_counter()
+                    callback()
+                    profile.record(
+                        head.label, _time.perf_counter() - started
+                    )
                 self._dispatched += 1
                 if max_events is not None and self._dispatched >= max_events:
                     raise SimulationError(
@@ -166,6 +186,7 @@ class Simulator:
             True if an event was dispatched, False if the queue is empty.
         """
         heap = self._heap
+        profile = self._profile
         while heap:
             head_time, _, head = heapq.heappop(heap)
             if head.callback is None:
@@ -173,7 +194,12 @@ class Simulator:
             self.now = head_time
             callback = head.callback
             head.callback = None
-            callback()
+            if profile is None:
+                callback()
+            else:
+                started = _time.perf_counter()
+                callback()
+                profile.record(head.label, _time.perf_counter() - started)
             self._dispatched += 1
             return True
         return False
@@ -190,6 +216,12 @@ class Simulator:
     def dispatched_events(self) -> int:
         """Total number of events dispatched so far."""
         return self._dispatched
+
+    @property
+    def stats(self) -> SimStats:
+        """Dispatch counters plus, under ``profile=True``, the per-group
+        event/wall-time breakdown and heap high-water mark."""
+        return build_stats(self._dispatched, self.pending_events, self._profile)
 
     def peek_time(self) -> Optional[float]:
         """Time of the next pending event, or None if the queue is empty.

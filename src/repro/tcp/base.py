@@ -126,6 +126,9 @@ class TcpSenderBase(Agent):
         self.in_recovery = False
         self.recovery_point = -1
         self.stats = TcpStats()
+        #: Metrics probe installed by repro.obs (None = not observed;
+        #: every hook below is a single is-not-None check then).
+        self.obs = None
         self._started = False
         self._timer_handle = None
         # Karn RTT timing: one segment timed at a time.
@@ -184,6 +187,8 @@ class TcpSenderBase(Agent):
             self._limited_transmit_allowance = 0
             self._grow_cwnd()
         self._after_new_ack(packet, newly_acked)
+        if self.obs is not None:
+            self.obs.on_ack(self)
         self._restart_timer()
         self._send_available()
 
@@ -220,6 +225,8 @@ class TcpSenderBase(Agent):
         self._limited_transmit_allowance = 0
         self.stats.fast_retransmits += 1
         self.stats.recoveries_entered += 1
+        if self.obs is not None:
+            self.obs.on_loss(self)
         self._retransmit(self.snd_una)
         self._restart_timer()
 
@@ -286,6 +293,8 @@ class TcpSenderBase(Agent):
         if is_retransmit:
             self.stats.retransmits += 1
             self._ever_retransmitted.add(seq)
+            if self.obs is not None:
+                self.obs.on_retransmit(self)
         packet = Packet(
             "data",
             src=self.node.name,
@@ -358,6 +367,8 @@ class TcpSenderBase(Agent):
         if self.flightsize() <= 0:
             return
         self.stats.timeouts += 1
+        if self.obs is not None:
+            self.obs.on_loss(self)
         self.rto.on_timeout()
         self.ssthresh = max(min(self.flightsize(), self.cwnd) / 2.0, 2.0)
         self.cwnd = 1.0

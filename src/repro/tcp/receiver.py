@@ -92,6 +92,8 @@ class TcpReceiver(Agent):
         self.acks_sent = 0
         self.reordered_arrivals = 0
         self._max_seq_seen = -1
+        #: Metrics probe installed by repro.obs (None = not observed).
+        self.obs = None
         #: Round-robin cursor so every SACK run gets reported periodically
         #: even when more runs exist than option slots (RFC 2018 §4).
         self._sack_rotation = 0
@@ -118,6 +120,8 @@ class TcpReceiver(Agent):
         seq = packet.seq
         if seq < self._max_seq_seen:
             self.reordered_arrivals += 1
+            if self.obs is not None:
+                self.obs.reorder(self._max_seq_seen - seq)
         else:
             self._max_seq_seen = seq
 
@@ -136,6 +140,8 @@ class TcpReceiver(Agent):
                 self.rcv_nxt = end
                 trigger_run = None
         filled_hole = self.rcv_nxt > cumulative_before + 1
+        if self.obs is not None and self.rcv_nxt > cumulative_before:
+            self.obs.delivered(self.rcv_nxt)
         self._send_ack(packet, duplicate, trigger_run, filled_hole)
 
     # ------------------------------------------------------------------

@@ -13,8 +13,10 @@ Node naming: senders ``s0..s{n-1}``, receivers ``d0..d{n-1}``, routers
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.net.network import Network, install_static_routes
+from repro.sim import Simulator
 from repro.util.units import MBPS, MS
 
 
@@ -45,11 +47,18 @@ class DumbbellSpec:
         return 2.0 * (self.bottleneck_delay + 2 * self.access_delay)
 
 
-def build_dumbbell(spec: DumbbellSpec) -> Network:
-    """Construct the dumbbell network and install shortest-path routes."""
+def build_dumbbell(
+    spec: DumbbellSpec, sim: Optional[Simulator] = None
+) -> Network:
+    """Construct the dumbbell network and install shortest-path routes.
+
+    Pass ``sim`` to host the topology on a pre-built simulator (e.g.
+    ``Simulator(seed=..., profile=True)``); otherwise one is created
+    from ``spec.seed``.
+    """
     if spec.num_pairs < 1:
         raise ValueError(f"need at least one pair, got {spec.num_pairs}")
-    net = Network(seed=spec.seed)
+    net = Network(seed=spec.seed, sim=sim)
     net.add_nodes("r0", "r1")
     net.add_duplex_link(
         "r0",

@@ -1,18 +1,40 @@
-"""Observability: flow/queue monitors, packet event traces, fault timelines."""
+"""Deprecated shim — the observability layer moved to :mod:`repro.obs`.
 
-from repro.trace.monitors import (
-    CwndMonitor,
-    FaultTimelineMonitor,
-    FlowThroughputMonitor,
-    QueueMonitor,
-)
-from repro.trace.events import FaultRecord, PacketTracer
+Every public name this package used to export now lives in
+:mod:`repro.obs` (monitors in :mod:`repro.obs.monitors`, packet/fault
+tracing in :mod:`repro.obs.trace`) behind the unified
+:class:`repro.obs.Instrumentation` attachment surface.  Importing
+through ``repro.trace`` keeps working for now but emits a
+:class:`DeprecationWarning`; see ``docs/OBSERVABILITY.md`` for the
+migration table.
+"""
 
-__all__ = [
+from __future__ import annotations
+
+import warnings
+from typing import Any
+
+_MOVED = (
     "CwndMonitor",
     "FaultRecord",
     "FaultTimelineMonitor",
     "FlowThroughputMonitor",
     "PacketTracer",
     "QueueMonitor",
-]
+)
+
+__all__ = list(_MOVED)
+
+
+def __getattr__(name: str) -> Any:
+    if name in _MOVED:
+        warnings.warn(
+            f"repro.trace.{name} is deprecated; import it from repro.obs "
+            "instead (see docs/OBSERVABILITY.md)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        import repro.obs as _obs
+
+        return getattr(_obs, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,115 +1,31 @@
-"""Packet event tracing.
+"""Deprecated shim — packet/fault tracing moved to :mod:`repro.obs.trace`.
 
-A :class:`PacketTracer` hooks a link's drop listeners and wraps a node's
-receive path to record per-packet events, ns-2-trace style.  Intended for
-debugging and for the reordering analyses in tests/examples — tracing
-every packet of a large experiment is intentionally opt-in.
+The classes are unchanged (these are the *same* objects, so existing
+``isinstance`` checks keep passing); only the import path is
+deprecated.  Wire tracers through :class:`repro.obs.Instrumentation`
+(``trace=True`` or :meth:`~repro.obs.Instrumentation.trace_node`)
+going forward.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Optional
+import warnings
+from typing import Any
 
-from repro.net.packet import Packet
+_MOVED = ("FaultRecord", "PacketTracer", "TraceEvent")
 
-if TYPE_CHECKING:
-    from repro.net.link import Link
-    from repro.net.node import Node
+__all__ = list(_MOVED)
 
 
-@dataclass(frozen=True)
-class TraceEvent:
-    """One recorded packet event."""
+def __getattr__(name: str) -> Any:
+    if name in _MOVED:
+        warnings.warn(
+            f"repro.trace.events.{name} is deprecated; import it from "
+            "repro.obs instead (see docs/OBSERVABILITY.md)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        import repro.obs.trace as _trace
 
-    time: float
-    kind: str  # "recv" | "drop"
-    where: str  # node or link name
-    packet_uid: int
-    flow_id: int
-    packet_kind: str
-    seq: int
-    ack: int
-
-
-@dataclass(frozen=True)
-class FaultRecord:
-    """One applied fault-injection state change (see :mod:`repro.faults`)."""
-
-    time: float
-    kind: str  # "link-down" | "link-up" | "path-blackout" | ...
-    target: str  # link name or path description
-    detail: str  # human-readable state change ("down", "delay x3", ...)
-
-
-class PacketTracer:
-    """Records arrivals at chosen nodes and drops on chosen links."""
-
-    def __init__(self) -> None:
-        self.events: List[TraceEvent] = []
-
-    # ------------------------------------------------------------------
-    def watch_node(self, node: "Node") -> None:
-        """Record every packet delivered to ``node`` (wraps its receive)."""
-        original = node.receive
-
-        def traced_receive(packet: Packet) -> None:
-            self.events.append(
-                TraceEvent(
-                    time=node.sim.now,
-                    kind="recv",
-                    where=node.name,
-                    packet_uid=packet.uid,
-                    flow_id=packet.flow_id,
-                    packet_kind=packet.kind,
-                    seq=packet.seq,
-                    ack=packet.ack,
-                )
-            )
-            original(packet)
-
-        node.receive = traced_receive  # type: ignore[method-assign]
-
-    def watch_link_drops(self, link: "Link") -> None:
-        """Record every packet the link drops."""
-
-        def on_drop(dropped_on: "Link", packet: Packet) -> None:
-            self.events.append(
-                TraceEvent(
-                    time=dropped_on.sim.now,
-                    kind="drop",
-                    where=dropped_on.name,
-                    packet_uid=packet.uid,
-                    flow_id=packet.flow_id,
-                    packet_kind=packet.kind,
-                    seq=packet.seq,
-                    ack=packet.ack,
-                )
-            )
-
-        link.drop_listeners.append(on_drop)
-
-    # ------------------------------------------------------------------
-    def arrivals(
-        self, flow_id: Optional[int] = None, kind: str = "data"
-    ) -> List[TraceEvent]:
-        """Arrival events, optionally filtered by flow."""
-        return [
-            event
-            for event in self.events
-            if event.kind == "recv"
-            and event.packet_kind == kind
-            and (flow_id is None or event.flow_id == flow_id)
-        ]
-
-    def drops(self, flow_id: Optional[int] = None) -> List[TraceEvent]:
-        return [
-            event
-            for event in self.events
-            if event.kind == "drop"
-            and (flow_id is None or event.flow_id == flow_id)
-        ]
-
-    def arrival_seqs(self, flow_id: int) -> List[int]:
-        """Data-segment sequence numbers in arrival order for one flow."""
-        return [event.seq for event in self.arrivals(flow_id=flow_id)]
+        return getattr(_trace, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

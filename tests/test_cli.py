@@ -211,3 +211,104 @@ def test_keep_going_json_dump_includes_failures(tmp_path, capsys):
     assert data["goodput_mbps"]["tcp-pr"]["0.0"] > 0
     assert data["goodput_mbps"]["nosuch"]["0.0"] is None
     assert any(key.startswith("nosuch") for key in data["failures"])
+
+
+# ----------------------------------------------------------------------
+# Observability flags: --metrics-out / --trace-out / the obs subcommand
+# ----------------------------------------------------------------------
+def test_every_subcommand_exposes_observability_flags():
+    parser = build_parser()
+    for command in ("fig2", "fig3", "fig4", "fig6", "fig7", "compare"):
+        args = parser.parse_args([
+            command, "--metrics-out", "m.jsonl", "--trace-out", "t.jsonl",
+        ])
+        assert args.metrics_out == "m.jsonl"
+        assert args.trace_out == "t.jsonl"
+
+
+def test_fig7_metrics_out_emits_obs_v1_stream(tmp_path, capsys):
+    from repro.obs import read_jsonl
+
+    metrics_path = tmp_path / "m.jsonl"
+    assert main(_fig7_tiny(
+        "--no-cache", "--metrics-out", str(metrics_path),
+    )) == 0
+    out = capsys.readouterr().out
+    assert f"[metrics written to {metrics_path}]" in out
+    records = read_jsonl(metrics_path)
+    header = records[0]
+    assert header["record"] == "header"
+    assert header["schema"] == "repro.obs/v1"
+    assert header["command"] == "fig7"
+    kinds = {record["record"] for record in records}
+    assert kinds == {"header", "metric", "cell", "sweep"}
+    names = {r["name"] for r in records if r["record"] == "metric"}
+    assert {"flow.cwnd", "flow.ewrtt", "flow.mxrtt"} <= names
+    cells = [r for r in records if r["record"] == "cell"]
+    assert all(r["attempts"] == 1 and not r["cached"] for r in cells)
+    assert records[-1]["record"] == "sweep"
+
+
+def test_fig7_trace_out_carries_fault_timeline(tmp_path, capsys):
+    from repro.obs import read_jsonl
+
+    trace_path = tmp_path / "t.jsonl"
+    argv = [
+        "fig7", "--protocols", "tcp-pr", "--outages", "1",
+        "--duration", "6", "--period", "2", "--no-cache",
+        "--trace-out", str(trace_path),
+    ]
+    assert main(argv) == 0
+    capsys.readouterr()
+    records = read_jsonl(trace_path)
+    faults = [r for r in records if r["record"] == "fault"]
+    assert faults
+    assert all("cell" in r for r in faults)
+
+
+def test_metrics_collection_does_not_change_the_figure(tmp_path, capsys):
+    assert main(_fig7_tiny("--no-cache")) == 0
+    plain = capsys.readouterr().out
+    assert main(_fig7_tiny(
+        "--no-cache", "--metrics-out", str(tmp_path / "m.jsonl"),
+    )) == 0
+    collected = capsys.readouterr().out
+    assert collected.startswith(plain.rstrip("\n").rsplit("\n", 0)[0][:40])
+    # The rendered table itself is bit-identical; only the trailing
+    # "[metrics written to ...]" line differs.
+    assert collected.splitlines()[: len(plain.splitlines())] == plain.splitlines()
+
+
+def test_obs_summary_subcommand(tmp_path, capsys):
+    metrics_path = tmp_path / "m.jsonl"
+    assert main(_fig7_tiny(
+        "--no-cache", "--metrics-out", str(metrics_path),
+    )) == 0
+    capsys.readouterr()
+    assert main(["obs", "summary", str(metrics_path)]) == 0
+    out = capsys.readouterr().out
+    assert "schema: repro.obs/v1" in out
+    assert "metric=" in out
+
+
+def test_obs_convert_subcommand(tmp_path, capsys):
+    import csv
+
+    metrics_path = tmp_path / "m.jsonl"
+    assert main(_fig7_tiny(
+        "--no-cache", "--metrics-out", str(metrics_path),
+    )) == 0
+    capsys.readouterr()
+    csv_path = tmp_path / "out.csv"
+    assert main(["obs", "convert", str(metrics_path), "-o", str(csv_path)]) == 0
+    capsys.readouterr()
+    csv.field_size_limit(10_000_000)  # timeseries columns are long JSON arrays
+    with csv_path.open() as handle:
+        rows = list(csv.DictReader(handle))
+    assert rows
+    assert any(row["record"] == "metric" for row in rows)
+
+
+def test_obs_requires_subcommand():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["obs"])

@@ -1,0 +1,107 @@
+"""Tests for the deprecation shims: repro.trace re-exports and the
+legacy keyword-form experiment entry points.
+
+All deprecation messages are ``repro.``-prefixed so pytest.ini can turn
+them into errors for internal code while tests opt in via pytest.warns.
+"""
+
+import warnings
+
+import pytest
+
+import repro.obs
+import repro.obs.monitors
+import repro.obs.trace
+import repro.trace
+import repro.trace.events
+import repro.trace.monitors
+
+
+# ----------------------------------------------------------------------
+# repro.trace module shims
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "shim, home, name",
+    [
+        (repro.trace, repro.obs, "FlowThroughputMonitor"),
+        (repro.trace, repro.obs, "CwndMonitor"),
+        (repro.trace, repro.obs, "QueueMonitor"),
+        (repro.trace, repro.obs, "FaultTimelineMonitor"),
+        (repro.trace, repro.obs, "PacketTracer"),
+        (repro.trace, repro.obs, "FaultRecord"),
+        (repro.trace.monitors, repro.obs.monitors, "FlowThroughputMonitor"),
+        (repro.trace.monitors, repro.obs.monitors, "CwndMonitor"),
+        (repro.trace.monitors, repro.obs.monitors, "QueueMonitor"),
+        (repro.trace.monitors, repro.obs.monitors, "FaultTimelineMonitor"),
+        (repro.trace.events, repro.obs.trace, "PacketTracer"),
+        (repro.trace.events, repro.obs.trace, "TraceEvent"),
+        (repro.trace.events, repro.obs.trace, "FaultRecord"),
+    ],
+)
+def test_trace_shim_warns_and_returns_the_moved_object(shim, home, name):
+    with pytest.warns(DeprecationWarning, match=r"^repro\.trace.*deprecated"):
+        shimmed = getattr(shim, name)
+    assert shimmed is getattr(home, name)
+
+
+def test_trace_shim_message_points_at_new_home():
+    with pytest.warns(DeprecationWarning) as caught:
+        repro.trace.PacketTracer
+    message = str(caught[0].message)
+    assert "repro.trace.PacketTracer" in message
+    assert "repro.obs" in message
+    assert "docs/OBSERVABILITY.md" in message
+
+
+def test_trace_shim_unknown_attribute_raises():
+    with pytest.raises(AttributeError):
+        repro.trace.NoSuchThing
+    with pytest.raises(AttributeError):
+        repro.trace.monitors.NoSuchThing
+    with pytest.raises(AttributeError):
+        repro.trace.events.NoSuchThing
+
+
+def test_trace_shim_all_lists_only_moved_names():
+    assert set(repro.trace.__all__) == {
+        "CwndMonitor",
+        "FaultRecord",
+        "FaultTimelineMonitor",
+        "FlowThroughputMonitor",
+        "PacketTracer",
+        "QueueMonitor",
+    }
+
+
+# ----------------------------------------------------------------------
+# Legacy keyword-form experiment entry points
+# ----------------------------------------------------------------------
+def test_legacy_run_fig6_keyword_form_warns():
+    from repro.experiments.fig6_multipath import run_fig6
+
+    with pytest.warns(DeprecationWarning, match=r"^repro\.experiments\.run_fig6"):
+        run_fig6(protocols=("tcp-pr",), epsilons=(500.0,), duration=2.0)
+
+
+def test_spec_form_does_not_warn():
+    from repro.experiments.fig6_multipath import Fig6Spec, run_fig6
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        run_fig6(Fig6Spec(protocols=("tcp-pr",), epsilons=(500.0,), duration=2.0))
+
+
+def test_legacy_warning_names_the_spec_class():
+    from repro.experiments.fig4_params import run_fig4
+
+    with pytest.warns(DeprecationWarning, match="Fig4Spec") as caught:
+        run_fig4(alphas=(0.995,), betas=(1.0,), total_flows=2, duration=3.0,
+                 measure_window=2.0)
+    assert "docs/EXECUTOR.md" in str(caught[0].message)
+
+
+def test_internal_code_cannot_use_its_own_shims():
+    """pytest.ini turns repro.* DeprecationWarnings into errors, so any
+    internal import through a shim fails the suite loudly."""
+    with pytest.raises(DeprecationWarning):
+        warnings.warn("repro.trace.X is deprecated", DeprecationWarning)

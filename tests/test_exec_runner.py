@@ -63,15 +63,20 @@ def test_run_sweep_seed_override():
 
 
 def test_legacy_keyword_form_matches_spec_form():
-    legacy = run_fig6(protocols=("tcp-pr",), epsilons=(0.0, 500.0), duration=2.0)
+    """The deprecated keyword form still works — and warns."""
+    with pytest.warns(DeprecationWarning, match=r"^repro\."):
+        legacy = run_fig6(
+            protocols=("tcp-pr",), epsilons=(0.0, 500.0), duration=2.0
+        )
     speced = run_fig6(_tiny_fig6_spec())
     assert legacy == speced
 
 
 def test_legacy_positional_topology_still_accepted():
-    result = run_fig2(
-        "dumbbell", flow_counts=(2,), duration=4.0, measure_window=2.0
-    )
+    with pytest.warns(DeprecationWarning, match=r"^repro\."):
+        result = run_fig2(
+            "dumbbell", flow_counts=(2,), duration=4.0, measure_window=2.0
+        )
     assert result.topology == "dumbbell"
     assert 2 in result.results
 

@@ -2,15 +2,24 @@
 
 import pytest
 
-from repro.experiments.fig2_fairness import Fig2Result, format_fig2, run_fig2
-from repro.experiments.fig3_cov import format_fig3, run_fig3
+from repro.exec.spec import Scale
+from repro.experiments.fig2_fairness import (
+    Fig2Result,
+    Fig2Spec,
+    format_fig2,
+    run_fig2,
+)
+from repro.experiments.fig3_cov import Fig3Spec, format_fig3, run_fig3
 from repro.experiments.fig4_params import (
+    BetaSweepSpec,
+    Fig4Spec,
     format_beta_sweep,
     format_fig4,
     run_extreme_loss_beta_sweep,
     run_fig4,
 )
 from repro.experiments.fig6_multipath import (
+    Fig6Spec,
     format_fig6,
     run_fig6,
     run_single_multipath_flow,
@@ -71,7 +80,11 @@ def test_run_fairness_validates_window():
 
 
 def test_fig2_quick():
-    result = run_fig2(flow_counts=(4,), duration=6.0, measure_window=4.0)
+    result = run_fig2(
+        Fig2Spec.presets(
+            Scale.QUICK, flow_counts=(4,), duration=6.0, measure_window=4.0
+        )
+    )
     assert isinstance(result, Fig2Result)
     assert 4 in result.results
     text = format_fig2(result)
@@ -82,7 +95,13 @@ def test_fig2_quick():
 
 def test_fig3_quick():
     result = run_fig3(
-        bandwidths_mbps=(6.0,), total_flows=4, duration=6.0, measure_window=4.0
+        Fig3Spec.presets(
+            Scale.QUICK,
+            bandwidths_mbps=(6.0,),
+            total_flows=4,
+            duration=6.0,
+            measure_window=4.0,
+        )
     )
     assert len(result.points) == 1
     point = result.points[0]
@@ -93,8 +112,14 @@ def test_fig3_quick():
 
 def test_fig4_quick():
     result = run_fig4(
-        alphas=(0.995,), betas=(3.0,), total_flows=4, duration=6.0,
-        measure_window=4.0,
+        Fig4Spec.presets(
+            Scale.QUICK,
+            alphas=(0.995,),
+            betas=(3.0,),
+            total_flows=4,
+            duration=6.0,
+            measure_window=4.0,
+        )
     )
     assert (0.995, 3.0) in result.sack_surface
     assert result.sack_surface[(0.995, 3.0)] > 0
@@ -103,7 +128,13 @@ def test_fig4_quick():
 
 def test_beta_sweep_quick():
     points = run_extreme_loss_beta_sweep(
-        betas=(3.0,), total_flows=4, duration=6.0, measure_window=4.0
+        BetaSweepSpec.presets(
+            Scale.QUICK,
+            betas=(3.0,),
+            total_flows=4,
+            duration=6.0,
+            measure_window=4.0,
+        )
     )
     assert len(points) == 1
     assert points[0].loss_rate >= 0
@@ -117,7 +148,10 @@ def test_fig6_single_cell():
 
 def test_fig6_quick_panel():
     result = run_fig6(
-        protocols=("tcp-pr",), epsilons=(0.0, 500.0), duration=4.0
+        Fig6Spec.presets(
+            Scale.QUICK, protocols=("tcp-pr",), epsilons=(0.0, 500.0),
+            duration=4.0,
+        )
     )
     row = result.throughput_mbps["tcp-pr"]
     assert set(row) == {0.0, 500.0}
@@ -125,7 +159,12 @@ def test_fig6_quick_panel():
 
 
 def test_fig6_multipath_beats_single_path_for_tcp_pr():
-    result = run_fig6(protocols=("tcp-pr",), epsilons=(0.0, 500.0), duration=8.0)
+    result = run_fig6(
+        Fig6Spec.presets(
+            Scale.QUICK, protocols=("tcp-pr",), epsilons=(0.0, 500.0),
+            duration=8.0,
+        )
+    )
     row = result.throughput_mbps["tcp-pr"]
     assert row[0.0] > row[500.0]
 

@@ -38,7 +38,7 @@ from repro.topologies.multipath_mesh import (
     build_multipath_mesh,
     install_epsilon_routing,
 )
-from repro.trace import FaultTimelineMonitor
+from repro.obs import FaultTimelineMonitor
 
 pytestmark = pytest.mark.faults
 

@@ -6,8 +6,12 @@ from repro.analysis.reordering import reordering_ratio
 from repro.net.network import Network, install_static_routes
 from repro.net.packet import Packet
 from repro.sim import Simulator
-from repro.trace.events import PacketTracer
-from repro.trace.monitors import CwndMonitor, FlowThroughputMonitor, QueueMonitor
+from repro.obs import (
+    CwndMonitor,
+    FlowThroughputMonitor,
+    PacketTracer,
+    QueueMonitor,
+)
 
 from conftest import make_flow
 

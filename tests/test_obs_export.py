@@ -1,0 +1,107 @@
+"""Tests for structured export (repro.obs.export): JSONL/CSV round-trips."""
+
+import csv
+import json
+
+from repro.obs import MetricsRegistry, read_jsonl, write_csv, write_jsonl
+from repro.obs.export import (
+    SCHEMA,
+    header_record,
+    key_to_str,
+    registry_records,
+    summarize_records,
+)
+
+
+def _sample_registry():
+    registry = MetricsRegistry()
+    registry.counter("link.drops", link="a->b", kind="queue").inc(3)
+    series = registry.timeseries("flow.cwnd", flow=1, variant="tcp-pr")
+    series.append(0.5, 2.0)
+    series.append(1.0, 3.0)
+    hist = registry.histogram("flow.reorder_displacement.hist", flow=1)
+    hist.observe(2)
+    hist.observe(40)
+    return registry
+
+
+# ----------------------------------------------------------------------
+# JSONL
+# ----------------------------------------------------------------------
+def test_jsonl_round_trip_preserves_records(tmp_path):
+    records = _sample_registry().to_records()
+    path = write_jsonl(records, tmp_path / "m.jsonl", command="test")
+    loaded = read_jsonl(path)
+    header, body = loaded[0], loaded[1:]
+    assert header["record"] == "header"
+    assert header["schema"] == SCHEMA == "repro.obs/v1"
+    assert header["command"] == "test"
+    assert body == json.loads(json.dumps(records))  # value-identical
+
+
+def test_header_not_duplicated(tmp_path):
+    records = [header_record(), {"record": "metric", "name": "x"}]
+    path = write_jsonl(records, tmp_path / "m.jsonl")
+    loaded = read_jsonl(path)
+    assert [r["record"] for r in loaded] == ["header", "metric"]
+
+
+def test_registry_records_tags_cell():
+    records = registry_records(_sample_registry(), cell=("tcp-pr", 0.0))
+    assert all(r["cell"] == '["tcp-pr", 0.0]' for r in records)
+
+
+def test_key_to_str_is_stable():
+    assert key_to_str("plain") == "plain"
+    assert key_to_str(("a", 1.0)) == '["a", 1.0]'
+    assert key_to_str(42) == "42"
+
+
+# ----------------------------------------------------------------------
+# CSV
+# ----------------------------------------------------------------------
+def test_csv_round_trips_nested_values(tmp_path):
+    records = _sample_registry().to_records()
+    path = write_csv(records, tmp_path / "m.csv")
+    with path.open() as handle:
+        rows = list(csv.DictReader(handle))
+    assert len(rows) == len(records)
+    first = rows[0]
+    assert first["name"] == "link.drops"
+    assert json.loads(first["labels"]) == {"kind": "queue", "link": "a->b"}
+    series_row = next(row for row in rows if row["name"] == "flow.cwnd")
+    assert json.loads(series_row["times"]) == [0.5, 1.0]
+
+
+def test_csv_union_of_columns(tmp_path):
+    records = [{"record": "a", "x": 1}, {"record": "b", "y": 2}]
+    path = write_csv(records, tmp_path / "m.csv")
+    with path.open() as handle:
+        rows = list(csv.reader(handle))
+    assert rows[0] == ["record", "x", "y"]
+    assert rows[1] == ["a", "1", ""]
+    assert rows[2] == ["b", "", "2"]
+
+
+# ----------------------------------------------------------------------
+# Summaries
+# ----------------------------------------------------------------------
+def test_summarize_records_digest():
+    records = [header_record(), *_sample_registry().to_records()]
+    records.append(
+        {
+            "record": "cell",
+            "key": "k",
+            "cached": False,
+            "attempts": 1,
+            "wall_time": 0.25,
+        }
+    )
+    records.append({"record": "sweep", "total": 1, "cached": 0, "executed": 1,
+                    "failed": 0, "timed_out": 0, "retried": 0})
+    text = summarize_records(records)
+    assert "schema: repro.obs/v1" in text
+    assert "metric=3" in text
+    assert "flow.cwnd{flow=1,variant=tcp-pr}" in text
+    assert "k: ok, attempts=1" in text
+    assert "sweep: total=1" in text

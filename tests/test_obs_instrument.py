@@ -1,0 +1,204 @@
+"""Tests for the unified attachment surface (repro.obs.instrument).
+
+The load-bearing contract: attaching instrumentation never schedules
+simulator events, so the event count — and therefore the simulation's
+results — are bit-identical with and without a registry.
+"""
+
+import pytest
+
+from repro.experiments.fig6_multipath import run_single_multipath_flow
+from repro.net.network import Network, install_static_routes
+from repro.obs import (
+    Instrumentation,
+    ambient,
+    get_ambient,
+    maybe_observe,
+    observe,
+    set_ambient,
+)
+
+from conftest import make_flow
+
+
+# ----------------------------------------------------------------------
+# The zero-overhead / bit-identical contract
+# ----------------------------------------------------------------------
+def _run_flow(variant, instrumented):
+    flow = make_flow(variant, seed=4)
+    inst = observe(flow.network) if instrumented else None
+    flow.run(until=5.0)
+    return flow, inst
+
+
+@pytest.mark.parametrize("variant", ["tcp-pr", "newreno"])
+def test_instrumented_run_is_bit_identical(variant):
+    plain, _ = _run_flow(variant, instrumented=False)
+    observed, inst = _run_flow(variant, instrumented=True)
+    assert observed.delivered == plain.delivered
+    assert (
+        observed.network.sim.dispatched_events
+        == plain.network.sim.dispatched_events
+    )
+    assert len(inst.registry) > 0  # and yet metrics were recorded
+
+
+def test_multipath_run_is_bit_identical_under_observation():
+    plain = run_single_multipath_flow("tcp-pr", epsilon=0.0, duration=3.0, seed=7)
+    with ambient(Instrumentation()):
+        observed = run_single_multipath_flow(
+            "tcp-pr", epsilon=0.0, duration=3.0, seed=7
+        )
+    assert observed == plain
+
+
+# ----------------------------------------------------------------------
+# Probes
+# ----------------------------------------------------------------------
+def test_pr_sender_probe_records_estimator_trajectories():
+    flow = make_flow("tcp-pr", seed=1)
+    inst = observe(flow.network)
+    flow.run(until=5.0)
+    registry = inst.registry
+    for name in ("flow.cwnd", "flow.ewrtt", "flow.mxrtt"):
+        series = registry.get(name, flow=1, variant="tcp-pr")
+        assert series is not None, name
+        assert len(series) > 0, name
+    # ewrtt tracks the smoothed RTT: positive, below mxrtt at the end.
+    ewrtt = registry.get("flow.ewrtt", flow=1, variant="tcp-pr")
+    mxrtt = registry.get("flow.mxrtt", flow=1, variant="tcp-pr")
+    assert ewrtt.last > 0
+    assert mxrtt.last >= ewrtt.last
+
+
+def test_newreno_probe_records_srtt_and_rto():
+    flow = make_flow("newreno", seed=1)
+    inst = observe(flow.network)
+    flow.run(until=5.0)
+    for name in ("flow.cwnd", "flow.srtt", "flow.rto"):
+        series = inst.registry.get(name, flow=1, variant="newreno")
+        assert series is not None and len(series) > 0, name
+
+
+def test_receiver_probe_counts_reordering(monkeypatch):
+    # Two paths with different delays force persistent reordering.
+    observed = []
+    flow = make_flow("tcp-pr", seed=2)
+    inst = observe(flow.network)
+    flow.run(until=3.0)
+    delivered = inst.registry.get("flow.delivered", flow=1)
+    assert delivered is not None
+    assert delivered.last == flow.receiver.delivered
+
+
+def test_link_probe_counts_queue_drops():
+    flow = make_flow("tcp-pr", queue=4, seed=3)
+    inst = observe(flow.network)
+    flow.run(until=5.0)
+    link = flow.network.link("snd", "rcv")
+    counter = inst.registry.get("link.drops", link=link.name, kind="queue")
+    assert counter.value == link.queue.drops
+    assert counter.value > 0  # queue of 4 must overflow
+    depth = inst.registry.get("link.queue_depth", link=link.name)
+    assert len(depth) > 0
+    assert max(depth.values) <= 4
+
+
+# ----------------------------------------------------------------------
+# attach() dispatch
+# ----------------------------------------------------------------------
+def test_attach_network_covers_links_and_agents():
+    flow = make_flow("tcp-pr")
+    inst = Instrumentation().attach(flow.network)
+    assert flow.sender.obs is not None
+    assert flow.receiver.obs is not None
+    for link in flow.network.links.values():
+        assert link.obs is not None
+        assert link.queue.obs is link.obs
+
+
+def test_attach_flow_like_object_attaches_both_ends():
+    flow = make_flow("tcp-pr")
+    inst = Instrumentation().attach(flow)  # has .sender / .receiver
+    assert flow.sender.obs is not None
+    assert flow.receiver.obs is not None
+
+
+def test_attach_is_idempotent():
+    flow = make_flow("tcp-pr")
+    inst = Instrumentation()
+    inst.attach(flow.network)
+    probe = flow.sender.obs
+    inst.attach(flow.network)
+    assert flow.sender.obs is probe
+    second = Instrumentation()
+    second.attach(flow.network)  # someone else already owns the probes
+    assert flow.sender.obs is probe
+
+
+def test_attach_rejects_unknown_components():
+    with pytest.raises(TypeError, match="don't know how to observe"):
+        Instrumentation().attach(object())
+
+
+def test_trace_enabled_wires_tracer():
+    flow = make_flow("tcp-pr", seed=5)
+    inst = Instrumentation(trace=True)
+    inst.attach(flow.network)
+    flow.run(until=2.0)
+    assert len(inst.tracer.events) > 0
+    assert inst.tracer.arrival_seqs(1)  # data segments reached the receiver
+
+
+# ----------------------------------------------------------------------
+# Ambient instrumentation
+# ----------------------------------------------------------------------
+def test_maybe_observe_is_noop_without_ambient():
+    assert get_ambient() is None
+    flow = make_flow("tcp-pr")
+    assert maybe_observe(flow.network) is None
+    assert flow.sender.obs is None
+
+
+def test_ambient_context_attaches_and_restores():
+    inst = Instrumentation()
+    flow = make_flow("tcp-pr")
+    with ambient(inst) as active:
+        assert active is inst
+        assert get_ambient() is inst
+        assert maybe_observe(flow.network) is inst
+    assert get_ambient() is None
+    assert flow.sender.obs is not None
+
+
+def test_set_ambient_clears():
+    inst = Instrumentation()
+    set_ambient(inst)
+    try:
+        assert get_ambient() is inst
+    finally:
+        set_ambient(None)
+    assert get_ambient() is None
+
+
+# ----------------------------------------------------------------------
+# Monitor factories and export
+# ----------------------------------------------------------------------
+def test_monitor_factories_register_monitors():
+    flow = make_flow("tcp-pr")
+    inst = Instrumentation()
+    inst.throughput(flow.receiver)
+    inst.cwnd(flow.sender)
+    timeline = inst.fault_timeline()
+    assert timeline is inst.fault_timeline()  # shared instance
+    assert len(inst.monitors) == 3
+
+
+def test_to_records_includes_faults_and_trace():
+    flow = make_flow("tcp-pr", seed=6)
+    inst = Instrumentation(trace=True)
+    inst.attach(flow.network)
+    inst.fault_timeline().record(1.0, "link-down", "link snd->rcv", "down")
+    flow.run(until=2.0)
+    kinds = {record["record"] for record in inst.to_records()}
+    assert kinds == {"metric", "trace", "fault"}

@@ -1,0 +1,139 @@
+"""Tests for the metrics registry (repro.obs.registry)."""
+
+import pytest
+
+from repro.obs import DEFAULT_BUCKETS, MetricsRegistry
+from repro.obs.registry import Counter, Gauge, Histogram, Timeseries
+
+
+# ----------------------------------------------------------------------
+# Identity and get-or-create
+# ----------------------------------------------------------------------
+def test_same_identity_returns_same_object():
+    registry = MetricsRegistry()
+    a = registry.counter("link.drops", link="a->b", kind="queue")
+    b = registry.counter("link.drops", kind="queue", link="a->b")
+    assert a is b  # label order is irrelevant to identity
+    assert len(registry) == 1
+
+
+def test_different_labels_are_different_metrics():
+    registry = MetricsRegistry()
+    a = registry.counter("link.drops", link="a->b")
+    b = registry.counter("link.drops", link="b->a")
+    assert a is not b
+    assert len(registry) == 2
+    assert {m.label_dict["link"] for m in registry.find("link.drops")} == {
+        "a->b",
+        "b->a",
+    }
+
+
+def test_kind_conflict_is_a_type_error():
+    registry = MetricsRegistry()
+    registry.counter("flow.cwnd", flow=1)
+    with pytest.raises(TypeError, match="already registered as counter"):
+        registry.timeseries("flow.cwnd", flow=1)
+
+
+def test_get_and_find():
+    registry = MetricsRegistry()
+    metric = registry.gauge("queue.depth", link="x")
+    assert registry.get("queue.depth", link="x") is metric
+    assert registry.get("queue.depth", link="y") is None
+    assert registry.find("queue.depth") == [metric]
+
+
+# ----------------------------------------------------------------------
+# Metric behavior
+# ----------------------------------------------------------------------
+def test_counter_increments_and_rejects_negative():
+    counter = Counter("c", ())
+    counter.inc()
+    counter.inc(2.5)
+    assert counter.value == 3.5
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_gauge_last_write_wins():
+    gauge = Gauge("g", ())
+    assert gauge.value is None
+    gauge.set(4.0)
+    gauge.set(2.0)
+    assert gauge.value == 2.0
+
+
+def test_histogram_buckets_and_overflow():
+    hist = Histogram("h", (), buckets=(1, 2, 5))
+    for value in (0.5, 1.0, 3.0, 100.0):
+        hist.observe(value)
+    # counts: <=1, <=2, <=5, overflow
+    assert hist.counts == [2, 0, 1, 1]
+    assert hist.count == 4
+    assert hist.min == 0.5 and hist.max == 100.0
+    assert hist.mean == pytest.approx((0.5 + 1.0 + 3.0 + 100.0) / 4)
+
+
+def test_histogram_rejects_unsorted_buckets():
+    with pytest.raises(ValueError):
+        Histogram("h", (), buckets=(2, 1))
+    with pytest.raises(ValueError):
+        Histogram("h", (), buckets=())
+
+
+def test_default_buckets_resolve_reordering_tail():
+    assert DEFAULT_BUCKETS == (1, 2, 3, 5, 8, 13, 21, 34, 55, 89)
+
+
+def test_timeseries_parallel_arrays_and_bisect():
+    series = Timeseries("t", ())
+    for time in (0.0, 1.0, 2.0, 3.0):
+        series.append(time, time * 10)
+    assert len(series) == 4
+    assert series.last == 30.0
+    assert series.sample_at_or_before(1.5) == (1.0, 10.0)
+    assert series.sample_at_or_before(3.0) == (3.0, 30.0)
+    assert series.sample_at_or_before(-1.0) == (0.0, 0.0)
+
+
+def test_empty_timeseries_lookup_raises():
+    with pytest.raises(ValueError):
+        Timeseries("t", ()).sample_at_or_before(1.0)
+
+
+# ----------------------------------------------------------------------
+# Export
+# ----------------------------------------------------------------------
+def test_to_records_has_stable_shape():
+    registry = MetricsRegistry()
+    registry.counter("c", link="l").inc()
+    registry.timeseries("t", flow=1).append(1.0, 2.0)
+    records = registry.to_records()
+    assert [r["record"] for r in records] == ["metric", "metric"]
+    counter_record = records[0]
+    assert counter_record == {
+        "record": "metric",
+        "kind": "counter",
+        "name": "c",
+        "labels": {"link": "l"},
+        "value": 1.0,
+    }
+    series_record = records[1]
+    assert series_record["times"] == [1.0]
+    assert series_record["values"] == [2.0]
+
+
+def test_summaries_keyed_by_name_and_labels():
+    registry = MetricsRegistry()
+    registry.timeseries("flow.cwnd", flow=1, variant="tcp-pr").append(0.0, 2.0)
+    summaries = registry.summaries()
+    assert summaries == {
+        "flow.cwnd{flow=1,variant=tcp-pr}": {
+            "kind": "timeseries",
+            "n": 1,
+            "last": 2.0,
+            "min": 2.0,
+            "max": 2.0,
+        }
+    }

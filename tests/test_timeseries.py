@@ -13,7 +13,7 @@ from repro.analysis.timeseries import (
 )
 
 from conftest import make_flow
-from repro.trace.monitors import FlowThroughputMonitor
+from repro.obs import FlowThroughputMonitor
 
 
 # ----------------------------------------------------------------------
