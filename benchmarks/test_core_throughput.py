@@ -1,0 +1,183 @@
+"""Core-throughput benchmark gate (see ``core_workloads.py``).
+
+Records events/sec and wall seconds per workload into
+``benchmarks/results/BENCH_core.json`` and guards against hot-path
+regressions.  Two tiers:
+
+* ``-m bench_smoke`` — the engine micro pair plus the timer-dominated
+  ``pr_bulk`` figure slice, ~5 s total.  Read-only: asserts the
+  regression guard but never rewrites the committed JSON.
+* the unmarked full test — every workload, then (and only after the
+  guard passes) refreshes the ``current`` section of BENCH_core.json.
+  The ``baseline`` section is the seed implementation measured by an
+  interleaved same-host A/B and is deliberately never rewritten here —
+  the seed code no longer exists in the working tree.
+
+Wall clocks differ across hosts, so absolute events/sec comparisons
+would flake.  Two defenses:
+
+* The engine micro pair is guarded purely by its in-process legacy→hot
+  ratio — both idioms run back-to-back in the same interpreter, so host
+  speed and CPython's adaptive-specialization warmth cancel out.
+  (Absolute micro numbers do NOT cancel: a warmed-up process clocks the
+  hot loop 1.5x faster than a cold one, so guarding them against the
+  committed JSON would flake on process history.)
+* Figure workloads are guarded against the committed events/sec after
+  host normalization, re-calibrated per round: a legacy-idiom micro run
+  immediately before each workload run estimates how fast the host is
+  *right now* relative to the host that produced the JSON, and the best
+  normalized round must reach 75 % of the committed throughput.  A real
+  hot-path regression shifts the workload/legacy ratio and trips the
+  guard; a slow or throttling host shifts both and does not.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+import core_workloads as cw
+
+BENCH_PATH = Path(__file__).parent / "results" / "BENCH_core.json"
+
+#: A workload may lose at most this fraction of its committed events/sec
+#: (after host normalization) before the gate fails.
+REGRESSION_TOLERANCE = 0.25
+
+#: The dispatch-idiom conversion the overhaul performed on every
+#: per-packet path must stay at least this much faster than the idiom it
+#: replaced (same engine, same process, back-to-back — host-invariant).
+MIN_IDIOM_SPEEDUP = 2.0
+
+#: At least one figure workload must hold this wall-time speedup over
+#: the recorded seed baseline.
+MIN_FIGURE_WALL_SPEEDUP = 1.5
+
+
+def _best_of(fn, rounds: int):
+    best = None
+    for _ in range(rounds):
+        result = fn()
+        if best is None or result["wall_s"] < best["wall_s"]:
+            best = result
+    return best
+
+
+def _load_committed():
+    with BENCH_PATH.open() as fh:
+        return json.load(fh)
+
+
+def _guarded_figure(name: str, committed: dict, rounds: int) -> dict:
+    """Measure figure workload ``name`` with a per-round host guard.
+
+    Each round runs the legacy micro (host calibration) followed by the
+    workload, so both see the same throttle state.  Returns the fastest
+    workload measurement; fails if no round reaches the tolerance floor.
+    """
+    committed_legacy = committed["current"]["engine_micro_legacy"][
+        "events_per_sec"
+    ]
+    committed_eps = committed["current"][name]["events_per_sec"]
+    best = None
+    best_normalized = 0.0
+    for _ in range(rounds):
+        host_scale = (
+            cw.engine_micro_legacy()["events_per_sec"] / committed_legacy
+        )
+        measured = cw.FIGURE_WORKLOADS[name]()
+        normalized = measured["events_per_sec"] / (
+            committed_eps * host_scale
+        )
+        if normalized > best_normalized:
+            best_normalized = normalized
+        if best is None or measured["wall_s"] < best["wall_s"]:
+            best = measured
+    assert best_normalized >= 1.0 - REGRESSION_TOLERANCE, (
+        f"{name}: best host-normalized throughput is "
+        f"{best_normalized:.2f}x of the committed "
+        f"{committed_eps:.0f} events/sec (floor "
+        f"{1.0 - REGRESSION_TOLERANCE:.2f}) — hot-path regression"
+    )
+    return best
+
+
+def _measure_micro_pair(committed: dict, rounds: int = 4):
+    """Measure both micro idioms in alternating rounds.
+
+    The idiom speedup is taken as the best *same-round* ratio: a legacy
+    and a hot run a few hundred milliseconds apart see the same host
+    throttle state, whereas pairing a best-of-N legacy with a best-of-N
+    hot can straddle a frequency change and report garbage.
+
+    Returns (legacy_best, hot_best, host_scale, idiom_speedup).
+    """
+    legacy_best = hot_best = None
+    idiom_speedup = 0.0
+    for _ in range(rounds):
+        legacy = cw.engine_micro_legacy()
+        hot = cw.engine_micro_hot()
+        ratio = hot["events_per_sec"] / legacy["events_per_sec"]
+        if ratio > idiom_speedup:
+            idiom_speedup = ratio
+        if legacy_best is None or legacy["wall_s"] < legacy_best["wall_s"]:
+            legacy_best = legacy
+        if hot_best is None or hot["wall_s"] < hot_best["wall_s"]:
+            hot_best = hot
+    return legacy_best, hot_best, idiom_speedup
+
+
+@pytest.mark.bench_smoke
+def test_committed_numbers_meet_gates():
+    """The committed artifact itself must show the acceptance ratios."""
+    committed = _load_committed()
+    speedup = committed["speedup"]
+    assert speedup["engine_micro_legacy_to_hot_eps"] >= MIN_IDIOM_SPEEDUP
+    figure_walls = [
+        speedup[f"{name}_wall"] for name in cw.FIGURE_WORKLOADS
+    ]
+    assert max(figure_walls) >= MIN_FIGURE_WALL_SPEEDUP, (
+        f"no figure workload reaches {MIN_FIGURE_WALL_SPEEDUP}x wall "
+        f"speedup over the seed baseline: {figure_walls}"
+    )
+
+
+@pytest.mark.bench_smoke
+def test_core_throughput_smoke():
+    """~5 s: micro pair + the timer-dominated figure slice, guard only."""
+    committed = _load_committed()
+    legacy, hot, idiom_speedup = _measure_micro_pair(committed)
+    assert idiom_speedup >= MIN_IDIOM_SPEEDUP, (
+        f"legacy→hot dispatch idiom speedup collapsed to "
+        f"{idiom_speedup:.2f}x (< {MIN_IDIOM_SPEEDUP}x)"
+    )
+    _guarded_figure("pr_bulk", committed, rounds=3)
+
+
+def test_core_throughput_full():
+    """Every workload; refreshes BENCH_core.json after the guard passes."""
+    committed = _load_committed()
+    legacy, hot, idiom_speedup = _measure_micro_pair(committed)
+    # The guards run before anything is overwritten: a failing run must
+    # leave the committed numbers untouched.
+    assert idiom_speedup >= MIN_IDIOM_SPEEDUP
+    current = {"engine_micro_legacy": legacy, "engine_micro_hot": hot}
+    for name in cw.FIGURE_WORKLOADS:
+        current[name] = _guarded_figure(name, committed, rounds=2)
+
+    committed["current"] = {
+        name: {metric: round(value, 4) for metric, value in result.items()}
+        for name, result in current.items()
+    }
+    # Refresh only the host-invariant ratio.  The *_wall / *_eps speedups
+    # against the seed baseline came from an interleaved same-host A/B
+    # and would be corrupted by pairing the frozen baseline with a fresh
+    # measurement from a differently-loaded host.
+    committed["speedup"]["engine_micro_legacy_to_hot_eps"] = round(
+        idiom_speedup, 4
+    )
+    with BENCH_PATH.open("w") as fh:
+        json.dump(committed, fh, indent=1)
+        fh.write("\n")

@@ -179,8 +179,18 @@ class TcpPrSender(Agent):
         self.mode = SLOW_START
         self.cwnd: float = self.config.initial_cwnd
         self.ssthr: float = self.config.initial_ssthresh
-        #: seq -> (sent_time, cwnd_at_send) for packets in flight.
-        self.to_be_ack: Dict[int, Tuple[float, float]] = {}
+        #: seq -> (sent_time, cwnd_at_send, next_check, arm_stamp) for
+        #: packets in flight.  ``next_check`` is the quantized time the
+        #: packet's drop deadline is next examined; ``arm_stamp`` orders
+        #: same-tick examinations exactly like the per-packet timer
+        #: events they replace (see ``_sweep_drop_checks``).
+        self.to_be_ack: Dict[int, Tuple[float, float, float, int]] = {}
+        #: Min-heap of in-flight sequence numbers, pushed on every send
+        #: and popped lazily by ``_collect_acked`` — entries whose seq has
+        #: left ``to_be_ack`` (drop-declared, SACKed) are skipped on pop.
+        #: Turns the per-ACK cumulative scan from O(window) into
+        #: O(newly acked · log window).
+        self._inflight_heap: List[int] = []
         #: Heap of sequence numbers awaiting retransmission.
         self._retx_heap: List[int] = []
         self._retx_pending: Set[int] = set()
@@ -201,6 +211,16 @@ class TcpPrSender(Agent):
         self._unblock_handle = None
         self._extreme_active = False
         self._started = False
+        #: The one coalesced drop timer for the whole flow (None =
+        #: disarmed).  Armed at the earliest ``next_check`` over the
+        #: in-flight set; on fire it sweeps every due packet and re-arms
+        #: once — replacing one heap event per packet sent.
+        self._timer_handle = None
+        self._sweep_cb = self._sweep_drop_checks
+        self._receiver_window_f = float(self.config.receiver_window)
+        self._label_timer = f"pr timer f{flow_id}"
+        self._label_start = f"pr start f{flow_id}"
+        self._label_unblock = f"pr unblock f{flow_id}"
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -210,7 +230,7 @@ class TcpPrSender(Agent):
         if self._started:
             return
         self._started = True
-        self.sim.schedule(at, self._flush_cwnd, label=f"pr start f{self.flow_id}")
+        self.sim.post(at, self._flush_cwnd, label=self._label_start)
 
     @property
     def done(self) -> bool:
@@ -259,27 +279,37 @@ class TcpPrSender(Agent):
 
     def _collect_acked(self, packet: Packet) -> List[int]:
         """Packets newly acknowledged by this ACK (cumulative + SACK)."""
-        acked = [seq for seq in self.to_be_ack if seq < packet.ack]
+        ack = packet.ack
+        to_be_ack = self.to_be_ack
+        inflight = self._inflight_heap
+        acked: List[int] = []
+        # Pops come out ascending, so a resent seq's duplicate heap
+        # entries are adjacent — the acked[-1] check dedupes them.
+        while inflight and inflight[0] < ack:
+            seq = heapq.heappop(inflight)
+            if seq in to_be_ack and (not acked or acked[-1] != seq):
+                acked.append(seq)
         sacked: Set[int] = set()
         if self.config.use_sack_accounting and packet.sack_blocks:
             for start, end in packet.sack_blocks:
                 for seq in range(start, end):
-                    if seq >= packet.ack:
+                    if seq >= ack:
                         sacked.add(seq)
-                        if seq in self.to_be_ack:
+                        if seq in to_be_ack:
                             acked.append(seq)
         # Cancel pending retransmissions this ACK proves unnecessary
         # (the "dropped" packet reached the receiver after all).
-        for seq in list(self._retx_pending):
-            if seq < packet.ack or seq in sacked:
-                self._retx_pending.discard(seq)
-                self.stats.spurious_drops += 1
+        if self._retx_pending:
+            for seq in list(self._retx_pending):
+                if seq < ack or seq in sacked:
+                    self._retx_pending.discard(seq)
+                    self.stats.spurious_drops += 1
         acked.sort()
         return acked
 
     def _process_acked_packet(self, seq: int) -> None:
         """Table 1, "ACK received for packet n" (run once per packet)."""
-        sent_time, _cwnd_at_send = self.to_be_ack.pop(seq)
+        sent_time = self.to_be_ack.pop(seq)[0]
         self.stats.packets_acked += 1
         # Lines 14-15: ewrtt/mxrtt update (skipped for retransmissions,
         # whose RTT sample would be ambiguous — Karn's rule).
@@ -316,32 +346,71 @@ class TcpPrSender(Agent):
         ticks = math.ceil(fire_at / granularity - 1e-12)
         return ticks * granularity
 
-    def _schedule_drop_check(self, seq: int, sent_time: float) -> None:
-        self.sim.schedule(
-            self._quantize(sent_time + self.mxrtt),
-            lambda: self._drop_check(seq, sent_time),
-            label=f"pr timer f{self.flow_id} s{seq}",
+    def _arm_drop_timer(self, check: float, stamp: int) -> None:
+        """Keep the single flow timer armed no later than ``check``.
+
+        If the armed timer already fires at or before ``check`` there is
+        nothing to do — a too-early fire just sweeps, finds nothing due,
+        and re-arms (exactly how the per-packet events it replaces went
+        stale).  Only a *later* armed time must be pulled forward, which
+        happens when ``mxrtt`` collapses (an extreme-loss override being
+        cleared) so a newer packet's deadline precedes an older one's.
+
+        ``stamp`` is the engine seq reserved when ``check`` was armed,
+        so the coalesced event keeps the exact tie-break position of the
+        per-packet event it stands in for.
+        """
+        handle = self._timer_handle
+        if handle is not None:
+            if handle.time <= check:
+                return
+            handle.cancel()
+        self._timer_handle = self.sim.schedule(
+            check, self._sweep_cb, label=self._label_timer, seq=stamp
         )
 
-    def _drop_check(self, seq: int, sent_time: float) -> None:
-        entry = self.to_be_ack.get(seq)
-        if entry is None or entry[0] != sent_time:
-            return  # stale: the packet was acked or resent meanwhile
-        deadline = sent_time + self.mxrtt
-        if self.sim.now < deadline:
-            # mxrtt grew since this check was armed; re-arm at the new
-            # deadline (timers never fire early w.r.t. the estimate).
-            self.sim.schedule(
-                self._quantize(deadline),
-                lambda: self._drop_check(seq, sent_time),
-                label=f"pr timer f{self.flow_id} s{seq}",
-            )
+    def _sweep_drop_checks(self) -> None:
+        """Examine every packet whose ``next_check`` has arrived.
+
+        Due packets are processed in arm-stamp order — the order their
+        individual timer events would have popped off the heap — and the
+        drop deadline ``sent + mxrtt`` is re-read per packet, because a
+        declare earlier in the same sweep can inflate ``mxrtt``
+        (backoff doubling, extreme loss) and postpone the rest.  A
+        packet found not yet expired re-arms at its new quantized
+        deadline; timers never fire early w.r.t. the estimate.
+        """
+        self._timer_handle = None
+        to_be_ack = self.to_be_ack
+        if not to_be_ack:
             return
-        self._declare_drop(seq)
+        now = self.sim.now
+        due = sorted(
+            (entry[3], seq)
+            for seq, entry in to_be_ack.items()
+            if entry[2] <= now
+        )
+        for _, seq in due:
+            entry = to_be_ack.get(seq)
+            if entry is None or entry[2] > now:
+                continue  # declared and resent earlier in this sweep
+            if now >= entry[0] + self.mxrtt:
+                self._declare_drop(seq)
+            else:
+                to_be_ack[seq] = (
+                    entry[0],
+                    entry[1],
+                    self._quantize(entry[0] + self.mxrtt),
+                    self.sim.reserve_seq(),
+                )
+        if to_be_ack:
+            self._arm_drop_timer(
+                *min((e[2], e[3]) for e in to_be_ack.values())
+            )
 
     def _declare_drop(self, seq: int) -> None:
         """Table 1, "time > time(n) + mxrtt (drop detected for packet n)"."""
-        sent_time, cwnd_at_send = self.to_be_ack.pop(seq)
+        cwnd_at_send = self.to_be_ack.pop(seq)[1]
         self.stats.drops_detected += 1
         if self.obs is not None:
             self.obs.on_loss(self)
@@ -419,7 +488,7 @@ class TcpPrSender(Agent):
         if self._unblock_handle is not None:
             self._unblock_handle.cancel()
         self._unblock_handle = self.sim.schedule(
-            until, self._flush_cwnd, label=f"pr unblock f{self.flow_id}"
+            until, self._flush_cwnd, label=self._label_unblock
         )
 
     # ------------------------------------------------------------------
@@ -433,7 +502,7 @@ class TcpPrSender(Agent):
     def _flush_cwnd(self) -> None:
         if self.sim.now < self._blocked_until:
             return
-        window = min(self.cwnd, float(self.config.receiver_window))
+        window = min(self.cwnd, self._receiver_window_f)
         while window > len(self.to_be_ack):
             seq = self._next_seq()
             if seq is None:
@@ -465,8 +534,11 @@ class TcpPrSender(Agent):
         else:
             self.snd_nxt += 1
         now = self.sim.now
-        self.to_be_ack[seq] = (now, self.cwnd)
-        self._schedule_drop_check(seq, now)
+        check = self._quantize(now + self.mxrtt)
+        stamp = self.sim.reserve_seq()
+        self.to_be_ack[seq] = (now, self.cwnd, check, stamp)
+        heapq.heappush(self._inflight_heap, seq)
+        self._arm_drop_timer(check, stamp)
         self.stats.data_packets_sent += 1
         packet = Packet(
             "data",

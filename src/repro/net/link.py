@@ -80,6 +80,15 @@ class Link:
         self.loss_model = loss_model
         self.delay_model = delay_model
         self.name = f"{src.name}->{dst.name}"
+        # Hot-path caches: a bound method and one label per link for the
+        # two per-packet events, instead of a closure (which pins the
+        # packet twice) and an f-string per event.  ``dst.receive`` is
+        # looked up per event on purpose — repro.obs.trace patches it.
+        self._finish_cb = self._finish_transmission
+        self._label_tx = f"tx {self.name}"
+        self._label_rx = f"rx {self.name}"
+        self._inv_bandwidth = 8.0 / bandwidth  # seconds per byte
+        self._post_in = sim.post_in  # one attribute load per event, not two
         self._busy = False
         self.tx_packets = 0
         self.tx_bytes = 0
@@ -168,26 +177,31 @@ class Link:
 
     # ------------------------------------------------------------------
     def _start_transmission(self, packet: Packet) -> None:
+        # transmission_time() inlined; args passed positionally — these
+        # two post_in calls run once per packet per hop.
         self._busy = True
-        self.sim.schedule_in(
-            self.transmission_time(packet),
-            lambda: self._finish_transmission(packet),
-            label=f"tx {self.name}",
+        self._post_in(
+            packet.size_bytes * self._inv_bandwidth,
+            self._finish_cb,
+            (packet,),
+            self._label_tx,
         )
 
     def _finish_transmission(self, packet: Packet) -> None:
         self.tx_packets += 1
         self.tx_bytes += packet.size_bytes
         packet.hops += 1
+        delay_model = self.delay_model
         delay = (
-            self.delay_model.delay_for(packet)
-            if self.delay_model is not None
-            else self.delay
+            self.delay
+            if delay_model is None
+            else delay_model.delay_for(packet)
         )
-        self.sim.schedule_in(
+        self._post_in(
             delay * self.delay_scale,
-            lambda: self.dst.receive(packet),
-            label=f"rx {self.name}",
+            self.dst.receive,
+            (packet,),
+            self._label_rx,
         )
         if not self.up:  # link died mid-serialization: hold the queue
             self._busy = False

@@ -121,6 +121,18 @@ class Node:
         """Handle a packet delivered by an upstream link."""
         if packet.route is not None:
             packet.route_index += 1
+            if packet.dst == self.name:
+                agent = self.agents.get(packet.flow_id)
+                if agent is None:
+                    self.dead_letters += 1
+                    return
+                agent.receive(packet)
+                return
+            self._forward(packet)
+            return
+        # Table-forwarded packet: _forward/_next_hop inlined — this is
+        # the per-packet per-hop path, and ``links.get(None)`` correctly
+        # yields None when no route exists.
         if packet.dst == self.name:
             agent = self.agents.get(packet.flow_id)
             if agent is None:
@@ -128,7 +140,11 @@ class Node:
                 return
             agent.receive(packet)
             return
-        self._forward(packet)
+        link = self.links.get(self.routes.get(packet.dst))
+        if link is None:
+            self.dead_letters += 1
+            return
+        link.enqueue(packet)
 
     def _forward(self, packet: Packet) -> None:
         next_hop = self._next_hop(packet)

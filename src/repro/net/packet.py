@@ -70,6 +70,8 @@ class Packet:
         "sent_at",
         "hops",
         "retransmit",
+        "is_data",
+        "is_ack",
     )
 
     def __init__(
@@ -91,6 +93,11 @@ class Packet:
             raise ValueError(f"unknown packet kind {kind!r}")
         self.uid = next(_uid_counter)
         self.kind = kind
+        # Plain attributes, not properties: every node/agent receive path
+        # reads one of these per packet, and a slot load is several times
+        # cheaper than a descriptor call plus string compare.
+        self.is_data = kind == "data"
+        self.is_ack = not self.is_data
         self.src = src
         self.dst = dst
         self.flow_id = flow_id
@@ -110,14 +117,6 @@ class Packet:
         self.sent_at = 0.0
         self.hops = 0
         self.retransmit = retransmit
-
-    @property
-    def is_data(self) -> bool:
-        return self.kind == "data"
-
-    @property
-    def is_ack(self) -> bool:
-        return self.kind == "ack"
 
     def __repr__(self) -> str:
         if self.is_data:

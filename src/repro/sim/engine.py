@@ -1,10 +1,25 @@
 """The discrete-event simulation engine.
 
-A :class:`Simulator` is a priority queue of :class:`EventHandle` objects plus
-a clock.  Components capture a reference to the simulator, call
-:meth:`Simulator.schedule` / :meth:`Simulator.schedule_in`, and read
+A :class:`Simulator` is a priority queue of pending callbacks plus a
+clock.  Components capture a reference to the simulator, call
+:meth:`Simulator.schedule` / :meth:`Simulator.post`, and read
 :attr:`Simulator.now`.  The engine is deliberately minimal — all protocol
 logic lives in the components.
+
+Two scheduling flavours share one heap:
+
+* :meth:`Simulator.schedule` returns a cancellable :class:`EventHandle`
+  — for timers that may be disarmed (drop timers, RTO, delayed ACKs).
+* :meth:`Simulator.post` is fire-and-forget: no handle is allocated at
+  all, the bare callable sits directly in the heap entry.  This is the
+  packet hot path (link transmission/propagation, monitor ticks), where
+  a per-event handle object would be pure garbage-collector load.
+
+Both accept an optional ``args`` tuple so components can pass one cached
+bound method plus arguments instead of allocating a fresh closure per
+event, and a ``label`` that is only ever *read* under ``profile=True`` —
+callers precompute labels once per component instead of formatting an
+f-string per event.
 """
 
 from __future__ import annotations
@@ -29,6 +44,12 @@ from repro.sim.rng import RngRegistry
 #: the overshoot to well under a millisecond of wall time.
 _DEADLINE_CHECK_INTERVAL = 256
 
+_INF = float("inf")
+
+# Bound once: a module-global load is one dict probe cheaper than
+# ``heapq.heappush`` (global + attribute) in the per-event schedulers.
+_heappush = heapq.heappush
+
 
 class Simulator:
     """Heap-based discrete-event scheduler with a seeded RNG registry.
@@ -36,7 +57,7 @@ class Simulator:
     Args:
         seed: Master seed for the per-component RNG streams.
         profile: Collect per-label-group event counts, callback wall
-            time, and the heap high-water mark (see
+            time, and the live-event high-water mark (see
             :mod:`repro.sim.profile`); read the report from
             :attr:`stats`.  Off by default — profiling adds a
             ``perf_counter`` pair around every dispatch.
@@ -49,21 +70,59 @@ class Simulator:
     def __init__(self, seed: int = 0, profile: bool = False) -> None:
         self.now: float = 0.0
         self.rng = RngRegistry(seed)
-        # Heap entries are (time, seq, handle) tuples: tuple comparison is
-        # C-level, which measurably beats rich comparison on EventHandle.
-        self._heap: list[tuple[float, int, EventHandle]] = []
+        # Heap entries are (time, seq, target, args, label) tuples: tuple
+        # comparison is C-level and never reaches element 2, so targets
+        # need no ordering.  ``target`` is an EventHandle for cancellable
+        # events and the bare callable for fire-and-forget posts.
+        self._heap: list[tuple] = []
         self._seq = 0
         self._dispatched = 0
+        # Live (not cancelled, not yet dispatched) events.  Maintained by
+        # schedule/post/dispatch and EventHandle.cancel so introspection
+        # never has to scan the heap.
+        self._live = 0
         self._running = False
         self._profile: SimProfile | None = SimProfile() if profile else None
 
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
+    def reserve_seq(self) -> int:
+        """Allocate a tie-break sequence number without pushing an event.
+
+        Same-time events fire in ascending ``seq`` order, so a component
+        that coalesces many logical timers into one heap event (the
+        TCP-PR flow drop timer, the lazily-extended RTO) can reserve a
+        seq at the moment the *logical* timer is armed and later pass it
+        to :meth:`schedule` — the coalesced event then fires exactly
+        where the individual event it replaces would have, preserving
+        tie order against unrelated same-time events.  A reserved seq
+        must back at most one live event at a time.
+        """
+        seq = self._seq
+        self._seq = seq + 1
+        return seq
+
     def schedule(
-        self, time: float, callback: Callable[[], Any], label: str = ""
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        label: str = "",
+        args: Optional[tuple] = None,
+        seq: Optional[int] = None,
     ) -> EventHandle:
         """Schedule ``callback`` at absolute simulation time ``time``.
+
+        Args:
+            time: Absolute fire time (``>= now``).
+            callback: Called as ``callback(*args)`` (no-arg if ``args``
+                is None) when the event fires.
+            label: Profiling tag; pass a per-component constant, not a
+                per-event f-string.
+            args: Optional argument tuple, so a cached bound method can
+                replace a per-call closure.
+            seq: A previously :meth:`reserve_seq`-ed tie-breaker; None
+                (the default) allocates a fresh one.
 
         Returns:
             A cancellable :class:`EventHandle`.
@@ -73,21 +132,78 @@ class Simulator:
         """
         if time < self.now:
             raise ScheduleInPastError(time, self.now)
-        handle = EventHandle(time, self._seq, callback, label)
-        heapq.heappush(self._heap, (time, self._seq, handle))
-        self._seq += 1
+        if seq is None:
+            seq = self._seq
+            self._seq = seq + 1
+        handle = EventHandle(time, seq, callback, label, owner=self)
+        _heappush(self._heap, (time, seq, handle, args, label))
+        live = self._live + 1
+        self._live = live
         profile = self._profile
-        if profile is not None and len(self._heap) > profile.heap_high_water:
-            profile.heap_high_water = len(self._heap)
+        if profile is not None and live > profile.heap_high_water:
+            profile.heap_high_water = live
         return handle
 
     def schedule_in(
-        self, delay: float, callback: Callable[[], Any], label: str = ""
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        label: str = "",
+        args: Optional[tuple] = None,
     ) -> EventHandle:
         """Schedule ``callback`` ``delay`` seconds from now (``delay >= 0``)."""
         if delay < 0:
             raise ScheduleInPastError(self.now + delay, self.now)
-        return self.schedule(self.now + delay, callback, label)
+        return self.schedule(self.now + delay, callback, label, args)
+
+    def post(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        args: Optional[tuple] = None,
+        label: str = "",
+    ) -> None:
+        """Schedule a fire-and-forget event — no :class:`EventHandle`.
+
+        The per-event cost is one heap tuple; use this on paths that
+        never cancel (packet transmission/propagation, monitor ticks).
+
+        Raises:
+            ScheduleInPastError: if ``time`` is before the current clock.
+        """
+        if time < self.now:
+            raise ScheduleInPastError(time, self.now)
+        seq = self._seq
+        self._seq = seq + 1
+        _heappush(self._heap, (time, seq, callback, args, label))
+        live = self._live + 1
+        self._live = live
+        profile = self._profile
+        if profile is not None and live > profile.heap_high_water:
+            profile.heap_high_water = live
+
+    def post_in(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        args: Optional[tuple] = None,
+        label: str = "",
+    ) -> None:
+        """Fire-and-forget ``delay`` seconds from now (``delay >= 0``).
+
+        Inlined rather than delegating to :meth:`post` — this is the
+        single hottest scheduling call (both per-packet link events).
+        """
+        if delay < 0:
+            raise ScheduleInPastError(self.now + delay, self.now)
+        seq = self._seq
+        self._seq = seq + 1
+        _heappush(self._heap, (self.now + delay, seq, callback, args, label))
+        live = self._live + 1
+        self._live = live
+        profile = self._profile
+        if profile is not None and live > profile.heap_high_water:
+            profile.heap_high_water = live
 
     # ------------------------------------------------------------------
     # Execution
@@ -129,20 +245,105 @@ class Simulator:
         self._running = True
         started_wall = _time.monotonic() if deadline is not None else 0.0
         stalled = 0
+        # The dispatch counter runs as a local and is written back in the
+        # finally block: one attribute store per run() instead of one per
+        # event.  (Nothing reads it mid-run — the watchdog errors below
+        # use the local.)
+        dispatched = self._dispatched
         try:
             heap = self._heap
             pop = heapq.heappop
+            handle_type = EventHandle
             # Hoisted: the detached-profiling cost inside the loop is one
             # local-variable None check per event.
             profile = self._profile
+            until_cmp = _INF if until is None else until
+            if (
+                max_events is None
+                and deadline is None
+                and livelock_threshold is None
+                and profile is None
+            ):
+                # Fast path: no watchdogs, no profiling — the per-event
+                # work is exactly pop, clock advance, callback.  This is
+                # the configuration every figure run uses, so the general
+                # loop's four per-event None checks are worth forking
+                # over.
+                if until is None:
+                    # Drain-the-queue flavour: nothing can stop short of
+                    # an empty heap, so pop directly instead of peeking
+                    # first (saves an index plus a compare per event).
+                    while heap:
+                        head_time, _, target, args, _ = pop(heap)
+                        if type(target) is handle_type:
+                            callback = target.callback
+                            if callback is None:  # cancelled
+                                continue
+                            target.callback = None
+                        else:
+                            callback = target
+                        self._live -= 1
+                        self.now = head_time
+                        if args is None:
+                            callback()
+                        elif len(args) == 1:
+                            callback(args[0])
+                        else:
+                            callback(*args)
+                        dispatched += 1
+                    return
+                while heap:
+                    entry = heap[0]
+                    target = entry[2]
+                    if type(target) is handle_type:
+                        callback = target.callback
+                        if callback is None:  # lazily-deleted (cancelled)
+                            pop(heap)
+                            continue
+                        if entry[0] > until_cmp:
+                            break
+                        pop(heap)
+                        target.callback = None  # mark dispatched
+                    else:
+                        callback = target
+                        if entry[0] > until_cmp:
+                            break
+                        pop(heap)
+                    self._live -= 1
+                    self.now = entry[0]
+                    args = entry[3]
+                    # One-arg events (a packet) are the overwhelming
+                    # majority; a direct call skips CALL_FUNCTION_EX.
+                    if args is None:
+                        callback()
+                    elif len(args) == 1:
+                        callback(args[0])
+                    else:
+                        callback(*args)
+                    dispatched += 1
+                if until is not None and self.now < until:
+                    self.now = until
+                return
             while heap:
-                head_time, _, head = heap[0]
-                if head.callback is None:  # lazily-deleted (cancelled) event
+                entry = heap[0]
+                target = entry[2]
+                if type(target) is handle_type:
+                    callback = target.callback
+                    if callback is None:  # lazily-deleted (cancelled)
+                        pop(heap)
+                        continue
+                    head_time = entry[0]
+                    if head_time > until_cmp:
+                        break
                     pop(heap)
-                    continue
-                if until is not None and head_time > until:
-                    break
-                pop(heap)
+                    target.callback = None  # mark dispatched
+                else:
+                    callback = target
+                    head_time = entry[0]
+                    if head_time > until_cmp:
+                        break
+                    pop(heap)
+                self._live -= 1
                 if livelock_threshold is not None:
                     if head_time > self.now:
                         stalled = 0
@@ -151,32 +352,38 @@ class Simulator:
                         if stalled >= livelock_threshold:
                             raise LivelockError(head_time, stalled)
                 self.now = head_time
-                callback = head.callback
-                head.callback = None  # mark dispatched
+                args = entry[3]
                 if profile is None:
-                    callback()
+                    if args is None:
+                        callback()
+                    else:
+                        callback(*args)
                 else:
                     started = _time.perf_counter()
-                    callback()
+                    if args is None:
+                        callback()
+                    else:
+                        callback(*args)
                     profile.record(
-                        head.label, _time.perf_counter() - started
+                        entry[4], _time.perf_counter() - started
                     )
-                self._dispatched += 1
-                if max_events is not None and self._dispatched >= max_events:
+                dispatched += 1
+                if max_events is not None and dispatched >= max_events:
                     raise SimulationError(
                         f"event budget exhausted ({max_events} events)"
                     )
                 if (
                     deadline is not None
-                    and self._dispatched % _DEADLINE_CHECK_INTERVAL == 0
+                    and dispatched % _DEADLINE_CHECK_INTERVAL == 0
                     and _time.monotonic() - started_wall > deadline
                 ):
                     raise DeadlineExceededError(
-                        deadline, self.now, self._dispatched
+                        deadline, self.now, dispatched
                     )
             if until is not None and self.now < until:
                 self.now = until
         finally:
+            self._dispatched = dispatched
             self._running = False
 
     def step(self) -> bool:
@@ -188,18 +395,28 @@ class Simulator:
         heap = self._heap
         profile = self._profile
         while heap:
-            head_time, _, head = heapq.heappop(heap)
-            if head.callback is None:
-                continue
+            head_time, _, target, args, label = heapq.heappop(heap)
+            if type(target) is EventHandle:
+                callback = target.callback
+                if callback is None:
+                    continue
+                target.callback = None
+            else:
+                callback = target
+            self._live -= 1
             self.now = head_time
-            callback = head.callback
-            head.callback = None
             if profile is None:
-                callback()
+                if args is None:
+                    callback()
+                else:
+                    callback(*args)
             else:
                 started = _time.perf_counter()
-                callback()
-                profile.record(head.label, _time.perf_counter() - started)
+                if args is None:
+                    callback()
+                else:
+                    callback(*args)
+                profile.record(label, _time.perf_counter() - started)
             self._dispatched += 1
             return True
         return False
@@ -209,8 +426,8 @@ class Simulator:
     # ------------------------------------------------------------------
     @property
     def pending_events(self) -> int:
-        """Number of not-yet-cancelled events in the queue."""
-        return sum(1 for _, _, event in self._heap if event.callback is not None)
+        """Number of not-yet-cancelled events in the queue (O(1))."""
+        return self._live
 
     @property
     def dispatched_events(self) -> int:
@@ -220,8 +437,8 @@ class Simulator:
     @property
     def stats(self) -> SimStats:
         """Dispatch counters plus, under ``profile=True``, the per-group
-        event/wall-time breakdown and heap high-water mark."""
-        return build_stats(self._dispatched, self.pending_events, self._profile)
+        event/wall-time breakdown and live-event high-water mark."""
+        return build_stats(self._dispatched, self._live, self._profile)
 
     def peek_time(self) -> Optional[float]:
         """Time of the next pending event, or None if the queue is empty.
@@ -232,13 +449,14 @@ class Simulator:
         """
         heap = self._heap
         while heap:
-            if heap[0][2].callback is not None:
+            target = heap[0][2]
+            if type(target) is not EventHandle or target.callback is not None:
                 return heap[0][0]
             heapq.heappop(heap)
         return None
 
     def __repr__(self) -> str:
         return (
-            f"<Simulator t={self.now:.6f} pending={self.pending_events} "
+            f"<Simulator t={self.now:.6f} pending={self._live} "
             f"dispatched={self._dispatched}>"
         )

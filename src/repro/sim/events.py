@@ -3,7 +3,13 @@
 An :class:`EventHandle` is what :meth:`repro.sim.Simulator.schedule` returns.
 It is a mutable record living in the engine's heap; cancellation simply
 clears the callback so the engine skips the entry when it pops it (lazy
-deletion — O(1) cancel, no heap surgery).
+deletion — O(1) cancel, no heap surgery).  Cancellation also notifies the
+owning simulator so its live-event counter stays O(1) to read.
+
+Fire-and-forget events posted with :meth:`repro.sim.Simulator.post` have
+no handle at all — the engine stores the bare callable in the heap entry,
+so the per-event cost of the packet hot path is one tuple, not a tuple
+plus a handle object.
 """
 
 from __future__ import annotations
@@ -21,19 +27,23 @@ class EventHandle:
         label: Optional human-readable tag for tracing and debugging.
     """
 
-    __slots__ = ("time", "seq", "callback", "label")
+    __slots__ = ("time", "seq", "callback", "label", "_owner")
 
     def __init__(
         self,
         time: float,
         seq: int,
-        callback: Optional[Callable[[], Any]],
+        callback: Optional[Callable[..., Any]],
         label: str = "",
+        owner: Any = None,
     ) -> None:
         self.time = time
         self.seq = seq
         self.callback = callback
         self.label = label
+        # The owning Simulator (or None for detached handles in tests);
+        # cancel() decrements its O(1) live-event counter.
+        self._owner = owner
 
     @property
     def cancelled(self) -> bool:
@@ -42,7 +52,11 @@ class EventHandle:
 
     def cancel(self) -> None:
         """Cancel the event; harmless if already cancelled or fired."""
-        self.callback = None
+        if self.callback is not None:
+            self.callback = None
+            owner = self._owner
+            if owner is not None:
+                owner._live -= 1
 
     def __lt__(self, other: "EventHandle") -> bool:
         if self.time != other.time:

@@ -1,7 +1,7 @@
 """Simulator profiling: where the events — and the wall time — go.
 
 Enabled with ``Simulator(profile=True)``; :attr:`Simulator.stats` then
-reports per-component event counts and wall time plus the heap's
+reports per-component event counts and wall time plus the live-event
 high-water mark.  Components are identified by *label groups*: event
 labels like ``"pr timer f1 s23"`` or ``"tx src->p0m0"`` are collapsed by
 dropping digit-bearing tokens (``"pr timer"``, ``"tx"``), so the report
@@ -45,7 +45,9 @@ class SimProfile:
         self.event_counts: Dict[str, int] = {}
         #: group -> wall-clock seconds spent inside callbacks.
         self.wall_time: Dict[str, float] = {}
-        #: Largest heap length ever observed (includes cancelled entries).
+        #: Largest number of *live* pending events ever observed — fed by
+        #: the engine's O(1) live counter, so lazily-deleted (cancelled)
+        #: heap entries no longer inflate it.
         self.heap_high_water = 0
         self._group_cache: Dict[str, str] = {}
 

@@ -130,7 +130,17 @@ class TcpSenderBase(Agent):
         #: every hook below is a single is-not-None check then).
         self.obs = None
         self._started = False
+        #: The one live RTO heap event (None = disarmed).  Restarts that
+        #: only push the deadline *later* don't touch the heap — the
+        #: event fires at the old deadline and lazily re-arms itself at
+        #: ``_timer_deadline`` (with the tie-break seq reserved at the
+        #: restart), so the per-ACK cancel/re-schedule churn is gone.
         self._timer_handle = None
+        self._timer_deadline: Optional[float] = None
+        self._timer_stamp = 0
+        self._rto_cb = self._on_rto_fire
+        self._label_rto = f"rto f{flow_id}"
+        self._label_start = f"tcp start f{flow_id}"
         # Karn RTT timing: one segment timed at a time.
         self._timed_seq: Optional[int] = None
         self._timed_at = 0.0
@@ -145,7 +155,7 @@ class TcpSenderBase(Agent):
         if self._started:
             return
         self._started = True
-        self.sim.schedule(at, self._send_available, label=f"tcp start f{self.flow_id}")
+        self.sim.post(at, self._send_available, label=self._label_start)
 
     @property
     def done(self) -> bool:
@@ -345,17 +355,44 @@ class TcpSenderBase(Agent):
     # Retransmission timer
     # ------------------------------------------------------------------
     def _restart_timer(self) -> None:
-        self._cancel_timer()
         if self.flightsize() <= 0:
+            self._cancel_timer()
             return
-        self._timer_handle = self.sim.schedule_in(
-            self.rto.rto, self._on_timeout, label=f"rto f{self.flow_id}"
+        deadline = self.sim.now + self.rto.rto
+        self._timer_deadline = deadline
+        self._timer_stamp = self.sim.reserve_seq()
+        handle = self._timer_handle
+        if handle is not None:
+            if handle.time <= deadline:
+                return  # live event fires no later; it re-arms itself
+            handle.cancel()
+        self._timer_handle = self.sim.schedule(
+            deadline, self._rto_cb, label=self._label_rto,
+            seq=self._timer_stamp,
         )
 
     def _cancel_timer(self) -> None:
+        self._timer_deadline = None
         if self._timer_handle is not None:
             self._timer_handle.cancel()
             self._timer_handle = None
+
+    def _on_rto_fire(self) -> None:
+        """The heap event behind the lazily-extended RTO timer."""
+        self._timer_handle = None
+        deadline = self._timer_deadline
+        if deadline is None:
+            return
+        if self.sim.now < deadline:
+            # Extended since this event was armed: re-arm at the real
+            # deadline, with the tie-break seq reserved at the restart so
+            # same-time ordering matches an eagerly-rescheduled timer.
+            self._timer_handle = self.sim.schedule(
+                deadline, self._rto_cb, label=self._label_rto,
+                seq=self._timer_stamp,
+            )
+            return
+        self._on_timeout()
 
     def _has_more_data(self) -> bool:
         total = self.config.total_segments

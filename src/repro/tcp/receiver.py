@@ -80,6 +80,7 @@ class TcpReceiver(Agent):
         self.delack_timeout = delack_timeout
         self._pending_ack_for: Optional[Packet] = None
         self._delack_handle = None
+        self._label_delack = f"delack f{flow_id}"
         self.delayed_acks_sent = 0
         self.rcv_nxt = 0
         #: Segments held above rcv_nxt (for duplicate detection).
@@ -191,7 +192,7 @@ class TcpReceiver(Agent):
             return False
         self._pending_ack_for = data_packet
         self._delack_handle = self.sim.schedule_in(
-            self.delack_timeout, self._delack_fire, label=f"delack f{self.flow_id}"
+            self.delack_timeout, self._delack_fire, label=self._label_delack
         )
         return True
 

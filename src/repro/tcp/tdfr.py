@@ -36,6 +36,7 @@ class TdfrSender(NewRenoSender):
         self._third_dup_time: Optional[float] = None
         self._armed_una: Optional[int] = None
         self._fr_timer = None
+        self._label_tdfr = f"tdfr f{self.flow_id}"
         self.stats.extra["tdfr_delayed_triggers"] = 0
         self.stats.extra["tdfr_cancelled_triggers"] = 0
 
@@ -62,7 +63,7 @@ class TdfrSender(NewRenoSender):
         self._disarm()
         self._armed_una = self.snd_una
         self._fr_timer = self.sim.schedule(
-            deadline, self._on_fr_timer, label=f"tdfr f{self.flow_id}"
+            deadline, self._on_fr_timer, label=self._label_tdfr
         )
 
     def _disarm(self) -> None:

@@ -1,0 +1,65 @@
+"""Golden-seed gate for the hot-path overhaul (see ``goldenlib.py``).
+
+Every fixed-seed workload — the five figure cells and the six
+timer-coalescing edge cases — must reproduce the payload captured from
+the *seed* implementation bit-for-bit.  JSON float round-trips are
+exact, so ``==`` on the decoded payloads is a bit-identicality check:
+any drift in event ordering, timer arithmetic, or RNG stream
+consumption shows up as a diff here before it shows up in a figure.
+
+The structural tests pin the coalescing invariant itself: however many
+packets are in flight, a flow owns at most ONE live drop-check event
+and a NewReno-family sender at most ONE live RTO event.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import conftest
+import goldenlib
+
+GOLDENS = goldenlib.load_goldens()
+
+
+@pytest.mark.parametrize("name", sorted(goldenlib.WORKLOADS))
+def test_bit_identical_to_seed(name):
+    assert name in GOLDENS, (
+        f"no committed golden for {name!r} — regenerate with "
+        f"PYTHONPATH=src:tests python tests/goldenlib.py"
+    )
+    # Round-trip through JSON so tuples/lists and float repr normalize
+    # exactly the way the committed file did.
+    produced = json.loads(json.dumps(goldenlib.WORKLOADS[name]()))
+    assert produced == GOLDENS[name]
+
+
+def _live_labels(sim):
+    """Labels of events still pending in the heap (cancelled excluded)."""
+    labels = []
+    for _time, _seq, target, _args, label in sim._heap:
+        callback = getattr(target, "callback", target)
+        if callback is not None:
+            labels.append(label)
+    return labels
+
+
+def test_pr_flow_owns_one_drop_timer():
+    flow = conftest.make_flow("tcp-pr", seed=41)
+    flow.run(until=5.0)
+    assert flow.sender.to_be_ack, "flow went idle; nothing is guarded"
+    live = _live_labels(flow.network.sim)
+    assert live.count("pr timer f1") == 1, (
+        f"expected exactly one coalesced drop timer, heap holds: {live}"
+    )
+
+
+def test_newreno_flow_owns_one_rto_timer():
+    flow = conftest.make_flow("newreno", seed=43)
+    flow.run(until=5.0)
+    live = _live_labels(flow.network.sim)
+    assert live.count("rto f1") <= 1, (
+        f"expected at most one live RTO event, heap holds: {live}"
+    )
