@@ -67,7 +67,7 @@ class OnOffSource(Agent):
         if self._started:
             return
         self._started = True
-        self.sim.post(at, self._begin_on_period, label=f"onoff f{self.flow_id}")
+        self.sim.post(at, self._begin_on_period, None, f"onoff f{self.flow_id}")
 
     def receive(self, packet: Packet) -> None:
         """Sources ignore inbound traffic (datagrams are one-way)."""
@@ -94,9 +94,7 @@ class OnOffSource(Agent):
         self._seq += 1
         self.packets_sent += 1
         self.inject(packet)
-        self.sim.post_in(
-            self._interval, self._tick, args=(on_end,), label="onoff tick"
-        )
+        self.sim.post_in(self._interval, self._tick, (on_end,), "onoff tick")
 
     def _end_on_period(self) -> None:
         self._on = False
@@ -104,7 +102,7 @@ class OnOffSource(Agent):
             self._begin_on_period()
             return
         off = self._rng.expovariate(1.0 / self.mean_off)
-        self.sim.post_in(off, self._begin_on_period, label="onoff off")
+        self.sim.post_in(off, self._begin_on_period, None, "onoff off")
 
 
 class DatagramSink(Agent):

@@ -382,6 +382,28 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 1 if failures else status
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run the project lint pass (see :mod:`repro.lint`)."""
+    import json as _json
+
+    from repro.lint import RULES, lint_paths
+
+    if args.list_rules:
+        width = max(len(rule.slug) for rule in RULES)
+        for rule in RULES:
+            print(f"{rule.code}  {rule.slug:<{width}}  {rule.summary}")
+        return 0
+    findings = lint_paths(args.paths)
+    if args.lint_json:
+        print(_json.dumps([finding.to_record() for finding in findings]))
+    else:
+        for finding in findings:
+            print(finding.format())
+        noun = "finding" if len(findings) == 1 else "findings"
+        print(f"{len(findings)} {noun}")
+    return 1 if findings else 0
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
     """Inspect or convert an existing ``repro.obs/v1`` record stream."""
     records = read_jsonl(args.file)
@@ -467,6 +489,30 @@ def build_parser() -> argparse.ArgumentParser:
     fig7.add_argument("--duration", type=float, default=None)
     _add_common(fig7)
     fig7.set_defaults(func=_cmd_figure)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the project's determinism/hot-path/hygiene lint rules",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        metavar="PATH",
+        help="files or directories to lint (default: src/repro)",
+    )
+    lint.add_argument(
+        "--json",
+        dest="lint_json",
+        action="store_true",
+        help="emit findings as a JSON array instead of text",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    lint.set_defaults(func=_cmd_lint)
 
     obs = sub.add_parser(
         "obs", help="inspect or convert a repro.obs/v1 record stream"

@@ -50,15 +50,17 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Set, Tuple
 
 from repro.core.estimator import MaxRttEstimator
 from repro.net.node import Agent
 from repro.net.packet import Packet
+from repro.sim.errors import InvariantViolation
 
 if TYPE_CHECKING:
     from repro.net.node import Node
     from repro.sim.engine import Simulator
+    from repro.sim.events import EventHandle
 
 
 @dataclass
@@ -156,7 +158,7 @@ class TcpPrSender(Agent):
         config: :class:`PrConfig`; defaults are the paper's.
     """
 
-    variant = "tcp-pr"
+    variant: str = "tcp-pr"
 
     def __init__(
         self,
@@ -201,21 +203,21 @@ class TcpPrSender(Agent):
         self.stats = PrStats()
         #: Metrics probe installed by repro.obs (None = not observed;
         #: every hook below is a single is-not-None check then).
-        self.obs = None
+        self.obs: Optional[Any] = None
         self._retransmitted: Set[int] = set()
         #: Transient mxrtt inflation (Section 3.2).  The paper's update
         #: rule ``mxrtt := beta * ewrtt`` runs on every ACK, so a forced
         #: inflation only lasts until the next acknowledged packet.
         self._mxrtt_override: Optional[float] = None
         self._blocked_until = -1.0
-        self._unblock_handle = None
+        self._unblock_handle: Optional["EventHandle"] = None
         self._extreme_active = False
         self._started = False
         #: The one coalesced drop timer for the whole flow (None =
         #: disarmed).  Armed at the earliest ``next_check`` over the
         #: in-flight set; on fire it sweeps every due packet and re-arms
         #: once — replacing one heap event per packet sent.
-        self._timer_handle = None
+        self._timer_handle: Optional["EventHandle"] = None
         self._sweep_cb = self._sweep_drop_checks
         self._receiver_window_f = float(self.config.receiver_window)
         self._label_timer = f"pr timer f{flow_id}"
@@ -230,7 +232,7 @@ class TcpPrSender(Agent):
         if self._started:
             return
         self._started = True
-        self.sim.post(at, self._flush_cwnd, label=self._label_start)
+        self.sim.post(at, self._flush_cwnd, None, self._label_start)
 
     @property
     def done(self) -> bool:
@@ -276,6 +278,8 @@ class TcpPrSender(Agent):
         if self.obs is not None:
             self.obs.on_ack(self)
         self._flush_cwnd()
+        if self.sim.sanitize:
+            self._sanitize_check()
 
     def _collect_acked(self, packet: Packet) -> List[int]:
         """Packets newly acknowledged by this ACK (cumulative + SACK)."""
@@ -314,7 +318,15 @@ class TcpPrSender(Agent):
         # Lines 14-15: ewrtt/mxrtt update (skipped for retransmissions,
         # whose RTT sample would be ambiguous — Karn's rule).
         if seq not in self._retransmitted:
-            self.estimator.observe(self.sim.now - sent_time, self.cwnd)
+            sample = self.sim.now - sent_time
+            ewrtt = self.estimator.observe(sample, self.cwnd)
+            if self.sim.sanitize and ewrtt < sample - 1e-9:
+                raise InvariantViolation(
+                    "ewrtt-max-tracking",
+                    f"ewrtt={ewrtt!r} fell below its own RTT sample "
+                    f"{sample!r}: the estimator must track the maximum "
+                    "(ewrtt = max(alpha^(1/cwnd) * ewrtt, sample))",
+                )
         else:
             self._retransmitted.discard(seq)
         # Lines 16-17: list removal.
@@ -407,6 +419,8 @@ class TcpPrSender(Agent):
             self._arm_drop_timer(
                 *min((e[2], e[3]) for e in to_be_ack.values())
             )
+        if self.sim.sanitize:
+            self._sanitize_check()
 
     def _declare_drop(self, seq: int) -> None:
         """Table 1, "time > time(n) + mxrtt (drop detected for packet n)"."""
@@ -490,6 +504,64 @@ class TcpPrSender(Agent):
         self._unblock_handle = self.sim.schedule(
             until, self._flush_cwnd, label=self._label_unblock
         )
+
+    # ------------------------------------------------------------------
+    # Sanitizer (``Simulator(sanitize=True)``)
+    # ------------------------------------------------------------------
+    def _sanitize_check(self) -> None:
+        """Verify the Table 1/2 structural invariants after an ACK/sweep.
+
+        Called only under ``sim.sanitize`` (read dynamically, so tests
+        may flip the flag after building a scenario).  Each check is a
+        set operation over the in-flight window — cheap relative to the
+        ACK processing that precedes it, but not free, hence the flag.
+        """
+        to_be_ack = self.to_be_ack
+        overlap = self._retx_pending.intersection(to_be_ack)
+        if overlap:
+            raise InvariantViolation(
+                "pr-list-disjoint",
+                f"packets {sorted(overlap)!r} are simultaneously awaiting "
+                "retransmission (to-be-sent) and in flight (to-be-ack); "
+                "Table 1 moves a packet between the lists, never copies",
+            )
+        stray = self.memorize.difference(to_be_ack)
+        if stray:
+            raise InvariantViolation(
+                "pr-memorize-subset",
+                f"memorize holds packets {sorted(stray)!r} that are no "
+                "longer in to-be-ack; every removal path must also "
+                "discard from memorize",
+            )
+        if not self.memorize and (self.cburst != 0 or self._extreme_active):
+            raise InvariantViolation(
+                "pr-cburst-reset",
+                f"memorize is empty but cburst={self.cburst} "
+                f"extreme_active={self._extreme_active}; both must reset "
+                "when the loss event's last packet leaves memorize",
+            )
+        # The Section 3.2 trigger compares against cwnd at increment
+        # time, and cwnd can shrink afterwards (a fresh cut), so the
+        # sound run-time bound is against the all-time window peak: a
+        # legitimate cburst can never have passed it without firing.
+        limit = max(self.cwnd, self.stats.cwnd_peak) / 2.0 + 1.0
+        if (
+            self.config.extreme_loss_enabled
+            and not self._extreme_active
+            and self.cburst > limit
+        ):
+            raise InvariantViolation(
+                "pr-cburst-bound",
+                f"cburst={self.cburst} exceeds cwnd/2 + 1 (peak-window "
+                f"bound {limit!r}) without the extreme-loss response "
+                "having fired (Section 3.2 trigger missed)",
+            )
+        if self.cwnd < 1.0 - 1e-9:
+            raise InvariantViolation(
+                "pr-cwnd-floor",
+                f"cwnd={self.cwnd!r} fell below 1 segment; every window "
+                "cut clamps at max(.., 1.0)",
+            )
 
     # ------------------------------------------------------------------
     # Send path (Table 1, flush-cwnd)

@@ -118,7 +118,7 @@ class ResultCache:
         try:
             blob = json.loads(raw)
             value = decode_result(blob["result"])
-        except Exception:
+        except (ValueError, LookupError, TypeError):
             self.stats.errors += 1
             self.stats.misses += 1
             path.unlink(missing_ok=True)

@@ -211,6 +211,7 @@ def _execute_payload_guarded(payload: _Payload) -> _Outcome:
                 records = None
             wall = time.perf_counter() - started
             return index, None, value, attempt + 1, wall, records
+        # lint: allow-broad-except(worker guard must capture every cell failure as CellError data, never crash the pool)
         except Exception as exc:
             timed_out = isinstance(exc, CellTimeout)
             failure = (

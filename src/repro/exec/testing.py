@@ -45,7 +45,7 @@ def flaky_cell(*, fail_seed: int, value: Any = 1, seed: int) -> Dict[str, Any]:
 
 def sleepy_cell(*, sleep: float, value: Any = 1, seed: int) -> Dict[str, Any]:
     """Sleeps ``sleep`` wall-clock seconds, then succeeds (timeout probe)."""
-    time.sleep(sleep)
+    time.sleep(sleep)  # lint: allow-wallclock(deliberate stall to trip the runner's wall-clock timeout guard)
     return {"value": value, "seed": seed}
 
 

@@ -1,0 +1,49 @@
+"""Project-specific static analysis (``repro lint``).
+
+The simulator's correctness rests on invariants that ordinary tooling
+cannot see: determinism (every random draw must come from the seeded
+:class:`~repro.sim.rng.RngRegistry`, never the wall clock or the global
+``random`` module), hot-path discipline (the PR 4 engine overhaul
+assumes ``__slots__`` classes and allocation-free ``post``/``post_in``
+dispatch), and hygiene rules whose violation fails *silently* (broad
+``except`` swallowing a :class:`~repro.sim.errors.SimulationError`,
+float ``==`` on simulated time).  This package is a small AST-based
+linter that enforces them mechanically — see ``docs/STATIC_ANALYSIS.md``
+for the rule catalog and the rationale behind each rule.
+
+Usage::
+
+    python -m repro lint src/repro          # CLI (exit 1 on findings)
+
+    from repro.lint import lint_paths, lint_source
+    findings = lint_paths(["src/repro"])    # importable API
+
+Suppression: append ``# lint: allow-<rule>(reason)`` to the offending
+line, or put it on the line directly above.  The reason is mandatory —
+a pragma without one is itself a finding.
+"""
+
+from __future__ import annotations
+
+from repro.lint.engine import (
+    ParsedModule,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+    parse_module,
+)
+from repro.lint.findings import Finding, parse_pragmas
+from repro.lint.rules import RULES, Rule, rule_by_slug
+
+__all__ = [
+    "Finding",
+    "ParsedModule",
+    "RULES",
+    "Rule",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "parse_module",
+    "parse_pragmas",
+    "rule_by_slug",
+]

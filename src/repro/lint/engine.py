@@ -1,0 +1,165 @@
+"""Drive the rule catalog over files, trees, or in-memory snippets.
+
+The engine parses each module once (AST + pragma comments) and hands the
+:class:`ParsedModule` to every applicable rule.  Findings suppressed by
+a same-line / line-above pragma are dropped; malformed pragmas surface
+as ``REP001`` findings of their own.
+
+``rel`` — the path of a module relative to the ``repro`` package root,
+always with forward slashes — is the scoping key rules match against
+(``sim/engine.py``, ``net/link.py``, ...).  For on-disk files it is
+computed from the path; in-memory fixtures pass it explicitly to
+:func:`lint_source`.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.lint.findings import Finding, is_suppressed, parse_pragmas
+from repro.lint.rules import RULES, Rule
+
+__all__ = [
+    "ParsedModule",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "parse_module",
+]
+
+
+@dataclass(frozen=True)
+class ParsedModule:
+    """One source module, parsed once and shared by all rules."""
+
+    #: Path as reported in findings (what the caller passed in).
+    path: str
+    #: Path relative to the ``repro`` package root (posix separators);
+    #: rules use this for scoping.
+    rel: str
+    source: str
+    tree: ast.AST
+    pragmas: Dict[int, List[Tuple[str, str]]] = field(default_factory=dict)
+    #: Malformed-pragma findings discovered during parsing.
+    pragma_problems: List[Finding] = field(default_factory=list)
+
+
+def _relative_to_package(path: str) -> str:
+    """Path after the last ``repro`` directory component, posix-joined.
+
+    Falls back to the basename when the path does not go through a
+    ``repro`` package dir (e.g. a loose fixture file).
+    """
+    parts = os.path.normpath(path).split(os.sep)
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return "/".join(parts[index + 1 :])
+    return parts[-1]
+
+
+def parse_module(path: str, source: str, rel: str = "") -> ParsedModule:
+    """Parse ``source`` into a :class:`ParsedModule` (raises SyntaxError)."""
+    tree = ast.parse(source, filename=path)
+    pragmas, problems = parse_pragmas(source, path)
+    return ParsedModule(
+        path=path,
+        rel=rel or _relative_to_package(path),
+        source=source,
+        tree=tree,
+        pragmas=pragmas,
+        pragma_problems=problems,
+    )
+
+
+def _check_module(
+    mod: ParsedModule, rules: Sequence[Rule]
+) -> List[Finding]:
+    findings: List[Finding] = list(mod.pragma_problems)
+    for rule in rules:
+        if not rule.applies(mod):
+            continue
+        for finding in rule.check(mod):
+            if not is_suppressed(finding, mod.pragmas):
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings
+
+
+def lint_source(
+    source: str,
+    rel: str,
+    path: str = "<string>",
+    rules: Sequence[Rule] = RULES,
+) -> List[Finding]:
+    """Lint an in-memory snippet as if it lived at ``rel``.
+
+    This is the fixture-test entry point: ``rel`` controls rule scoping
+    exactly as it would for an on-disk module.
+    """
+    return _check_module(parse_module(path, source, rel=rel), rules)
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
+    """Expand files and directories into a sorted stream of ``.py`` paths.
+
+    Sorted traversal keeps the finding order (and therefore CLI output)
+    stable across filesystems — the linter practices the determinism it
+    preaches.
+    """
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames.sort()
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        yield os.path.join(dirpath, filename)
+        elif path.endswith(".py"):
+            yield path
+
+
+def lint_paths(
+    paths: Iterable[str], rules: Sequence[Rule] = RULES
+) -> List[Finding]:
+    """Lint files/directories; returns all findings, sorted by location.
+
+    Unparseable files produce a single ``syntax-error`` pseudo-finding
+    rather than aborting the run, so one bad file cannot hide findings
+    in the rest of the tree.
+    """
+    findings: List[Finding] = []
+    for filepath in iter_python_files(paths):
+        try:
+            with open(filepath, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            findings.append(
+                Finding(
+                    rule="io-error",
+                    code="REP000",
+                    path=filepath,
+                    line=1,
+                    col=0,
+                    message=f"cannot read file: {exc}",
+                )
+            )
+            continue
+        try:
+            mod = parse_module(filepath, source)
+        except SyntaxError as exc:
+            findings.append(
+                Finding(
+                    rule="syntax-error",
+                    code="REP000",
+                    path=filepath,
+                    line=exc.lineno or 1,
+                    col=exc.offset or 0,
+                    message=f"syntax error: {exc.msg}",
+                )
+            )
+            continue
+        findings.extend(_check_module(mod, rules))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings

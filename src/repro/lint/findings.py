@@ -1,0 +1,141 @@
+"""Finding records and the suppression-pragma syntax.
+
+A pragma is a comment of the form::
+
+    some_code()  # lint: allow-broad-except(worker guard must capture everything)
+
+It suppresses findings of the named rule on its own line, or — when the
+comment stands alone — on the line directly below it.  The
+parenthesized reason is mandatory: suppressions without a recorded
+rationale rot, so an empty or missing reason is reported as a finding
+of the ``pragma`` pseudo-rule (which itself cannot be suppressed).
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+#: Code used for malformed pragmas (reserved; real rules use REP1xx+).
+PRAGMA_CODE = "REP001"
+PRAGMA_SLUG = "pragma"
+
+#: ``# lint: allow-<slug>(<reason>)`` — the reason may be empty here so
+#: the parser can flag it as malformed instead of silently ignoring it.
+_PRAGMA_RE = re.compile(r"lint:\s*allow-([A-Za-z0-9_-]+)\(([^)]*)\)")
+#: A marker the strict pattern did not match at all (an ``allow-<rule>``
+#: written with the parenthesized reason forgotten).
+_MARKER_RE = re.compile(r"lint:\s*allow-[A-Za-z0-9_-]+")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes:
+        rule: Rule slug (the name used in suppression pragmas).
+        code: Stable rule code (``REP101`` ...).
+        path: Path of the offending file, as given to the linter.
+        line: 1-based line number.
+        col: 0-based column offset.
+        message: Human-readable description of the violation.
+    """
+
+    rule: str
+    code: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} [{self.rule}] {self.message}"
+
+    def to_record(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "code": self.code,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+def parse_pragmas(
+    source: str, path: str
+) -> Tuple[Dict[int, List[Tuple[str, str]]], List[Finding]]:
+    """Extract suppression pragmas from ``source``.
+
+    Returns ``(pragmas, problems)`` where ``pragmas`` maps a line number
+    to the ``(slug, reason)`` pairs declared on it, and ``problems``
+    holds findings for malformed pragmas (missing/empty reason).
+    """
+    pragmas: Dict[int, List[Tuple[str, str]]] = {}
+    problems: List[Finding] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [
+            (token.start[0], token.start[1], token.string)
+            for token in tokens
+            if token.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError):
+        # The AST parse will report the real syntax problem.
+        return {}, []
+    for line, col, text in comments:
+        matched_spans = []
+        for match in _PRAGMA_RE.finditer(text):
+            matched_spans.append(match.span())
+            slug = match.group(1)
+            reason = match.group(2).strip()
+            if not reason:
+                problems.append(
+                    Finding(
+                        rule=PRAGMA_SLUG,
+                        code=PRAGMA_CODE,
+                        path=path,
+                        line=line,
+                        col=col,
+                        message=(
+                            f"pragma 'allow-{slug}' has an empty reason; write "
+                            f"# lint: allow-{slug}(why this is intentional)"
+                        ),
+                    )
+                )
+                continue
+            pragmas.setdefault(line, []).append((slug, reason))
+        # A marker the strict pattern missed entirely: no parentheses.
+        for marker in _MARKER_RE.finditer(text):
+            if not any(
+                start <= marker.start() < end for start, end in matched_spans
+            ):
+                problems.append(
+                    Finding(
+                        rule=PRAGMA_SLUG,
+                        code=PRAGMA_CODE,
+                        path=path,
+                        line=line,
+                        col=col,
+                        message=(
+                            "malformed lint pragma (missing parenthesized "
+                            "reason): use # lint: allow-<rule>(reason)"
+                        ),
+                    )
+                )
+    return pragmas, problems
+
+
+def is_suppressed(
+    finding: Finding, pragmas: Dict[int, List[Tuple[str, str]]]
+) -> bool:
+    """True when a pragma on the finding's line (or the line above) names
+    its rule."""
+    for line in (finding.line, finding.line - 1):
+        for slug, _reason in pragmas.get(line, ()):
+            if slug == finding.rule:
+                return True
+    return False

@@ -24,7 +24,8 @@ Bernoulli-drops arrivals during e.g. an ACK-path blackout.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, List, Optional
+import random
+from typing import TYPE_CHECKING, Any, Callable, List, Optional
 
 from repro.net.delays import DelayModel
 from repro.net.lossgen import LossModel
@@ -55,6 +56,35 @@ class Link:
         tx_packets / tx_bytes: Delivered traffic counters.
         arrived_packets: Packets handed to the link (before any drop).
     """
+
+    __slots__ = (
+        "sim",
+        "src",
+        "dst",
+        "bandwidth",
+        "delay",
+        "queue",
+        "loss_model",
+        "delay_model",
+        "name",
+        "_finish_cb",
+        "_label_tx",
+        "_label_rx",
+        "_inv_bandwidth",
+        "_post_in",
+        "_busy",
+        "tx_packets",
+        "tx_bytes",
+        "arrived_packets",
+        "loss_model_drops",
+        "up",
+        "fault_drops",
+        "delay_scale",
+        "fault_loss_rate",
+        "_fault_rng",
+        "drop_listeners",
+        "obs",
+    )
 
     def __init__(
         self,
@@ -101,11 +131,11 @@ class Link:
         self.fault_drops = 0
         self.delay_scale = 1.0
         self.fault_loss_rate = 0.0
-        self._fault_rng = None
+        self._fault_rng: Optional[random.Random] = None
         #: Observers called as fn(link, packet) when a packet is dropped.
         self.drop_listeners: List[Callable[["Link", Packet], None]] = []
         #: Metrics probe installed by repro.obs (None = not observed).
-        self.obs = None
+        self.obs: Optional[Any] = None
         src._register_link(self)
 
     # ------------------------------------------------------------------

@@ -112,6 +112,7 @@ class REDQueue(Queue):
         self.weight = weight
         self.avg = 0.0
         self._count_since_drop = -1
+        # lint: allow-module-random(fixed-seed fallback for standalone use; scenarios pass a registry stream)
         self._rng = rng if rng is not None else random.Random(0)
 
     def push(self, packet: Packet) -> bool:

@@ -56,7 +56,7 @@ class FlowThroughputMonitor:
         self._schedule()
 
     def _schedule(self) -> None:
-        self.sim.post_in(self.interval, self._sample, label="flow monitor")
+        self.sim.post_in(self.interval, self._sample, None, "flow monitor")
 
     def _sample(self) -> None:
         self.samples.append(FlowSample(self.sim.now, self.receiver.delivered))
@@ -105,7 +105,7 @@ class CwndMonitor:
     def _sample(self) -> None:
         self.times.append(self.sim.now)
         self.values.append(float(self.sender.cwnd))
-        self.sim.post_in(self.interval, self._sample, label="cwnd monitor")
+        self.sim.post_in(self.interval, self._sample, None, "cwnd monitor")
 
     def max_cwnd(self) -> float:
         return max(self.values)
@@ -169,7 +169,7 @@ class QueueMonitor:
     def _sample(self) -> None:
         self.times.append(self.sim.now)
         self.occupancies.append(self.queue.occupancy)
-        self.sim.post_in(self.interval, self._sample, label="queue monitor")
+        self.sim.post_in(self.interval, self._sample, None, "queue monitor")
 
     def mean_occupancy(self) -> float:
         return sum(self.occupancies) / len(self.occupancies)

@@ -26,10 +26,11 @@ from __future__ import annotations
 
 import heapq
 import time as _time
-from typing import Any, Callable, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 from repro.sim.errors import (
     DeadlineExceededError,
+    InvariantViolation,
     LivelockError,
     ScheduleInPastError,
     SimulationError,
@@ -44,7 +45,14 @@ from repro.sim.rng import RngRegistry
 #: the overshoot to well under a millisecond of wall time.
 _DEADLINE_CHECK_INTERVAL = 256
 
+#: Under ``sanitize=True``, how many dispatches pass between live-event
+#: counter audits (each audit is an O(heap) scan, so amortize it).
+_SANITIZE_AUDIT_INTERVAL = 1024
+
 _INF = float("inf")
+
+#: One heap entry: ``(time, seq, target, args, label)``.
+_HeapEntry = Tuple[float, int, Any, Optional[Tuple[Any, ...]], str]
 
 # Bound once: a module-global load is one dict probe cheaper than
 # ``heapq.heappush`` (global + attribute) in the per-event schedulers.
@@ -61,20 +69,45 @@ class Simulator:
             :mod:`repro.sim.profile`); read the report from
             :attr:`stats`.  Off by default — profiling adds a
             ``perf_counter`` pair around every dispatch.
+        sanitize: Run cheap structural invariant checks during dispatch
+            (heap time monotonicity, live-event counter audits) and
+            enable per-ACK checks in invariant-aware components (the
+            TCP-PR sender reads this flag).  A violation raises
+            :class:`~repro.sim.errors.InvariantViolation` at the moment
+            the invariant breaks rather than letting the run diverge
+            silently.  Off by default — sanitizing forces the general
+            (non-fast-path) run loop.
 
     Attributes:
         now: Current simulation time in seconds.
         rng: The :class:`RngRegistry` for this run.
+        sanitize: The sanitizer flag; components read it dynamically, so
+            tests may flip it after building a scenario.
     """
 
-    def __init__(self, seed: int = 0, profile: bool = False) -> None:
+    __slots__ = (
+        "now",
+        "rng",
+        "sanitize",
+        "_heap",
+        "_seq",
+        "_dispatched",
+        "_live",
+        "_running",
+        "_profile",
+    )
+
+    def __init__(
+        self, seed: int = 0, profile: bool = False, sanitize: bool = False
+    ) -> None:
         self.now: float = 0.0
         self.rng = RngRegistry(seed)
+        self.sanitize = sanitize
         # Heap entries are (time, seq, target, args, label) tuples: tuple
         # comparison is C-level and never reaches element 2, so targets
         # need no ordering.  ``target`` is an EventHandle for cancellable
         # events and the bare callable for fire-and-forget posts.
-        self._heap: list[tuple] = []
+        self._heap: List[_HeapEntry] = []
         self._seq = 0
         self._dispatched = 0
         # Live (not cancelled, not yet dispatched) events.  Maintained by
@@ -82,7 +115,7 @@ class Simulator:
         # never has to scan the heap.
         self._live = 0
         self._running = False
-        self._profile: SimProfile | None = SimProfile() if profile else None
+        self._profile: Optional[SimProfile] = SimProfile() if profile else None
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -108,7 +141,7 @@ class Simulator:
         time: float,
         callback: Callable[..., Any],
         label: str = "",
-        args: Optional[tuple] = None,
+        args: Optional[Tuple[Any, ...]] = None,
         seq: Optional[int] = None,
     ) -> EventHandle:
         """Schedule ``callback`` at absolute simulation time ``time``.
@@ -149,7 +182,7 @@ class Simulator:
         delay: float,
         callback: Callable[..., Any],
         label: str = "",
-        args: Optional[tuple] = None,
+        args: Optional[Tuple[Any, ...]] = None,
     ) -> EventHandle:
         """Schedule ``callback`` ``delay`` seconds from now (``delay >= 0``)."""
         if delay < 0:
@@ -160,7 +193,7 @@ class Simulator:
         self,
         time: float,
         callback: Callable[..., Any],
-        args: Optional[tuple] = None,
+        args: Optional[Tuple[Any, ...]] = None,
         label: str = "",
     ) -> None:
         """Schedule a fire-and-forget event — no :class:`EventHandle`.
@@ -186,7 +219,7 @@ class Simulator:
         self,
         delay: float,
         callback: Callable[..., Any],
-        args: Optional[tuple] = None,
+        args: Optional[Tuple[Any, ...]] = None,
         label: str = "",
     ) -> None:
         """Fire-and-forget ``delay`` seconds from now (``delay >= 0``).
@@ -258,11 +291,15 @@ class Simulator:
             # local-variable None check per event.
             profile = self._profile
             until_cmp = _INF if until is None else until
+            sanitize = self.sanitize
+            if sanitize:
+                self._audit_live()
             if (
                 max_events is None
                 and deadline is None
                 and livelock_threshold is None
                 and profile is None
+                and not sanitize
             ):
                 # Fast path: no watchdogs, no profiling — the per-event
                 # work is exactly pop, clock advance, callback.  This is
@@ -351,6 +388,13 @@ class Simulator:
                         stalled += 1
                         if stalled >= livelock_threshold:
                             raise LivelockError(head_time, stalled)
+                if sanitize and head_time < self.now:
+                    raise InvariantViolation(
+                        "heap-time-monotonic",
+                        f"heap head fires at t={head_time!r} but the clock "
+                        f"is already at t={self.now!r} (heap or clock was "
+                        "mutated behind the engine's back)",
+                    )
                 self.now = head_time
                 args = entry[3]
                 if profile is None:
@@ -368,6 +412,8 @@ class Simulator:
                         entry[4], _time.perf_counter() - started
                     )
                 dispatched += 1
+                if sanitize and dispatched % _SANITIZE_AUDIT_INTERVAL == 0:
+                    self._audit_live()
                 if max_events is not None and dispatched >= max_events:
                     raise SimulationError(
                         f"event budget exhausted ({max_events} events)"
@@ -380,6 +426,8 @@ class Simulator:
                     raise DeadlineExceededError(
                         deadline, self.now, dispatched
                     )
+            if sanitize and not heap:
+                self._audit_live()  # drained heap must leave _live == 0
             if until is not None and self.now < until:
                 self.now = until
         finally:
@@ -420,6 +468,30 @@ class Simulator:
             self._dispatched += 1
             return True
         return False
+
+    # ------------------------------------------------------------------
+    # Sanitizer
+    # ------------------------------------------------------------------
+    def _audit_live(self) -> None:
+        """Recount live heap entries against the O(1) ``_live`` counter.
+
+        Sanitizer-mode only (O(heap) scan).  A mismatch means something
+        pushed onto or dropped from the heap without going through
+        schedule/post/cancel bookkeeping.
+        """
+        actual = 0
+        for entry in self._heap:
+            target = entry[2]
+            if type(target) is EventHandle and target.callback is None:
+                continue  # lazily-deleted (cancelled) entry
+            actual += 1
+        if actual != self._live:
+            raise InvariantViolation(
+                "live-counter",
+                f"live-event counter says {self._live} but the heap holds "
+                f"{actual} live entries (direct heap mutation, or a "
+                "double-counted cancel)",
+            )
 
     # ------------------------------------------------------------------
     # Introspection

@@ -19,6 +19,23 @@ class ScheduleInPastError(SimulationError):
         self.now = now
 
 
+class InvariantViolation(SimulationError):
+    """A sanitizer-mode invariant check failed (``Simulator(sanitize=True)``).
+
+    Raised the moment a structural invariant — heap time monotonicity,
+    the live-event counter, the TCP-PR sender's list disjointness or
+    maximum-tracking ``ewrtt`` — stops holding, instead of letting the
+    run continue and diverge silently.  ``invariant`` is a stable slug
+    (``"heap-time-monotonic"``, ``"live-counter"``, ...) tests key off;
+    ``detail`` is the human-readable specifics.
+    """
+
+    def __init__(self, invariant: str, detail: str) -> None:
+        super().__init__(f"invariant {invariant!r} violated: {detail}")
+        self.invariant = invariant
+        self.detail = detail
+
+
 class WatchdogError(SimulationError):
     """Base class for the :meth:`Simulator.run` watchdog errors.
 

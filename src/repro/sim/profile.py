@@ -16,7 +16,7 @@ zero-cost-when-detached contract shared with :mod:`repro.obs`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Optional, Tuple
 
 #: Group used for events scheduled without a label.
 UNLABELED = "(unlabeled)"
@@ -60,7 +60,7 @@ class SimProfile:
         self.wall_time[group] = self.wall_time.get(group, 0.0) + elapsed
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GroupStats:
     """One label group's share of the run."""
 
@@ -69,7 +69,7 @@ class GroupStats:
     wall_time: float
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SimStats:
     """The :attr:`Simulator.stats` report.
 
@@ -82,7 +82,7 @@ class SimStats:
     pending_events: int
     profiled: bool
     heap_high_water: Optional[int] = None
-    groups: tuple = ()
+    groups: Tuple[GroupStats, ...] = ()
 
     def group(self, name: str) -> Optional[GroupStats]:
         """The stats row for one label group, or None."""

@@ -33,6 +33,8 @@ def derive_child_seed(master_seed: int, name: str) -> int:
 class RngRegistry:
     """Factory of named, independently seeded ``random.Random`` streams."""
 
+    __slots__ = ("master_seed", "_streams")
+
     def __init__(self, master_seed: int = 0) -> None:
         self.master_seed = master_seed
         self._streams: Dict[str, random.Random] = {}

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import TYPE_CHECKING, Any, Dict, Optional
 
 from repro.net.node import Agent
 from repro.net.packet import Packet
@@ -31,6 +31,7 @@ from repro.tcp.rto import RtoEstimator
 if TYPE_CHECKING:
     from repro.net.node import Node
     from repro.sim.engine import Simulator
+    from repro.sim.events import EventHandle
 
 #: A practically-infinite ssthresh sentinel (segments).
 INFINITE_SSTHRESH = float("inf")
@@ -98,7 +99,7 @@ class TcpSenderBase(Agent):
     """
 
     #: Human-readable variant name, overridden by subclasses.
-    variant = "reno"
+    variant: str = "reno"
 
     def __init__(
         self,
@@ -128,14 +129,14 @@ class TcpSenderBase(Agent):
         self.stats = TcpStats()
         #: Metrics probe installed by repro.obs (None = not observed;
         #: every hook below is a single is-not-None check then).
-        self.obs = None
+        self.obs: Optional[Any] = None
         self._started = False
         #: The one live RTO heap event (None = disarmed).  Restarts that
         #: only push the deadline *later* don't touch the heap — the
         #: event fires at the old deadline and lazily re-arms itself at
         #: ``_timer_deadline`` (with the tie-break seq reserved at the
         #: restart), so the per-ACK cancel/re-schedule churn is gone.
-        self._timer_handle = None
+        self._timer_handle: Optional["EventHandle"] = None
         self._timer_deadline: Optional[float] = None
         self._timer_stamp = 0
         self._rto_cb = self._on_rto_fire
@@ -155,7 +156,7 @@ class TcpSenderBase(Agent):
         if self._started:
             return
         self._started = True
-        self.sim.post(at, self._send_available, label=self._label_start)
+        self.sim.post(at, self._send_available, None, self._label_start)
 
     @property
     def done(self) -> bool:
