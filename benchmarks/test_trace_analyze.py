@@ -1,0 +1,121 @@
+"""Trace-pipeline throughput: analyzer events/sec and replay round-trip.
+
+Two costs gate the pipeline's usefulness on paper-scale traces (a 60 s
+Figure 6 cell emits ~700k events): parsing a ``repro.obs/v1`` stream
+into flow views and running the full pcap-style analysis over it.  The
+benchmark times both on a synthetic reordered flow of known size and
+writes the trajectory to ``benchmarks/results/BENCH_trace.json``.
+
+The ``bench_smoke`` test is the CI gate: a small fixed-size analyze pass
+with a generous floor, so a quadratic regression in the extent
+computation (the part that is deliberately O(n log n)) fails fast.
+"""
+
+import json
+import random
+import time
+
+import pytest
+
+from repro.traces import TraceStream, analyze_stream, distill_profile, replay_profile
+
+from conftest import RESULTS_DIR, paper_scale
+
+#: Delay spread that produces heavy (but not total) reordering.
+_BASE = 0.02
+_JITTER = 0.01
+
+
+def _synthetic_records(segments, seed=7):
+    """A send+recv stream with jittered arrivals — dense reordering."""
+    rng = random.Random(seed)
+    records = []
+    for seq in range(segments):
+        send_time = 0.001 * seq
+        records.append({
+            "record": "trace", "time": send_time, "kind": "send",
+            "where": "src", "packet_uid": seq, "flow_id": 1, "flow_seq": 0,
+            "packet_kind": "data", "seq": seq, "ack": -1,
+            "retransmit": False, "path": f"p{seq % 4}",
+        })
+        records.append({
+            "record": "trace",
+            "time": send_time + _BASE + rng.random() * _JITTER,
+            "kind": "recv", "where": "dst", "packet_uid": seq,
+            "flow_id": 1, "flow_seq": 0, "packet_kind": "data",
+            "seq": seq, "ack": -1, "retransmit": False, "path": None,
+        })
+    records.sort(key=lambda record: record["time"])
+    for index, record in enumerate(records):
+        record["flow_seq"] = index
+    return records
+
+
+def _time_analyze(segments):
+    records = _synthetic_records(segments)
+    started = time.perf_counter()
+    stream = TraceStream(records)
+    report = analyze_stream(stream).flow(1)
+    elapsed = time.perf_counter() - started
+    assert report.unique_arrivals == segments
+    assert report.reordered > 0
+    return elapsed, report
+
+
+@pytest.mark.bench_smoke
+def test_analyze_smoke_rate():
+    """CI gate: the analyzer must sustain a sane events/sec floor."""
+    segments = 20_000
+    elapsed, report = _time_analyze(segments)
+    events_per_sec = 2 * segments / elapsed
+    # Interpreter-dependent, so the floor is deliberately loose: a
+    # quadratic extent scan would land orders of magnitude below it.
+    assert events_per_sec > 50_000, (
+        f"analyzer at {events_per_sec:,.0f} events/s (floor 50k); "
+        f"{segments} segments took {elapsed:.2f}s"
+    )
+
+
+def test_trace_pipeline_scaling():
+    sizes = (
+        (10_000, 50_000, 200_000) if paper_scale() else (5_000, 20_000, 50_000)
+    )
+    points = []
+    for segments in sizes:
+        elapsed, report = _time_analyze(segments)
+        points.append({
+            "segments": segments,
+            "events": 2 * segments,
+            "analyze_s": round(elapsed, 4),
+            "events_per_sec": round(2 * segments / elapsed),
+            "reorder_ratio": round(report.reorder_ratio, 4),
+        })
+
+    # Near-linear scaling: time per event must not blow up with size.
+    per_event = [p["analyze_s"] / p["events"] for p in points]
+    assert per_event[-1] < 4.0 * per_event[0], (
+        f"analyzer scaling degraded: {per_event}"
+    )
+
+    # Round-trip cost on the largest size: distill + open-loop replay.
+    stream = TraceStream(_synthetic_records(sizes[0]))
+    started = time.perf_counter()
+    profile = distill_profile(stream)
+    result = replay_profile(profile, seed=1)
+    replay_elapsed = time.perf_counter() - started
+    assert result.delivered > 0
+
+    report = {
+        "scenario": "synthetic jittered flow, 4 paths",
+        "paper_scale": paper_scale(),
+        "points": points,
+        "replay": {
+            "segments": sizes[0],
+            "distill_and_replay_s": round(replay_elapsed, 4),
+            "replay_reorder_ratio": round(result.reorder_ratio, 4),
+        },
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_trace.json"
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\n{json.dumps(report, indent=2)}\n[saved to {path}]")

@@ -28,6 +28,19 @@ timeseries plus per-cell and sweep telemetry as ``repro.obs/v1`` JSONL;
 ``--trace-out PATH`` does the same for packet/fault trace events; and
 ``repro-experiments obs summary|convert FILE`` inspects or converts an
 existing stream (see ``docs/OBSERVABILITY.md``).
+
+The trace pipeline (``docs/TRACES.md``): ``repro-experiments trace
+analyze FILE`` computes pcap-style reordering analytics from a
+``--trace-out`` stream, ``trace replay FILE`` distills it into a
+:class:`~repro.traces.ReorderProfile` and re-runs it as a simulator
+scenario, and ``trace convert CAPTURE.csv`` imports an external
+capture into the same schema.
+
+Flag groups are defined once as argparse *parent parsers*
+(:func:`_execution_parent`: scale/seed/jobs/cache/failure-policy;
+:func:`_obs_parent`: ``--json``/``--metrics-out``/``--trace-out``) and
+inherited by every sweep-running subcommand, so new subcommands get the
+full flag surface by construction.
 """
 
 from __future__ import annotations
@@ -58,39 +71,51 @@ from repro.experiments.report import bar_chart
 from repro.experiments.serialize import dump_result
 from repro.obs import read_jsonl, summarize_records, write_csv, write_jsonl
 from repro.tcp.registry import available_variants
+from repro.traces import (
+    ReorderProfile,
+    TraceStream,
+    analyze_stream,
+    convert_capture,
+    distill_profile,
+    format_report,
+    replay_flow_workload,
+    replay_profile,
+)
 from repro.util.units import MS
 
 
-def _add_common(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument(
+def _execution_parent() -> argparse.ArgumentParser:
+    """Parent parser: the execution flag group, defined exactly once.
+
+    Scale/seed selection, worker fan-out, the on-disk result cache, and
+    the failure policy (keep-going/fail-fast, per-cell timeouts,
+    retries).  Every subcommand that runs simulations inherits this via
+    ``parents=[...]``.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
         "--paper-scale",
         action="store_true",
         help="use the full paper-scale configuration (slow)",
     )
-    parser.add_argument("--seed", type=int, default=0, help="master RNG seed")
-    parser.add_argument(
+    parent.add_argument("--seed", type=int, default=0, help="master RNG seed")
+    parent.add_argument(
         "--jobs",
         type=int,
         default=1,
         help="worker processes for independent sweep cells (default: 1)",
     )
-    parser.add_argument(
+    parent.add_argument(
         "--no-cache",
         action="store_true",
         help="bypass the on-disk result cache",
     )
-    parser.add_argument(
+    parent.add_argument(
         "--cache-dir",
         default=DEFAULT_CACHE_DIR,
         help=f"result cache directory (default: {DEFAULT_CACHE_DIR})",
     )
-    parser.add_argument(
-        "--json",
-        metavar="PATH",
-        default=None,
-        help="also dump the result as JSON to PATH",
-    )
-    failure = parser.add_mutually_exclusive_group()
+    failure = parent.add_mutually_exclusive_group()
     failure.add_argument(
         "--keep-going",
         dest="keep_going",
@@ -105,29 +130,45 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         action="store_false",
         help="abort the sweep on the first cell failure (default)",
     )
-    parser.set_defaults(keep_going=False)
-    parser.add_argument(
+    parent.set_defaults(keep_going=False)
+    parent.add_argument(
         "--cell-timeout",
         type=float,
         metavar="SECONDS",
         default=None,
         help="wall-clock budget per sweep cell; overruns count as failures",
     )
-    parser.add_argument(
+    parent.add_argument(
         "--retries",
         type=int,
         default=0,
         help="re-attempts per failed cell, each with a re-derived seed "
         "(default: 0)",
     )
-    parser.add_argument(
+    parent.add_argument(
         "--retry-backoff",
         type=float,
         metavar="SECONDS",
         default=0.25,
         help="base delay between attempts, doubled each retry (default: 0.25)",
     )
-    parser.add_argument(
+    return parent
+
+
+def _obs_parent() -> argparse.ArgumentParser:
+    """Parent parser: the observability flag group, defined exactly once.
+
+    JSON result dumps and the ``repro.obs/v1`` metric/trace stream
+    outputs.  Inherited alongside :func:`_execution_parent`.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also dump the result as JSON to PATH",
+    )
+    parent.add_argument(
         "--metrics-out",
         metavar="PATH",
         default=None,
@@ -135,13 +176,15 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "write them, with per-cell and sweep telemetry, as "
         "repro.obs/v1 JSONL",
     )
-    parser.add_argument(
+    parent.add_argument(
         "--trace-out",
         metavar="PATH",
         default=None,
-        help="collect packet arrival/drop and fault trace events inside "
-        "each cell and write them as repro.obs/v1 JSONL",
+        help="collect packet send/arrival/drop and fault trace events "
+        "inside each cell and write them as repro.obs/v1 JSONL "
+        "(analyze with `trace analyze`)",
     )
+    return parent
 
 
 def _cache_from(args: argparse.Namespace) -> Optional[ResultCache]:
@@ -416,18 +459,120 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_analyze(args: argparse.Namespace) -> int:
+    """Pcap-style reordering analytics over a ``--trace-out`` stream."""
+    stream = TraceStream.from_jsonl(args.file)
+    report = analyze_stream(stream)
+    if args.flow is not None:
+        from repro.traces import FlowKey
+
+        key = FlowKey(cell=args.cell, flow_id=args.flow)
+        if key not in report.flows:
+            known = ", ".join(str(k) for k in sorted(report.flows)) or "none"
+            print(
+                f"flow {key} not in {args.file} (flows: {known})",
+                file=sys.stderr,
+            )
+            return 1
+        report.flows = {key: report.flows[key]}
+    return _finish(args, report.to_jsonable(), format_report(report))
+
+
+def _load_profile(args: argparse.Namespace) -> ReorderProfile:
+    """A profile from FILE: saved profile JSON, or distilled from a trace."""
+    records = read_jsonl(args.file)
+    if len(records) == 1 and records[0].get("record") == "reorder_profile":
+        return ReorderProfile.from_record(records[0])
+    return distill_profile(
+        TraceStream(records),
+        flow_id=args.flow,
+        cell=args.cell,
+        name=str(args.file),
+    )
+
+
+def _cmd_trace_replay(args: argparse.Namespace) -> int:
+    """Replay a trace (or saved profile) as a simulator scenario."""
+    try:
+        profile = _load_profile(args)
+    except ValueError as exc:
+        print(f"cannot build a replay profile: {exc}", file=sys.stderr)
+        return 1
+    print(profile.summary())
+    if args.profile_out:
+        path = profile.save(args.profile_out)
+        print(f"[profile written to {path}]")
+    if args.variant:
+        goodput = replay_flow_workload(
+            profile,
+            variant=args.variant,
+            duration=args.duration,
+            seed=args.seed,
+        )
+        text = (
+            f"closed-loop replay: {args.variant} over the profile link for "
+            f"{args.duration:g} s -> {goodput:.2f} Mbps goodput"
+        )
+        payload: Any = {
+            "mode": "closed-loop",
+            "variant": args.variant,
+            "duration": args.duration,
+            "seed": args.seed,
+            "goodput_mbps": goodput,
+            "profile": profile.to_record(),
+        }
+        return _finish(args, payload, text)
+    result = replay_profile(profile, seed=args.seed)
+    extent = result.report.extent_summary()
+    text = (
+        f"open-loop replay (seed {args.seed}): injected {result.injected}, "
+        f"delivered {result.delivered}, dropped {result.dropped}\n"
+        f"reordered {result.report.reordered} "
+        f"({result.reorder_ratio:.2%}), extent mean={extent['mean']:.2f} "
+        f"max={extent['max']:.0f}"
+    )
+    payload = {
+        "mode": "open-loop",
+        "seed": args.seed,
+        "injected": result.injected,
+        "delivered": result.delivered,
+        "dropped": result.dropped,
+        "reorder_ratio": result.reorder_ratio,
+        "reorder_density": result.reorder_density,
+        "extent": extent,
+        "profile": profile.to_record(),
+    }
+    return _finish(args, payload, text)
+
+
+def _cmd_trace_convert(args: argparse.Namespace) -> int:
+    """Import an external capture CSV into the ``repro.obs/v1`` schema."""
+    output = args.output or str(Path(args.file).with_suffix(".jsonl"))
+    path = convert_capture(args.file, output, command="trace convert")
+    print(f"[trace written to {path}]")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the TCP-PR paper's figures.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    # The shared flag groups.  argparse copies parent actions into each
+    # child, so one definition site serves every subcommand.
+    execution = _execution_parent()
+    obs_flags = _obs_parent()
+    common = [execution, obs_flags]
 
-    variants = sub.add_parser("variants", help="list available TCP variants")
-    _add_common(variants)
+    variants = sub.add_parser(
+        "variants", help="list available TCP variants", parents=common
+    )
     variants.set_defaults(func=_cmd_variants)
 
-    fig2 = sub.add_parser("fig2", help="Figure 2: fairness vs TCP-SACK")
+    fig2 = sub.add_parser(
+        "fig2", help="Figure 2: fairness vs TCP-SACK", parents=common
+    )
     fig2.add_argument("--topology", choices=["dumbbell", "parking-lot"],
                       default="dumbbell")
     fig2.add_argument("--flows", type=int, nargs="*", default=None,
@@ -436,10 +581,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="seconds of simulated time per cell")
     fig2.add_argument("--window", type=float, default=None,
                       help="measurement window (final seconds)")
-    _add_common(fig2)
     fig2.set_defaults(func=_cmd_figure)
 
-    fig3 = sub.add_parser("fig3", help="Figure 3: CoV vs loss rate")
+    fig3 = sub.add_parser(
+        "fig3", help="Figure 3: CoV vs loss rate", parents=common
+    )
     fig3.add_argument("--topology", choices=["dumbbell", "parking-lot"],
                       default="dumbbell")
     fig3.add_argument("--bandwidths", type=float, nargs="*", default=None,
@@ -448,10 +594,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="total number of flows")
     fig3.add_argument("--duration", type=float, default=None)
     fig3.add_argument("--window", type=float, default=None)
-    _add_common(fig3)
     fig3.set_defaults(func=_cmd_figure)
 
-    fig4 = sub.add_parser("fig4", help="Figure 4: alpha/beta sensitivity")
+    fig4 = sub.add_parser(
+        "fig4", help="Figure 4: alpha/beta sensitivity", parents=common
+    )
     fig4.add_argument("--alphas", type=float, nargs="*", default=None,
                       help="TCP-PR alpha values to sweep")
     fig4.add_argument("--betas", type=float, nargs="*", default=None,
@@ -462,21 +609,23 @@ def build_parser() -> argparse.ArgumentParser:
     fig4.add_argument("--window", type=float, default=None)
     fig4.add_argument("--extreme", action="store_true",
                       help="also run the extreme-loss beta sweep")
-    _add_common(fig4)
     fig4.set_defaults(func=_cmd_figure)
 
-    fig6 = sub.add_parser("fig6", help="Figure 6: multipath throughput")
+    fig6 = sub.add_parser(
+        "fig6", help="Figure 6: multipath throughput", parents=common
+    )
     fig6.add_argument("--delay-ms", type=float, default=10.0,
                       help="per-link delay in milliseconds (paper: 10 or 60)")
     fig6.add_argument("--epsilons", type=float, nargs="*", default=None)
     fig6.add_argument("--protocols", nargs="*", default=None,
                       help="subset of protocols to run")
     fig6.add_argument("--duration", type=float, default=None)
-    _add_common(fig6)
     fig6.set_defaults(func=_cmd_figure)
 
     fig7 = sub.add_parser(
-        "fig7", help="Figure 7: goodput under scheduled outages/blackouts"
+        "fig7",
+        help="Figure 7: goodput under scheduled outages/blackouts",
+        parents=common,
     )
     fig7.add_argument("--delay-ms", type=float, default=10.0,
                       help="per-link delay in milliseconds")
@@ -487,7 +636,6 @@ def build_parser() -> argparse.ArgumentParser:
     fig7.add_argument("--period", type=float, default=None,
                       help="seconds between outages (default: 10)")
     fig7.add_argument("--duration", type=float, default=None)
-    _add_common(fig7)
     fig7.set_defaults(func=_cmd_figure)
 
     lint = sub.add_parser(
@@ -536,14 +684,67 @@ def build_parser() -> argparse.ArgumentParser:
     obs_convert.set_defaults(func=_cmd_obs)
 
     compare = sub.add_parser(
-        "compare", help="compare chosen variants in one multipath scenario"
+        "compare",
+        help="compare chosen variants in one multipath scenario",
+        parents=common,
     )
     compare.add_argument("--variants", nargs="+", default=["tcp-pr", "sack"])
     compare.add_argument("--epsilon", type=float, default=0.0)
     compare.add_argument("--delay-ms", type=float, default=10.0)
     compare.add_argument("--duration", type=float, default=None)
-    _add_common(compare)
     compare.set_defaults(func=_cmd_compare)
+
+    trace = sub.add_parser(
+        "trace",
+        help="analyze, replay, or import packet trace streams",
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_analyze = trace_sub.add_parser(
+        "analyze",
+        help="pcap-style reordering analytics over a --trace-out stream",
+        parents=common,
+    )
+    trace_analyze.add_argument("file", metavar="FILE",
+                               help="repro.obs/v1 JSONL trace stream")
+    trace_analyze.add_argument("--flow", type=int, default=None,
+                               help="restrict the report to one flow id")
+    trace_analyze.add_argument("--cell", default="",
+                               help="sweep-cell tag of the flow (sweep traces)")
+    trace_analyze.set_defaults(func=_cmd_trace_analyze)
+    trace_replay = trace_sub.add_parser(
+        "replay",
+        help="distill FILE into a ReorderProfile and re-run it as a "
+        "simulator scenario",
+        parents=common,
+    )
+    trace_replay.add_argument("file", metavar="FILE",
+                              help="trace stream (JSONL) or saved profile "
+                              "(.profile.json)")
+    trace_replay.add_argument("--flow", type=int, default=None,
+                              help="flow id to distill from a trace stream")
+    trace_replay.add_argument("--cell", default="",
+                              help="sweep-cell tag of the flow")
+    trace_replay.add_argument("--variant", default=None,
+                              help="closed-loop mode: run this TCP variant "
+                              "over the profile link instead of the "
+                              "open-loop packet replay")
+    trace_replay.add_argument("--duration", type=float, default=30.0,
+                              help="closed-loop run length in seconds "
+                              "(default: 30)")
+    trace_replay.add_argument("--profile-out", metavar="PATH", default=None,
+                              help="also save the distilled profile as JSON")
+    trace_replay.set_defaults(func=_cmd_trace_replay)
+    trace_convert = trace_sub.add_parser(
+        "convert",
+        help="import an external capture CSV as a repro.obs/v1 trace",
+        parents=common,
+    )
+    trace_convert.add_argument("file", metavar="CSV",
+                               help="capture table (see docs/TRACES.md)")
+    trace_convert.add_argument("-o", "--output", default=None,
+                               help="output JSONL path (default: CSV with a "
+                               ".jsonl suffix)")
+    trace_convert.set_defaults(func=_cmd_trace_convert)
 
     return parser
 

@@ -1,24 +1,76 @@
-"""Shared DeprecationWarning for the legacy keyword entry points.
+"""The removed legacy entry-point forms fail loudly, not mysteriously.
 
 Each figure's ``run_figN`` historically accepted loose keyword
-arguments and built a quick-scale spec internally.  The spec-first form
-(``run_figN(FigNSpec.presets(...), runner=...)``) is the supported API;
-the keyword form still works but warns through this helper so the
-``repro.``-prefixed message trips the test suite's
-DeprecationWarning-as-error filter.
+arguments (``run_fig6(link_delay=..., epsilons=...)``) or a bare
+positional (topology name, link delay, beta list) and built a
+quick-scale spec internally.  Those forms are **removed**: the
+spec-first call — ``run_figN(FigNSpec.presets(Scale.QUICK, ...),
+jobs=..., cache=...)`` — is the only supported API.
+
+:func:`reject_legacy_call` turns what would otherwise be a confusing
+``TypeError: unexpected keyword argument`` into an actionable error
+naming the replacement, and gives the removal a single definition site.
 """
 
 from __future__ import annotations
 
-import warnings
+from typing import Any, Mapping
+
+#: Keyword arguments ``run_figN`` forwards to
+#: :func:`repro.exec.runner.run_sweep`.  Anything else in
+#: ``**exec_options`` is a stale legacy spec keyword and is rejected.
+EXEC_OPTION_KEYS = frozenset(
+    {
+        "timeout",
+        "retries",
+        "backoff",
+        "keep_going",
+        "collect_metrics",
+        "collect_trace",
+        "runner",
+    }
+)
 
 
-def warn_legacy_keywords(func: str, spec_cls: str) -> None:
-    """Warn that ``func`` was called without an explicit spec."""
-    warnings.warn(
-        f"repro.experiments.{func}(**kwargs) without a spec is deprecated; "
-        f"build a {spec_cls} (e.g. {spec_cls}.presets(Scale.QUICK, ...)) "
-        "and pass it as the first argument (see docs/EXECUTOR.md)",
-        DeprecationWarning,
-        stacklevel=3,
+class LegacyCallError(TypeError):
+    """A removed pre-spec calling convention was used."""
+
+
+def reject_legacy_call(func: str, spec_cls: str, detail: Any) -> None:
+    """Raise :class:`LegacyCallError` for a removed legacy call form.
+
+    Args:
+        func: The public entry point that was miscalled (``run_fig6``).
+        spec_cls: The spec class the caller must construct (``Fig6Spec``).
+        detail: What the caller actually passed (rendered in the error).
+    """
+    raise LegacyCallError(
+        f"repro.experiments.{func}() no longer accepts the legacy "
+        f"pre-spec form (got {detail}); build a {spec_cls} — e.g. "
+        f"{spec_cls}.presets(Scale.QUICK, ...) — and pass it as the "
+        f"first argument: {func}(spec, jobs=..., cache=..., seed=...).  "
+        "See docs/EXECUTOR.md."
     )
+
+
+def require_spec(
+    func: str,
+    spec_cls: type,
+    spec: Any,
+    exec_options: Mapping[str, Any],
+) -> None:
+    """Validate a spec-first call; reject every removed legacy form.
+
+    Catches both legacy shapes in one place: a missing/wrong-type
+    ``spec`` (the old bare-positional forms) and stale spec keywords
+    riding in ``**exec_options`` (the old keyword form).
+    """
+    if not isinstance(spec, spec_cls):
+        reject_legacy_call(func, spec_cls.__name__, f"spec={spec!r}")
+    stale = sorted(set(exec_options) - EXEC_OPTION_KEYS)
+    if stale:
+        reject_legacy_call(
+            func,
+            spec_cls.__name__,
+            f"spec keyword(s) {', '.join(stale)} outside the spec",
+        )

@@ -15,7 +15,7 @@ from typing import Any, ClassVar, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.pr import PrConfig
 from repro.exec.runner import ResultCache, run_sweep
-from repro.experiments._deprecation import warn_legacy_keywords
+from repro.experiments._deprecation import require_spec
 from repro.exec.spec import ExperimentSpec, Scale, SweepCell
 from repro.experiments.runner import FairnessResult, run_fairness
 from repro.topologies.dumbbell import DumbbellSpec
@@ -153,37 +153,16 @@ def run_fig2(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     seed: Optional[int] = None,
-    topology: Optional[str] = None,
-    flow_counts: Optional[Sequence[int]] = None,
-    duration: Optional[float] = None,
-    measure_window: Optional[float] = None,
-    alpha: Optional[float] = None,
-    beta: Optional[float] = None,
     **exec_options: Any,
 ) -> Fig2Result:
     """Reproduce one panel of Figure 2.
 
-    Preferred form: ``run_fig2(spec, jobs=..., cache=..., seed=...)``.
-    The pre-spec keyword form (``topology=``, ``flow_counts=``, ...) is
-    kept for backward compatibility and builds a quick-scale spec.
-    Extra keyword arguments (``timeout``, ``retries``, ``keep_going``,
-    ``runner``) forward to :func:`~repro.exec.runner.run_sweep`.
+    ``spec`` is required: ``run_fig2(Fig2Spec.presets(Scale.QUICK, ...),
+    jobs=..., cache=..., seed=...)``.  Extra keyword arguments
+    (``timeout``, ``retries``, ``keep_going``, ``runner``) forward to
+    :func:`~repro.exec.runner.run_sweep`.
     """
-    if isinstance(spec, str):  # legacy positional topology argument
-        topology, spec = spec, None
-    if spec is None:
-        warn_legacy_keywords("run_fig2", "Fig2Spec")
-        spec = Fig2Spec.presets(
-            Scale.QUICK,
-            topology=topology,
-            flow_counts=flow_counts,
-            duration=duration,
-            measure_window=measure_window,
-            alpha=alpha,
-            beta=beta,
-            seed=seed,
-        )
-        seed = None
+    require_spec("run_fig2", Fig2Spec, spec, exec_options)
     return run_sweep(spec, jobs=jobs, cache=cache, seed=seed, **exec_options)
 
 

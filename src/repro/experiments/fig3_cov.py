@@ -14,7 +14,7 @@ from typing import Any, ClassVar, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.pr import PrConfig
 from repro.exec.runner import ResultCache, run_sweep
-from repro.experiments._deprecation import warn_legacy_keywords
+from repro.experiments._deprecation import require_spec
 from repro.exec.spec import ExperimentSpec, Scale, SweepCell
 from repro.experiments.runner import FairnessResult, run_fairness
 from repro.topologies.dumbbell import DumbbellSpec
@@ -162,37 +162,14 @@ def run_fig3(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     seed: Optional[int] = None,
-    topology: Optional[str] = None,
-    bandwidths_mbps: Optional[Sequence[float]] = None,
-    total_flows: Optional[int] = None,
-    duration: Optional[float] = None,
-    measure_window: Optional[float] = None,
-    alpha: Optional[float] = None,
-    beta: Optional[float] = None,
     **exec_options: Any,
 ) -> Fig3Result:
     """Reproduce one panel of Figure 3.
 
-    Preferred form: ``run_fig3(spec, jobs=..., cache=..., seed=...)``.
-    The pre-spec keyword form (``topology=``, ``bandwidths_mbps=``, ...)
-    is kept for backward compatibility and builds a quick-scale spec.
+    ``spec`` is required: ``run_fig3(Fig3Spec.presets(Scale.QUICK, ...),
+    jobs=..., cache=..., seed=...)``.
     """
-    if isinstance(spec, str):  # legacy positional topology argument
-        topology, spec = spec, None
-    if spec is None:
-        warn_legacy_keywords("run_fig3", "Fig3Spec")
-        spec = Fig3Spec.presets(
-            Scale.QUICK,
-            topology=topology,
-            bandwidths_mbps=bandwidths_mbps,
-            total_flows=total_flows,
-            duration=duration,
-            measure_window=measure_window,
-            alpha=alpha,
-            beta=beta,
-            seed=seed,
-        )
-        seed = None
+    require_spec("run_fig3", Fig3Spec, spec, exec_options)
     return run_sweep(spec, jobs=jobs, cache=cache, seed=seed, **exec_options)
 
 

@@ -18,7 +18,7 @@ from typing import Any, ClassVar, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.pr import PrConfig
 from repro.exec.runner import ResultCache, run_sweep
-from repro.experiments._deprecation import warn_legacy_keywords
+from repro.experiments._deprecation import require_spec
 from repro.exec.spec import ExperimentSpec, Scale, SweepCell
 from repro.experiments.runner import FairnessResult, run_fairness
 from repro.topologies.dumbbell import DumbbellSpec
@@ -151,35 +151,14 @@ def run_fig4(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     seed: Optional[int] = None,
-    topology: Optional[str] = None,
-    alphas: Optional[Sequence[float]] = None,
-    betas: Optional[Sequence[float]] = None,
-    total_flows: Optional[int] = None,
-    duration: Optional[float] = None,
-    measure_window: Optional[float] = None,
     **exec_options: Any,
 ) -> Fig4Result:
     """Reproduce one panel of Figure 4.
 
-    Preferred form: ``run_fig4(spec, jobs=..., cache=..., seed=...)``.
-    The pre-spec keyword form (``alphas=``, ``betas=``, ...) is kept for
-    backward compatibility and builds a quick-scale spec.
+    ``spec`` is required: ``run_fig4(Fig4Spec.presets(Scale.QUICK, ...),
+    jobs=..., cache=..., seed=...)``.
     """
-    if isinstance(spec, str):  # legacy positional topology argument
-        topology, spec = spec, None
-    if spec is None:
-        warn_legacy_keywords("run_fig4", "Fig4Spec")
-        spec = Fig4Spec.presets(
-            Scale.QUICK,
-            topology=topology,
-            alphas=alphas,
-            betas=betas,
-            total_flows=total_flows,
-            duration=duration,
-            measure_window=measure_window,
-            seed=seed,
-        )
-        seed = None
+    require_spec("run_fig4", Fig4Spec, spec, exec_options)
     return run_sweep(spec, jobs=jobs, cache=cache, seed=seed, **exec_options)
 
 
@@ -314,35 +293,17 @@ def run_extreme_loss_beta_sweep(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     seed: Optional[int] = None,
-    betas: Optional[Sequence[float]] = None,
-    total_flows: Optional[int] = None,
-    bottleneck_mbps: Optional[float] = None,
-    duration: Optional[float] = None,
-    measure_window: Optional[float] = None,
     **exec_options: Any,
 ) -> List[BetaSweepPoint]:
     """High-contention beta sweep (the paper's >15 %-loss robustness check).
 
-    Preferred form: ``run_extreme_loss_beta_sweep(spec, jobs=..., ...)``.
-    The pre-spec keyword form (``betas=``, ``total_flows=``, ...) is
-    kept for backward compatibility and builds a quick-scale spec.
+    ``spec`` is required:
+    ``run_extreme_loss_beta_sweep(BetaSweepSpec.presets(Scale.QUICK, ...),
+    jobs=..., cache=..., seed=...)``.
     """
-    if isinstance(spec, (list, tuple)):  # legacy positional betas argument
-        betas, spec = spec, None
-    if spec is None:
-        warn_legacy_keywords(
-            "run_extreme_loss_beta_sweep", "BetaSweepSpec"
-        )
-        spec = BetaSweepSpec.presets(
-            Scale.QUICK,
-            betas=betas,
-            total_flows=total_flows,
-            bottleneck_mbps=bottleneck_mbps,
-            duration=duration,
-            measure_window=measure_window,
-            seed=seed,
-        )
-        seed = None
+    require_spec(
+        "run_extreme_loss_beta_sweep", BetaSweepSpec, spec, exec_options
+    )
     return run_sweep(spec, jobs=jobs, cache=cache, seed=seed, **exec_options)
 
 

@@ -21,7 +21,7 @@ from typing import Any, ClassVar, Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.app.bulk import BulkTransfer
 from repro.core.pr import PrConfig
 from repro.exec.runner import ResultCache, run_sweep
-from repro.experiments._deprecation import warn_legacy_keywords
+from repro.experiments._deprecation import require_spec
 from repro.exec.spec import ExperimentSpec, Scale, SweepCell
 from repro.obs import maybe_observe
 from repro.tcp.base import TcpConfig
@@ -186,33 +186,14 @@ def run_fig6(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     seed: Optional[int] = None,
-    link_delay: Optional[float] = None,
-    protocols: Optional[Sequence[str]] = None,
-    epsilons: Optional[Sequence[float]] = None,
-    duration: Optional[float] = None,
-    pr_config: Optional[PrConfig] = None,
     **exec_options: Any,
 ) -> Fig6Result:
     """Reproduce one panel (one link-delay setting) of Figure 6.
 
-    Preferred form: ``run_fig6(spec, jobs=..., cache=..., seed=...)``.
-    The pre-spec keyword form (``link_delay=``, ``protocols=``, ...) is
-    kept for backward compatibility and builds a quick-scale spec.
+    ``spec`` is required: ``run_fig6(Fig6Spec.presets(Scale.QUICK, ...),
+    jobs=..., cache=..., seed=...)``.
     """
-    if isinstance(spec, (int, float)):  # legacy positional link_delay
-        link_delay, spec = float(spec), None
-    if spec is None:
-        warn_legacy_keywords("run_fig6", "Fig6Spec")
-        spec = Fig6Spec.presets(
-            Scale.QUICK,
-            link_delay=link_delay,
-            protocols=protocols,
-            epsilons=epsilons,
-            duration=duration,
-            pr_config=pr_config,
-            seed=seed,
-        )
-        seed = None
+    require_spec("run_fig6", Fig6Spec, spec, exec_options)
     return run_sweep(spec, jobs=jobs, cache=cache, seed=seed, **exec_options)
 
 

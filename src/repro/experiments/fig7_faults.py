@@ -32,7 +32,7 @@ from typing import Any, ClassVar, Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.app.bulk import BulkTransfer
 from repro.core.pr import PrConfig
 from repro.exec.runner import ResultCache, run_sweep
-from repro.experiments._deprecation import warn_legacy_keywords
+from repro.experiments._deprecation import require_spec
 from repro.exec.spec import ExperimentSpec, Scale, SweepCell
 from repro.faults.injector import Injector
 from repro.faults.schedule import (
@@ -261,32 +261,16 @@ def run_fig7(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     seed: Optional[int] = None,
-    link_delay: Optional[float] = None,
-    protocols: Optional[Sequence[str]] = None,
-    outages: Optional[Sequence[float]] = None,
-    period: Optional[float] = None,
-    duration: Optional[float] = None,
     **exec_options: Any,
 ) -> Fig7Result:
     """Run the outage sweep.
 
-    Preferred form: ``run_fig7(spec, jobs=..., cache=..., seed=...)``;
-    the keyword form builds a quick-scale spec.  Extra keyword arguments
+    ``spec`` is required: ``run_fig7(Fig7Spec.presets(Scale.QUICK, ...),
+    jobs=..., cache=..., seed=...)``.  Extra keyword arguments
     (``timeout``, ``retries``, ``keep_going``, ``runner``) forward to
     :func:`~repro.exec.runner.run_sweep`.
     """
-    if spec is None:
-        warn_legacy_keywords("run_fig7", "Fig7Spec")
-        spec = Fig7Spec.presets(
-            Scale.QUICK,
-            link_delay=link_delay,
-            protocols=protocols,
-            outages=outages,
-            period=period,
-            duration=duration,
-            seed=seed,
-        )
-        seed = None
+    require_spec("run_fig7", Fig7Spec, spec, exec_options)
     return run_sweep(spec, jobs=jobs, cache=cache, seed=seed, **exec_options)
 
 

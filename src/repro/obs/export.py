@@ -15,8 +15,10 @@ field, ``record``, which names the record type:
     sweep cell additionally carry ``cell`` (the cell key, JSON-rendered).
 ``trace``
     One :class:`~repro.obs.trace.TraceEvent`: ``time``, ``kind``
-    (recv / drop), ``where``, ``packet_uid``, ``flow_id``,
-    ``packet_kind``, ``seq``, ``ack``.
+    (send / recv / drop), ``where``, ``packet_uid``, ``flow_id``,
+    ``flow_seq`` (monotonic per-flow event counter — the stable join
+    key), ``packet_kind``, ``seq``, ``ack``, ``retransmit``, ``path``.
+    See ``docs/TRACES.md`` for the analyzer-facing semantics.
 ``fault``
     One :class:`~repro.obs.trace.FaultRecord`: ``time``, ``kind``,
     ``target``, ``detail``.
@@ -65,10 +67,35 @@ def trace_event_record(event: TraceEvent) -> Dict[str, Any]:
         "where": event.where,
         "packet_uid": event.packet_uid,
         "flow_id": event.flow_id,
+        "flow_seq": event.flow_seq,
         "packet_kind": event.packet_kind,
         "seq": event.seq,
         "ack": event.ack,
+        "retransmit": event.retransmit,
+        "path": event.path,
     }
+
+
+def trace_event_from_record(record: Dict[str, Any]) -> TraceEvent:
+    """Rebuild a :class:`TraceEvent` from its schema record.
+
+    Tolerates streams written before the ``flow_seq`` / ``retransmit`` /
+    ``path`` fields existed (the schema is append-only) and external
+    captures converted by :mod:`repro.traces.adapter`.
+    """
+    return TraceEvent(
+        time=float(record["time"]),
+        kind=str(record["kind"]),
+        where=str(record.get("where", "")),
+        packet_uid=int(record.get("packet_uid", -1)),
+        flow_id=int(record.get("flow_id", 0)),
+        flow_seq=int(record.get("flow_seq", 0)),
+        packet_kind=str(record.get("packet_kind", "data")),
+        seq=int(record.get("seq", -1)),
+        ack=int(record.get("ack", -1)),
+        retransmit=bool(record.get("retransmit", False)),
+        path=record.get("path"),
+    )
 
 
 def fault_record(record: FaultRecord) -> Dict[str, Any]:

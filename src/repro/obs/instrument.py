@@ -262,9 +262,20 @@ class Instrumentation:
     # Component probes
     # ------------------------------------------------------------------
     def observe_sender(self, sender: Any) -> None:
-        """Install the per-ACK metrics probe on a TCP sender."""
+        """Install the per-ACK metrics probe on a TCP sender.
+
+        With tracing enabled, the sender's node is additionally watched
+        both ways: injected packets become ``send`` events (with the
+        chosen source route) and returning ACKs become ``recv`` events —
+        the two halves the :mod:`repro.traces` analyzer joins for RTT
+        samples and duplicate-ACK detection.
+        """
         from repro.core.pr import TcpPrSender
 
+        if self.trace_enabled:
+            tracer = self.tracer
+            tracer.watch_node_sends(sender.node)
+            tracer.watch_node(sender.node)
         if sender.obs is not None:
             return
         probe_cls = (

@@ -1,17 +1,22 @@
-"""Packet event tracing (canonical home; was :mod:`repro.trace.events`).
+"""Packet event tracing: the emit side of the ``repro.traces`` pipeline.
 
-A :class:`PacketTracer` hooks a link's drop listeners and wraps a node's
-receive path to record per-packet events, ns-2-trace style.  Intended for
-debugging and for the reordering analyses in tests/examples — tracing
-every packet of a large experiment is intentionally opt-in, via
-:meth:`repro.obs.instrument.Instrumentation.attach` or the ``--trace-out``
-CLI flag.
+A :class:`PacketTracer` hooks a node's send path, a node's receive path,
+and a link's drop listeners to record per-packet events, ns-2-trace
+style.  Every event carries the flow id and a *monotonic per-flow
+sequence number* (:attr:`TraceEvent.flow_seq`), assigned at record time,
+so downstream consumers (:mod:`repro.traces`) can join send/recv/drop
+events without depending on emission or serialization order.
+
+Tracing every packet of a large experiment is intentionally opt-in, via
+:meth:`repro.obs.instrument.Instrumentation.attach` (``trace=True``) or
+the ``--trace-out`` CLI flag; the recorded stream is exported as
+``repro.obs/v1`` JSONL and analyzed with ``repro trace analyze``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Set
 
 from repro.net.packet import Packet
 
@@ -22,16 +27,37 @@ if TYPE_CHECKING:
 
 @dataclass(frozen=True)
 class TraceEvent:
-    """One recorded packet event."""
+    """One recorded packet event.
+
+    Attributes:
+        time: Simulation time of the event.
+        kind: ``"send"`` (origin injection), ``"recv"`` (delivery to a
+            watched node), or ``"drop"`` (lost on a watched link).
+        where: Node name (send/recv) or link name (drop).
+        packet_uid: Globally unique packet id (one per transmission).
+        flow_id: Stable per-flow identifier (the transport flow id).
+        flow_seq: Monotonic per-flow event counter assigned by the
+            tracer — the stable join key for analyzers, independent of
+            how records were interleaved on export.
+        packet_kind: ``"data"`` or ``"ack"``.
+        seq: Data segment number (for ACKs: the triggering segment).
+        ack: Cumulative ACK carried (``-1`` on data packets).
+        retransmit: True when the data segment is a retransmission.
+        path: ``"a>b>c"`` source route when per-packet multipath routing
+            chose one; ``None`` under destination-based forwarding.
+    """
 
     time: float
-    kind: str  # "recv" | "drop"
+    kind: str  # "send" | "recv" | "drop"
     where: str  # node or link name
     packet_uid: int
     flow_id: int
+    flow_seq: int
     packet_kind: str
     seq: int
     ack: int
+    retransmit: bool = False
+    path: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -45,53 +71,101 @@ class FaultRecord:
 
 
 class PacketTracer:
-    """Records arrivals at chosen nodes and drops on chosen links."""
+    """Records sends, arrivals, and drops at chosen nodes and links.
+
+    One tracer owns one event list and the per-flow ``flow_seq``
+    counters; all watch methods are idempotent per node/link, so the
+    unified :class:`~repro.obs.instrument.Instrumentation` surface can
+    attach overlapping component sets without double-recording.
+    """
 
     def __init__(self) -> None:
         self.events: List[TraceEvent] = []
+        self._flow_seq: Dict[int, int] = {}
+        self._watched_recv: Set[int] = set()
+        self._watched_send: Set[int] = set()
+        self._watched_drop: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    def _record(self, time: float, kind: str, where: str, packet: Packet) -> None:
+        flow_id = packet.flow_id
+        flow_seq = self._flow_seq.get(flow_id, 0)
+        self._flow_seq[flow_id] = flow_seq + 1
+        route = packet.route
+        self.events.append(
+            TraceEvent(
+                time=time,
+                kind=kind,
+                where=where,
+                packet_uid=packet.uid,
+                flow_id=flow_id,
+                flow_seq=flow_seq,
+                packet_kind=packet.kind,
+                seq=packet.seq,
+                ack=packet.ack,
+                retransmit=packet.retransmit,
+                path=">".join(route) if route is not None else None,
+            )
+        )
 
     # ------------------------------------------------------------------
     def watch_node(self, node: "Node") -> None:
         """Record every packet delivered to ``node`` (wraps its receive)."""
+        if id(node) in self._watched_recv:
+            return
+        self._watched_recv.add(id(node))
         original = node.receive
+        record = self._record
 
         def traced_receive(packet: Packet) -> None:
-            self.events.append(
-                TraceEvent(
-                    time=node.sim.now,
-                    kind="recv",
-                    where=node.name,
-                    packet_uid=packet.uid,
-                    flow_id=packet.flow_id,
-                    packet_kind=packet.kind,
-                    seq=packet.seq,
-                    ack=packet.ack,
-                )
-            )
+            record(node.sim.now, "recv", node.name, packet)
             original(packet)
 
         node.receive = traced_receive  # type: ignore[method-assign]
 
+    def watch_node_sends(self, node: "Node") -> None:
+        """Record every packet injected at ``node`` (wraps its send).
+
+        The event is recorded *after* the node's path policy ran, so the
+        chosen source route (if any) appears in :attr:`TraceEvent.path`.
+        """
+        if id(node) in self._watched_send:
+            return
+        self._watched_send.add(id(node))
+        original = node.send
+        record = self._record
+
+        def traced_send(packet: Packet) -> None:
+            original(packet)
+            record(node.sim.now, "send", node.name, packet)
+
+        node.send = traced_send  # type: ignore[method-assign]
+
     def watch_link_drops(self, link: "Link") -> None:
         """Record every packet the link drops."""
+        if id(link) in self._watched_drop:
+            return
+        self._watched_drop.add(id(link))
+        record = self._record
 
         def on_drop(dropped_on: "Link", packet: Packet) -> None:
-            self.events.append(
-                TraceEvent(
-                    time=dropped_on.sim.now,
-                    kind="drop",
-                    where=dropped_on.name,
-                    packet_uid=packet.uid,
-                    flow_id=packet.flow_id,
-                    packet_kind=packet.kind,
-                    seq=packet.seq,
-                    ack=packet.ack,
-                )
-            )
+            record(dropped_on.sim.now, "drop", dropped_on.name, packet)
 
         link.drop_listeners.append(on_drop)
 
     # ------------------------------------------------------------------
+    def sends(
+        self, flow_id: Optional[int] = None, kind: str = "data"
+    ) -> List[TraceEvent]:
+        """Send events, optionally filtered by flow."""
+        return [
+            event
+            for event in self.events
+            if event.kind == "send"
+            and event.packet_kind == kind
+            and (flow_id is None or event.flow_id == flow_id)
+        ]
+
     def arrivals(
         self, flow_id: Optional[int] = None, kind: str = "data"
     ) -> List[TraceEvent]:

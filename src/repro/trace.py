@@ -1,0 +1,18 @@
+"""Tombstone for the removed ``repro.trace`` shim package.
+
+``repro.trace`` was a deprecation shim re-exporting the monitors and
+packet tracer after they moved to :mod:`repro.obs`.  The shim is now
+removed; importing this module raises immediately with the migration
+map so stale imports fail with an actionable message instead of a bare
+``ModuleNotFoundError``.
+"""
+
+raise ModuleNotFoundError(
+    "repro.trace was removed: the deprecation shim expired.  Import "
+    "from the canonical homes instead — monitors "
+    "(FlowThroughputMonitor, CwndMonitor, QueueMonitor, "
+    "FaultTimelineMonitor) from repro.obs.monitors, the packet tracer "
+    "(PacketTracer, TraceEvent, FaultRecord) from repro.obs.trace, and "
+    "the new trace analysis/replay pipeline from repro.traces.  See "
+    "docs/TRACES.md and docs/OBSERVABILITY.md."
+)

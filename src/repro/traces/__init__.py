@@ -1,0 +1,57 @@
+"""The trace pipeline: emit → analyze → replay.
+
+This package closes the loop ROADMAP item 1 calls for: the simulator
+*emits* per-packet traces through :mod:`repro.obs` (``--trace-out``,
+``repro.obs/v1`` JSONL), this package *analyzes* them the way a tcpdump
+analyst would (reorder extent/displacement/late-time-offset, duplicate
+ACKs, retransmission phases, connection interruptions, RTT and
+throughput sample streams — see :mod:`repro.traces.analyze`), and
+*replays* them: a trace distills into a :class:`ReorderProfile` — an
+empirical delay/displacement/loss process — that plugs back into the
+simulator as a first-class scenario (:mod:`repro.traces.replay`), so any
+trace, simulated or converted from a real capture
+(:mod:`repro.traces.adapter`), becomes a new workload.
+
+CLI: ``repro trace analyze|replay|convert``.  Docs: ``docs/TRACES.md``.
+"""
+
+from repro.traces.adapter import convert_capture, records_from_csv, records_from_rows
+from repro.traces.analyze import (
+    FlowReport,
+    TraceReport,
+    analyze_records,
+    analyze_stream,
+    format_report,
+)
+from repro.traces.profile import ReorderProfile, distill_profile
+from repro.traces.replay import (
+    ProfileDelayModel,
+    ProfileLossModel,
+    ReplayResult,
+    build_replay_network,
+    replay_flow_workload,
+    replay_profile,
+)
+from repro.traces.stream import FlowKey, FlowTrace, TraceStream
+
+__all__ = [
+    "FlowKey",
+    "FlowReport",
+    "FlowTrace",
+    "ProfileDelayModel",
+    "ProfileLossModel",
+    "ReorderProfile",
+    "ReplayResult",
+    "TraceReport",
+    "TraceStream",
+    "analyze_records",
+    "analyze_stream",
+    "build_replay_network",
+    "convert_capture",
+    "distill_profile",
+    "format_report",
+    "records_from_csv",
+    "records_from_rows",
+    "replay_flow_workload",
+    "replay_profile",
+]

@@ -1,0 +1,133 @@
+"""Converting external captures into ``repro.obs/v1`` trace streams.
+
+Real measurement workflows produce per-packet logs in ad-hoc tabular
+forms — tcpdump post-processing scripts, DAG-card exports, spreadsheet
+dumps.  This adapter turns any such table into the schema the analyzer
+and replayer consume, so a *real* capture can be analyzed with
+``repro trace analyze`` and distilled into a replayable scenario with
+``repro trace replay`` exactly like a simulated one.
+
+Expected columns (header row, extra columns ignored):
+
+``time``
+    Event timestamp, seconds (float).
+``kind``
+    ``send`` / ``recv`` / ``drop``.
+``seq``
+    Segment (or packet) sequence number, integer.
+``flow`` (optional, default 1)
+    Flow identifier.
+``where`` (optional)
+    Capture point label.
+``packet_kind`` (optional, default ``data``)
+    ``data`` or ``ack``.
+``ack`` (optional, default -1)
+    Cumulative ACK value for ACK rows.
+``retransmit`` (optional, default 0)
+    Truthy when the row is a retransmission.
+``uid`` (optional)
+    Per-packet id joining a send row to its recv row.  When absent,
+    synthetic uids are assigned by pairing each ``recv`` of a seq with
+    the earliest unmatched ``send`` of the same seq (FIFO matching —
+    correct when retransmissions are flagged or absent).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Union
+
+from repro.obs.export import write_jsonl
+
+PathLike = Union[str, Path]
+
+_TRUTHY = {"1", "true", "yes", "y", "t"}
+
+
+def _as_bool(value: Any) -> bool:
+    if isinstance(value, bool):
+        return value
+    return str(value).strip().lower() in _TRUTHY
+
+
+def records_from_rows(
+    rows: Iterable[Mapping[str, Any]]
+) -> List[Dict[str, Any]]:
+    """Convert tabular capture rows into ``repro.obs/v1`` trace records.
+
+    Rows are processed in order; per-flow ``flow_seq`` counters are
+    assigned here, giving converted streams the same stable join key
+    native traces carry.
+    """
+    records: List[Dict[str, Any]] = []
+    flow_seq: Dict[int, int] = {}
+    next_uid = 0
+    # seq -> unmatched synthetic-uid send queue, per (flow, seq).
+    unmatched: Dict[tuple, List[int]] = {}
+    for row in rows:
+        if "time" not in row or "kind" not in row or "seq" not in row:
+            raise ValueError(
+                f"capture row missing required column(s) time/kind/seq: "
+                f"{dict(row)!r}"
+            )
+        kind = str(row["kind"]).strip().lower()
+        if kind not in ("send", "recv", "drop"):
+            raise ValueError(f"unknown event kind {kind!r} in capture row")
+        flow_id = int(row.get("flow", 1) or 1)
+        seq = int(row["seq"])
+        packet_kind = str(row.get("packet_kind", "data") or "data").lower()
+        if "uid" in row and str(row["uid"]).strip() != "":
+            uid = int(row["uid"])
+        else:
+            pair_key = (flow_id, packet_kind, seq)
+            if kind == "send":
+                uid = next_uid
+                next_uid += 1
+                unmatched.setdefault(pair_key, []).append(uid)
+            else:
+                queue = unmatched.get(pair_key)
+                if queue:
+                    uid = queue.pop(0)
+                else:
+                    uid = next_uid
+                    next_uid += 1
+        counter = flow_seq.get(flow_id, 0)
+        flow_seq[flow_id] = counter + 1
+        records.append(
+            {
+                "record": "trace",
+                "time": float(row["time"]),
+                "kind": kind,
+                "where": str(row.get("where", "") or ""),
+                "packet_uid": uid,
+                "flow_id": flow_id,
+                "flow_seq": counter,
+                "packet_kind": packet_kind,
+                "seq": seq,
+                "ack": int(row.get("ack", -1) or -1),
+                "retransmit": _as_bool(row.get("retransmit", False)),
+                "path": None,
+            }
+        )
+    return records
+
+
+def records_from_csv(path: PathLike) -> List[Dict[str, Any]]:
+    """Read a capture CSV (see module docstring) into trace records."""
+    with Path(path).open("r", encoding="utf-8", newline="") as handle:
+        reader = csv.DictReader(handle)
+        return records_from_rows(
+            {key: value for key, value in row.items() if value is not None}
+            for row in reader
+        )
+
+
+def convert_capture(
+    source: PathLike, destination: PathLike, **header_fields: Any
+) -> Path:
+    """Convert a capture CSV into a ``repro.obs/v1`` JSONL trace file."""
+    records = records_from_csv(source)
+    return write_jsonl(
+        records, destination, source=str(source), **header_fields
+    )

@@ -1,0 +1,460 @@
+"""Pcap-style trace analytics: what a tcpdump analyst would compute.
+
+Consumes a :class:`~repro.traces.stream.TraceStream` (or raw
+``repro.obs/v1`` records) and produces a typed :class:`TraceReport` with
+one :class:`FlowReport` per flow:
+
+* **Reordering** (RFC 4737 at segment granularity): Type-P-Reordered
+  ratio, per-packet *reorder extent* (positions displaced past the
+  earliest later-sequence arrival), sequence-space displacement, and
+  *late-time offset* (how long after the overtaking arrival the late
+  packet landed), each with distribution summaries.  Only original
+  transmissions count — a late retransmission is recovery, not
+  reordering.
+* **Loss vs reordering classification**: out-of-order originals are
+  *late originals* (genuine reordering); hole fills carried by segments
+  the sender marked ``retransmit`` are *retransmit fills* (loss
+  recovery) — the SACK-hole-style distinction the tcpdump analyzers
+  under ROADMAP item 1 draw.
+* **Duplicate ACKs**: dupack count plus dupack *events* (runs reaching
+  the classic threshold of 3), from the sender-side ACK arrivals.
+* **Retransmission phases**: bursts of retransmissions separated by
+  less than ``phase_gap`` seconds, with spans and segment counts.
+* **Connection interruptions**: delivery gaps exceeding an automatic
+  (or explicit) threshold — the fault-injection outages of Figure 7
+  show up here.
+* **Sample streams**: per-segment RTT samples (Karn-filtered: only
+  never-retransmitted segments) and a goodput timeseries over fixed
+  windows.
+
+The extent computation is O(n log n): the earliest arrival with a
+greater sequence number is always a running-maximum arrival, so a
+bisect over the running-max index finds each reordered packet's
+anchor.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.net.packet import DATA_SIZE_BYTES
+from repro.traces.stream import FlowKey, FlowTrace, TraceStream
+
+#: Classic fast-retransmit duplicate-ACK threshold.
+DUPACK_THRESHOLD = 3
+
+
+def _summary(values: Sequence[float]) -> Dict[str, float]:
+    """min/mean/max/p95 digest of a sample list (empty -> zeros)."""
+    if not values:
+        return {"n": 0, "min": 0.0, "mean": 0.0, "max": 0.0, "p95": 0.0}
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(0.95 * (len(ordered) - 1) + 0.5))
+    return {
+        "n": len(ordered),
+        "min": ordered[0],
+        "mean": sum(ordered) / len(ordered),
+        "max": ordered[-1],
+        "p95": ordered[index],
+    }
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One retransmission burst (closed interval, segment count)."""
+
+    start: float
+    end: float
+    segments: int
+
+
+@dataclass(frozen=True)
+class Interruption:
+    """One delivery gap exceeding the interruption threshold."""
+
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class FlowReport:
+    """Everything the analyzer measured about one flow."""
+
+    key: FlowKey
+    # Volume
+    segments_sent: int = 0
+    retransmits: int = 0
+    unique_arrivals: int = 0
+    duplicate_arrivals: int = 0
+    dropped_packets: int = 0
+    acks_seen: int = 0
+    first_arrival: float = 0.0
+    last_arrival: float = 0.0
+    # Reordering (original transmissions only)
+    reordered: int = 0
+    reorder_ratio: float = 0.0
+    extents: List[int] = field(default_factory=list)
+    displacements: List[int] = field(default_factory=list)
+    late_offsets: List[float] = field(default_factory=list)
+    extent_histogram: List[int] = field(default_factory=list)
+    # Loss vs reordering classification
+    late_originals: int = 0
+    retransmit_fills: int = 0
+    # Duplicate ACKs
+    dupacks: int = 0
+    dupack_events: int = 0
+    # Phases / interruptions
+    phases: List[Phase] = field(default_factory=list)
+    interruptions: List[Interruption] = field(default_factory=list)
+    interruption_gap: float = 0.0
+    # Sample streams
+    rtt_samples: List[Tuple[float, float]] = field(default_factory=list)
+    throughput_samples: List[Tuple[float, float]] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def extent_summary(self) -> Dict[str, float]:
+        return _summary([float(value) for value in self.extents])
+
+    def displacement_summary(self) -> Dict[str, float]:
+        return _summary([float(value) for value in self.displacements])
+
+    def late_offset_summary(self) -> Dict[str, float]:
+        return _summary(self.late_offsets)
+
+    def rtt_summary(self) -> Dict[str, float]:
+        return _summary([rtt for _, rtt in self.rtt_samples])
+
+    def goodput_mbps(self) -> float:
+        """Unique-delivery goodput over the flow's active span (Mbps)."""
+        span = self.last_arrival - self.first_arrival
+        if span <= 0.0 or self.unique_arrivals <= 1:
+            return 0.0
+        return (self.unique_arrivals - 1) * DATA_SIZE_BYTES * 8.0 / span / 1e6
+
+    def reorder_density(self) -> List[float]:
+        """Normalized extent histogram (RFC 4737 reorder-density style)."""
+        total = sum(self.extent_histogram)
+        if total == 0:
+            return [1.0]
+        return [count / total for count in self.extent_histogram]
+
+
+@dataclass
+class TraceReport:
+    """The analyzer's product: per-flow reports plus stream totals."""
+
+    flows: Dict[FlowKey, FlowReport] = field(default_factory=dict)
+    total_events: int = 0
+    fault_events: int = 0
+    time_span: float = 0.0
+
+    def flow(self, flow_id: int, cell: str = "") -> FlowReport:
+        return self.flows[FlowKey(cell=cell, flow_id=flow_id)]
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        """Plain-dict form for ``--json`` dumps (stable key order)."""
+        return {
+            "total_events": self.total_events,
+            "fault_events": self.fault_events,
+            "time_span": self.time_span,
+            "flows": {
+                str(key): {
+                    "segments_sent": report.segments_sent,
+                    "retransmits": report.retransmits,
+                    "unique_arrivals": report.unique_arrivals,
+                    "duplicate_arrivals": report.duplicate_arrivals,
+                    "dropped_packets": report.dropped_packets,
+                    "reordered": report.reordered,
+                    "reorder_ratio": report.reorder_ratio,
+                    "extent": report.extent_summary(),
+                    "displacement": report.displacement_summary(),
+                    "late_offset": report.late_offset_summary(),
+                    "extent_histogram": report.extent_histogram,
+                    "late_originals": report.late_originals,
+                    "retransmit_fills": report.retransmit_fills,
+                    "dupacks": report.dupacks,
+                    "dupack_events": report.dupack_events,
+                    "phases": [
+                        {"start": p.start, "end": p.end, "segments": p.segments}
+                        for p in report.phases
+                    ],
+                    "interruptions": [
+                        {"start": i.start, "end": i.end, "duration": i.duration}
+                        for i in report.interruptions
+                    ],
+                    "rtt": report.rtt_summary(),
+                    "goodput_mbps": report.goodput_mbps(),
+                    "throughput_samples": [
+                        list(sample) for sample in report.throughput_samples
+                    ],
+                }
+                for key, report in sorted(self.flows.items())
+            },
+        }
+
+
+# ----------------------------------------------------------------------
+# Per-flow analysis passes
+# ----------------------------------------------------------------------
+def _analyze_arrivals(report: FlowReport, flow: FlowTrace) -> None:
+    """Reordering, duplicates, classification, and interruptions."""
+    seen: set = set()
+    # Running-max index over *original* arrivals: parallel arrays of
+    # (seq, index-in-originals, time), strictly increasing in seq.
+    maxima_seqs: List[int] = []
+    maxima_indices: List[int] = []
+    maxima_times: List[float] = []
+    originals = 0
+    max_extent = 0
+    extent_counts: Dict[int, int] = {}
+    arrival_times: List[float] = []
+    for event in flow.arrivals:
+        duplicate = event.seq in seen
+        if duplicate:
+            report.duplicate_arrivals += 1
+        else:
+            seen.add(event.seq)
+            arrival_times.append(event.time)
+        if event.retransmit:
+            if not duplicate:
+                report.retransmit_fills += 1
+            continue
+        index = originals
+        originals += 1
+        if maxima_seqs and event.seq < maxima_seqs[-1]:
+            # Reordered (RFC 4737): a greater sequence number arrived
+            # first.  Its earliest such arrival is a running maximum.
+            anchor = bisect_right(maxima_seqs, event.seq)
+            extent = index - maxima_indices[anchor]
+            report.reordered += 1
+            report.late_originals += 1
+            report.extents.append(extent)
+            report.displacements.append(maxima_seqs[-1] - event.seq)
+            report.late_offsets.append(event.time - maxima_times[anchor])
+            extent_counts[extent] = extent_counts.get(extent, 0) + 1
+            max_extent = max(max_extent, extent)
+        else:
+            maxima_seqs.append(event.seq)
+            maxima_indices.append(index)
+            maxima_times.append(event.time)
+            extent_counts[0] = extent_counts.get(0, 0) + 1
+    report.unique_arrivals = len(seen)
+    if originals > 1:
+        report.reorder_ratio = report.reordered / originals
+    if arrival_times:
+        report.first_arrival = arrival_times[0]
+        report.last_arrival = arrival_times[-1]
+    report.extent_histogram = [
+        extent_counts.get(extent, 0) for extent in range(max_extent + 1)
+    ]
+    # Interruptions: delivery gaps far beyond the typical inter-arrival.
+    if len(arrival_times) > 2:
+        gaps = sorted(
+            later - earlier
+            for earlier, later in zip(arrival_times, arrival_times[1:])
+        )
+        median_gap = gaps[len(gaps) // 2]
+        if report.interruption_gap <= 0.0:
+            report.interruption_gap = max(0.5, 50.0 * median_gap)
+        for earlier, later in zip(arrival_times, arrival_times[1:]):
+            if later - earlier > report.interruption_gap:
+                report.interruptions.append(Interruption(earlier, later))
+
+
+def _analyze_sends(report: FlowReport, flow: FlowTrace, phase_gap: float) -> None:
+    """Volume counters and retransmission-phase detection."""
+    report.segments_sent = len(flow.sends)
+    phase_start = phase_end = None
+    phase_count = 0
+    for event in flow.sends:
+        if not event.retransmit:
+            continue
+        report.retransmits += 1
+        if phase_start is None or event.time - phase_end > phase_gap:
+            if phase_start is not None:
+                report.phases.append(Phase(phase_start, phase_end, phase_count))
+            phase_start = phase_end = event.time
+            phase_count = 1
+        else:
+            phase_end = event.time
+            phase_count += 1
+    if phase_start is not None:
+        report.phases.append(Phase(phase_start, phase_end, phase_count))
+
+
+def _analyze_acks(report: FlowReport, flow: FlowTrace) -> None:
+    """Duplicate-ACK counting over the sender-side ACK stream."""
+    report.acks_seen = len(flow.ack_arrivals)
+    previous_ack: Optional[int] = None
+    run = 0
+    for event in flow.ack_arrivals:
+        if previous_ack is not None and event.ack == previous_ack:
+            report.dupacks += 1
+            run += 1
+            if run == DUPACK_THRESHOLD:
+                report.dupack_events += 1
+        else:
+            run = 0
+        previous_ack = event.ack if event.ack >= 0 else previous_ack
+
+
+def _analyze_rtt(report: FlowReport, flow: FlowTrace) -> None:
+    """Karn-filtered RTT samples: send of seq -> first ACK covering it."""
+    if not flow.sends or not flow.ack_arrivals:
+        return
+    retransmitted = {
+        event.seq for event in flow.sends if event.retransmit
+    }
+    send_times: Dict[int, float] = {}
+    for event in flow.sends:
+        if not event.retransmit and event.seq not in retransmitted:
+            send_times.setdefault(event.seq, event.time)
+    # Walk sends and ACKs in time order; an ACK with value a covers every
+    # outstanding seq < a.
+    pending: List[Tuple[float, int]] = sorted(
+        (time, seq) for seq, time in send_times.items()
+    )
+    pending.sort(key=lambda item: item[1])  # by seq: ACK coverage order
+    cursor = 0
+    for ack_event in sorted(flow.ack_arrivals, key=lambda event: event.time):
+        while cursor < len(pending) and pending[cursor][1] < ack_event.ack:
+            sent_at, _seq = pending[cursor]
+            if ack_event.time >= sent_at:
+                report.rtt_samples.append(
+                    (ack_event.time, ack_event.time - sent_at)
+                )
+            cursor += 1
+
+
+def _analyze_throughput(
+    report: FlowReport, flow: FlowTrace, window: float
+) -> None:
+    """Unique-delivery goodput per fixed window, in Mbps."""
+    if not flow.arrivals or window <= 0.0:
+        return
+    seen: set = set()
+    bucket_end = flow.arrivals[0].time + window
+    delivered = 0
+    for event in flow.arrivals:
+        while event.time >= bucket_end:
+            report.throughput_samples.append(
+                (bucket_end, delivered * DATA_SIZE_BYTES * 8.0 / window / 1e6)
+            )
+            delivered = 0
+            bucket_end += window
+        if event.seq not in seen:
+            seen.add(event.seq)
+            delivered += 1
+    report.throughput_samples.append(
+        (bucket_end, delivered * DATA_SIZE_BYTES * 8.0 / window / 1e6)
+    )
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+def analyze_stream(
+    stream: TraceStream,
+    phase_gap: float = 1.0,
+    interruption_gap: Optional[float] = None,
+    throughput_window: float = 0.5,
+) -> TraceReport:
+    """Analyze a parsed trace stream into a :class:`TraceReport`.
+
+    Args:
+        stream: The parsed ``repro.obs/v1`` stream.
+        phase_gap: Retransmissions closer than this (seconds) belong to
+            one retransmission phase.
+        interruption_gap: Delivery gaps longer than this are reported as
+            connection interruptions; ``None`` derives a threshold from
+            the flow's median inter-arrival (50x, floored at 0.5 s).
+        throughput_window: Goodput sample window in seconds.
+    """
+    report = TraceReport(total_events=len(stream.events))
+    report.fault_events = len(stream.faults)
+    times = [event.time for event, _ in stream.events]
+    if times:
+        report.time_span = max(times) - min(times)
+    for key, flow in sorted(stream.flows().items()):
+        flow_report = FlowReport(key=key)
+        if interruption_gap is not None:
+            flow_report.interruption_gap = interruption_gap
+        _analyze_sends(flow_report, flow, phase_gap)
+        _analyze_arrivals(flow_report, flow)
+        flow_report.dropped_packets = len(flow.drops)
+        _analyze_acks(flow_report, flow)
+        _analyze_rtt(flow_report, flow)
+        _analyze_throughput(flow_report, flow, throughput_window)
+        report.flows[key] = flow_report
+    return report
+
+
+def analyze_records(
+    records: Iterable[Dict[str, Any]], **options: Any
+) -> TraceReport:
+    """Analyze raw ``repro.obs/v1`` records (see :func:`analyze_stream`)."""
+    return analyze_stream(TraceStream(records), **options)
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def format_report(report: TraceReport) -> str:
+    """Human-readable digest, one block per flow."""
+    lines = [
+        f"trace: {report.total_events} packet events, "
+        f"{report.fault_events} fault events, "
+        f"{report.time_span:.3f} s span, {len(report.flows)} flow(s)",
+    ]
+    for key, flow in sorted(report.flows.items()):
+        extent = flow.extent_summary()
+        late = flow.late_offset_summary()
+        rtt = flow.rtt_summary()
+        lines.append(f"\nflow {key}:")
+        lines.append(
+            f"  sent={flow.segments_sent} (retx={flow.retransmits})  "
+            f"delivered={flow.unique_arrivals} (dup={flow.duplicate_arrivals})  "
+            f"dropped={flow.dropped_packets}  acks={flow.acks_seen}"
+        )
+        lines.append(
+            f"  reordered={flow.reordered} ({flow.reorder_ratio:.2%})  "
+            f"extent mean={extent['mean']:.2f} max={extent['max']:.0f}  "
+            f"late-offset p95={late['p95'] * 1e3:.1f} ms"
+        )
+        lines.append(
+            f"  classification: late originals={flow.late_originals}, "
+            f"retransmit fills={flow.retransmit_fills}; "
+            f"dupacks={flow.dupacks} (events>={DUPACK_THRESHOLD}: "
+            f"{flow.dupack_events})"
+        )
+        if flow.phases:
+            lines.append(
+                f"  retransmission phases: {len(flow.phases)} "
+                + ", ".join(
+                    f"[{p.start:.2f}-{p.end:.2f}s x{p.segments}]"
+                    for p in flow.phases[:5]
+                )
+                + (" ..." if len(flow.phases) > 5 else "")
+            )
+        if flow.interruptions:
+            lines.append(
+                f"  interruptions (> {flow.interruption_gap:.2f} s): "
+                + ", ".join(
+                    f"[{i.start:.2f}-{i.end:.2f}s]"
+                    for i in flow.interruptions[:5]
+                )
+                + (" ..." if len(flow.interruptions) > 5 else "")
+            )
+        if rtt["n"]:
+            lines.append(
+                f"  rtt: n={rtt['n']:.0f} min={rtt['min'] * 1e3:.1f} "
+                f"mean={rtt['mean'] * 1e3:.1f} p95={rtt['p95'] * 1e3:.1f} ms"
+            )
+        lines.append(f"  goodput: {flow.goodput_mbps():.2f} Mbps")
+    return "\n".join(lines)

@@ -1,0 +1,313 @@
+"""Distilling a trace into a replayable :class:`ReorderProfile`.
+
+The ε-multipath scenarios of Figure 6 choose a path *per packet*,
+independently — so the one-way extra delay each packet experiences is an
+iid draw from some distribution.  That makes the empirical distribution
+itself a faithful generative model: record every matched send→arrival
+delay, subtract the propagation floor, and sampling from the resulting
+empirical CDF reproduces the same reordering process (extent, density,
+late-time offsets) that the original run exhibited.
+
+:func:`distill_profile` performs exactly that distillation from a
+:class:`~repro.traces.stream.TraceStream` flow: it joins original
+(non-retransmitted) sends to their arrivals by ``packet_uid``, extracts
+
+* ``base_delay`` — the minimum observed one-way delay (propagation floor),
+* ``extra_delays`` — the sorted empirical extra-delay distribution,
+* ``loss_rate`` — the fraction of matured originals that never arrived,
+* ``send_times``/``send_seqs`` — the recorded injection schedule,
+
+and packages them as a frozen, JSON-serializable :class:`ReorderProfile`.
+:mod:`repro.traces.replay` plugs the profile back into the simulator.
+
+Sampling is deterministic: :meth:`ReorderProfile.sampler` derives its RNG
+via :func:`repro.sim.rng.derive_child_seed`, so equal seeds reproduce the
+replay bit-identically.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+from repro.sim.rng import derive_child_seed
+from repro.traces.stream import FlowTrace, TraceStream
+
+PathLike = Union[str, Path]
+
+
+def _empirical_draw(values: Tuple[float, ...], rng: "random.Random") -> float:
+    """Inverse-CDF draw from an empirical sample tuple (0.0 if empty)."""
+    if not values:
+        return 0.0
+    index = int(rng.random() * len(values))
+    if index == len(values):  # rng.random() ~ 1.0 edge
+        index -= 1
+    return values[index]
+
+#: Record type used when a profile is embedded in a ``repro.obs/v1``
+#: stream (the schema is append-only, so a new record type is legal).
+PROFILE_RECORD = "reorder_profile"
+
+
+@dataclass(frozen=True)
+class ReorderProfile:
+    """An empirical delay/displacement/loss process distilled from a trace.
+
+    Attributes:
+        name: Human-readable provenance label (e.g. the source file or
+            sweep-cell key).
+        base_delay: Propagation floor — the minimum matched one-way
+            delay, seconds.
+        extra_delays: Sorted empirical extra delays (delay minus
+            ``base_delay``), one entry per matched original arrival.
+            Sampling uniformly from this tuple IS sampling the
+            empirical delay distribution.
+        loss_rate: Fraction of matured original transmissions that never
+            arrived (tail sends still in flight at trace end excluded).
+        send_times: Original-transmission injection times, seconds,
+            shifted so the first send is at 0.0.
+        send_seqs: Segment numbers matching ``send_times``.
+        path_extras: Per-path empirical extra-delay distributions —
+            ``(path_label, sorted extras)`` pairs, weighted implicitly
+            by their sample counts.  When the source trace recorded the
+            route each send took (ε-multipath stamps it), the replay
+            samples a *path* per packet and enforces FIFO order within
+            each path, matching the original network where same-path
+            packets cannot overtake each other.  Empty when the source
+            had no path information; sampling then falls back to the
+            pooled ``extra_delays``.
+        source_flow: ``str(FlowKey)`` of the distilled flow.
+    """
+
+    name: str
+    base_delay: float
+    extra_delays: Tuple[float, ...]
+    loss_rate: float
+    send_times: Tuple[float, ...] = field(default=())
+    send_seqs: Tuple[int, ...] = field(default=())
+    path_extras: Tuple[Tuple[str, Tuple[float, ...]], ...] = field(default=())
+    source_flow: str = ""
+
+    def __post_init__(self) -> None:
+        if self.base_delay < 0.0:
+            raise ValueError(f"base_delay must be >= 0, got {self.base_delay}")
+        if not 0.0 <= self.loss_rate <= 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1], got {self.loss_rate}")
+        if len(self.send_times) != len(self.send_seqs):
+            raise ValueError("send_times and send_seqs must be parallel")
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def sampler(self, seed: int, name: str = "replay.delay") -> "random.Random":
+        """A deterministic RNG for this profile (seed-derived stream)."""
+        return random.Random(derive_child_seed(seed, name))  # lint: allow-module-random(seed-derived stream for replay outside any Simulator; in-sim replay uses the network's RngRegistry)
+
+    def sample_extra_delay(self, rng: "random.Random") -> float:
+        """One inverse-CDF draw from the pooled extra-delay distribution."""
+        return _empirical_draw(self.extra_delays, rng)
+
+    def sample_path_delay(self, rng: "random.Random") -> Tuple[str, float]:
+        """One (path, extra-delay) draw from the per-path mixture.
+
+        Paths are chosen with probability proportional to their sample
+        counts — the empirical estimate of the original per-packet path
+        distribution.  Falls back to ``("", pooled draw)`` when the
+        profile carries no path information.
+        """
+        if not self.path_extras:
+            return "", self.sample_extra_delay(rng)
+        total = sum(len(extras) for _, extras in self.path_extras)
+        pick = int(rng.random() * total)
+        for path, extras in self.path_extras:
+            if pick < len(extras):
+                return path, _empirical_draw(extras, rng)
+            pick -= len(extras)
+        path, extras = self.path_extras[-1]  # rng.random() ~ 1.0 edge
+        return path, _empirical_draw(extras, rng)
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def max_extra_delay(self) -> float:
+        return self.extra_delays[-1] if self.extra_delays else 0.0
+
+    @property
+    def duration(self) -> float:
+        """Span of the recorded send schedule, seconds."""
+        return self.send_times[-1] if self.send_times else 0.0
+
+    def mean_extra_delay(self) -> float:
+        if not self.extra_delays:
+            return 0.0
+        return sum(self.extra_delays) / len(self.extra_delays)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_record(self) -> Dict[str, Any]:
+        """The profile as a ``repro.obs/v1``-style record."""
+        return {
+            "record": PROFILE_RECORD,
+            "name": self.name,
+            "base_delay": self.base_delay,
+            "extra_delays": list(self.extra_delays),
+            "loss_rate": self.loss_rate,
+            "send_times": list(self.send_times),
+            "send_seqs": list(self.send_seqs),
+            "path_extras": [
+                [path, list(extras)] for path, extras in self.path_extras
+            ],
+            "source_flow": self.source_flow,
+        }
+
+    @classmethod
+    def from_record(cls, record: Dict[str, Any]) -> "ReorderProfile":
+        if record.get("record") != PROFILE_RECORD:
+            raise ValueError(
+                f"not a {PROFILE_RECORD!r} record: {record.get('record')!r}"
+            )
+        return cls(
+            name=str(record.get("name", "")),
+            base_delay=float(record["base_delay"]),
+            extra_delays=tuple(float(v) for v in record.get("extra_delays", [])),
+            loss_rate=float(record.get("loss_rate", 0.0)),
+            send_times=tuple(float(v) for v in record.get("send_times", [])),
+            send_seqs=tuple(int(v) for v in record.get("send_seqs", [])),
+            path_extras=tuple(
+                (str(path), tuple(float(v) for v in extras))
+                for path, extras in record.get("path_extras", [])
+            ),
+            source_flow=str(record.get("source_flow", "")),
+        )
+
+    def save(self, path: PathLike) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_record()) + "\n", encoding="utf-8")
+        return path
+
+    @classmethod
+    def load(cls, path: PathLike) -> "ReorderProfile":
+        return cls.from_record(json.loads(Path(path).read_text(encoding="utf-8")))
+
+    def summary(self) -> str:
+        return (
+            f"profile {self.name or '(unnamed)'}: "
+            f"{len(self.extra_delays)} delay samples, "
+            f"base={self.base_delay * 1e3:.2f} ms, "
+            f"extra mean={self.mean_extra_delay() * 1e3:.2f} "
+            f"max={self.max_extra_delay * 1e3:.2f} ms, "
+            f"loss={self.loss_rate:.3%}, "
+            f"{len(self.path_extras)} path(s), "
+            f"{len(self.send_times)} recorded sends over {self.duration:.2f} s"
+        )
+
+
+def distill_profile(
+    source: Union[TraceStream, FlowTrace],
+    flow_id: Optional[int] = None,
+    cell: str = "",
+    name: str = "",
+) -> ReorderProfile:
+    """Distill one flow's trace into a :class:`ReorderProfile`.
+
+    Args:
+        source: A parsed stream (give ``flow_id``/``cell`` to pick the
+            flow; with exactly one flow present it is picked
+            automatically) or a :class:`FlowTrace` directly.
+        flow_id: Flow to distill when ``source`` is a stream.
+        cell: Sweep-cell tag of the flow (empty for single-run traces).
+        name: Provenance label; defaults to the flow key.
+
+    Raises:
+        ValueError: If the flow has no matched send→arrival pairs (an
+            empirical delay distribution needs at least one sample).
+    """
+    if isinstance(source, TraceStream):
+        flows = source.flows()
+        if flow_id is None:
+            if len(flows) != 1:
+                raise ValueError(
+                    f"stream has {len(flows)} flows "
+                    f"({', '.join(str(k) for k in sorted(flows))}); "
+                    "pass flow_id= (and cell= for sweep traces)"
+                )
+            flow = next(iter(flows.values()))
+        else:
+            # An explicit cell wins; otherwise the flow id alone is
+            # accepted when it is unambiguous across cells.
+            matches = [
+                candidate
+                for key, candidate in sorted(flows.items())
+                if key.flow_id == flow_id and (not cell or key.cell == cell)
+            ]
+            if len(matches) != 1:
+                raise ValueError(
+                    f"flow_id={flow_id}"
+                    + (f" cell={cell!r}" if cell else "")
+                    + f" matches {len(matches)} flows; stream has: "
+                    + (", ".join(str(k) for k in sorted(flows)) or "none")
+                )
+            flow = matches[0]
+    else:
+        flow = source
+
+    arrival_times: Dict[int, float] = {}
+    for event in flow.arrivals:
+        arrival_times.setdefault(event.packet_uid, event.time)
+
+    originals = [event for event in flow.sends if not event.retransmit]
+    delays = []
+    matched_send_times = []
+    by_path: Dict[str, list] = {}
+    for event in originals:
+        arrived_at = arrival_times.get(event.packet_uid)
+        if arrived_at is not None and arrived_at >= event.time:
+            delays.append(arrived_at - event.time)
+            matched_send_times.append(event.time)
+            by_path.setdefault(event.path or "", []).append(
+                arrived_at - event.time
+            )
+    if not delays:
+        raise ValueError(
+            f"flow {flow.key} has no matched send/arrival pairs; was the "
+            "sender node traced? (--trace-out records both endpoints)"
+        )
+
+    base_delay = min(delays)
+    extras = tuple(sorted(delay - base_delay for delay in delays))
+    # Per-path mixture: only meaningful when routes were actually
+    # recorded (a single "" bucket adds nothing over the pooled form).
+    path_extras: Tuple[Tuple[str, Tuple[float, ...]], ...] = ()
+    if len(by_path) > 1 or (len(by_path) == 1 and "" not in by_path):
+        path_extras = tuple(
+            (path, tuple(sorted(value - base_delay for value in values)))
+            for path, values in sorted(by_path.items())
+        )
+
+    # Loss: matured originals that never arrived.  A send later than the
+    # last *matched* send may still have been in flight when the trace
+    # ended, so only sends up to that time count toward the denominator.
+    cutoff = max(matched_send_times)
+    matured = [event for event in originals if event.time <= cutoff]
+    lost = sum(
+        1 for event in matured if event.packet_uid not in arrival_times
+    )
+    loss_rate = lost / len(matured) if matured else 0.0
+
+    first_send = originals[0].time if originals else 0.0
+    return ReorderProfile(
+        name=name or str(flow.key),
+        base_delay=base_delay,
+        extra_delays=extras,
+        loss_rate=loss_rate,
+        send_times=tuple(event.time - first_send for event in originals),
+        send_seqs=tuple(event.seq for event in originals),
+        path_extras=path_extras,
+        source_flow=str(flow.key),
+    )

@@ -312,3 +312,115 @@ def test_obs_convert_subcommand(tmp_path, capsys):
 def test_obs_requires_subcommand():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["obs"])
+
+
+# ----------------------------------------------------------------------
+# The trace pipeline: trace analyze / replay / convert
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def fig6_trace(tmp_path_factory):
+    """One traced Figure 6 cell, captured through --trace-out."""
+    path = tmp_path_factory.mktemp("trace") / "fig6.jsonl"
+    assert main([
+        "fig6", "--protocols", "tcp-pr", "--epsilons", "4",
+        "--duration", "2", "--no-cache", "--trace-out", str(path),
+    ]) == 0
+    return path
+
+
+def test_trace_requires_subcommand():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["trace"])
+
+
+def test_trace_subcommands_inherit_the_shared_flag_groups():
+    """The parent-parser contract: new subcommands get the full
+    execution + observability flag surface by construction."""
+    parser = build_parser()
+    for argv in (
+        ["trace", "analyze", "t.jsonl"],
+        ["trace", "replay", "t.jsonl"],
+        ["trace", "convert", "t.csv"],
+    ):
+        args = parser.parse_args([
+            *argv, "--jobs", "3", "--no-cache", "--cache-dir", "/tmp/x",
+            "--seed", "9", "--metrics-out", "m.jsonl",
+        ])
+        assert args.jobs == 3
+        assert args.no_cache
+        assert args.seed == 9
+        assert args.metrics_out == "m.jsonl"
+        assert args.json is None
+
+
+def test_trace_analyze_renders_a_report(fig6_trace, capsys):
+    assert main(["trace", "analyze", str(fig6_trace)]) == 0
+    out = capsys.readouterr().out
+    assert "flow=1" in out
+    assert "reordered=" in out
+
+
+def test_trace_analyze_json_dump(fig6_trace, tmp_path, capsys):
+    out_path = tmp_path / "report.json"
+    assert main([
+        "trace", "analyze", str(fig6_trace), "--json", str(out_path),
+    ]) == 0
+    capsys.readouterr()
+    data = json.loads(out_path.read_text())
+    (flow_key,) = data["flows"]
+    flow = data["flows"][flow_key]
+    assert flow["unique_arrivals"] > 0
+    assert 0.0 <= flow["reorder_ratio"] <= 1.0
+
+
+def test_trace_analyze_unknown_flow_lists_known_ones(fig6_trace, capsys):
+    assert main(["trace", "analyze", str(fig6_trace), "--flow", "42"]) == 1
+    err = capsys.readouterr().err
+    assert "flows:" in err
+
+
+def test_trace_replay_round_trip_through_a_saved_profile(
+    fig6_trace, tmp_path, capsys
+):
+    profile_path = tmp_path / "profile.json"
+    assert main([
+        "trace", "replay", str(fig6_trace), "--flow", "1",
+        "--profile-out", str(profile_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "profile" in out
+    assert "open-loop replay" in out
+    assert profile_path.exists()
+
+    # The saved profile is itself a valid replay input.
+    assert main([
+        "trace", "replay", str(profile_path), "--variant", "sack",
+        "--duration", "2",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "closed-loop replay" in out
+    assert "Mbps goodput" in out
+
+
+def test_trace_replay_rejects_streams_without_sends(tmp_path, capsys):
+    from repro.obs import write_jsonl as _write
+
+    path = tmp_path / "empty.jsonl"
+    _write([], path, command="test")
+    assert main(["trace", "replay", str(path)]) == 1
+    assert "cannot build a replay profile" in capsys.readouterr().err
+
+
+def test_trace_convert_imports_a_csv_capture(tmp_path, capsys):
+    csv_path = tmp_path / "capture.csv"
+    csv_path.write_text(
+        "time,kind,seq,flow\n"
+        "0.0,send,0,1\n0.1,send,1,1\n"
+        "0.05,recv,0,1\n0.16,recv,1,1\n"
+    )
+    assert main(["trace", "convert", str(csv_path)]) == 0
+    out = capsys.readouterr().out
+    assert "[trace written to" in out
+    converted = tmp_path / "capture.jsonl"
+    assert main(["trace", "analyze", str(converted)]) == 0
+    assert "flow=1" in capsys.readouterr().out

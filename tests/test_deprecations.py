@@ -1,107 +1,141 @@
-"""Tests for the deprecation shims: repro.trace re-exports and the
-legacy keyword-form experiment entry points.
+"""Tests for the removed legacy APIs: the ``repro.trace`` tombstone and
+the spec-required experiment entry points.
 
-All deprecation messages are ``repro.``-prefixed so pytest.ini can turn
-them into errors for internal code while tests opt in via pytest.warns.
+The shims that used to live here have expired: ``repro.trace`` now
+raises at import with a migration map, and ``run_figN`` rejects every
+pre-spec calling convention through
+:func:`repro.experiments._deprecation.require_spec`.
 """
 
-import warnings
+import importlib
+import subprocess
+import sys
 
 import pytest
 
-import repro.obs
-import repro.obs.monitors
-import repro.obs.trace
-import repro.trace
-import repro.trace.events
-import repro.trace.monitors
-
-
-# ----------------------------------------------------------------------
-# repro.trace module shims
-# ----------------------------------------------------------------------
-@pytest.mark.parametrize(
-    "shim, home, name",
-    [
-        (repro.trace, repro.obs, "FlowThroughputMonitor"),
-        (repro.trace, repro.obs, "CwndMonitor"),
-        (repro.trace, repro.obs, "QueueMonitor"),
-        (repro.trace, repro.obs, "FaultTimelineMonitor"),
-        (repro.trace, repro.obs, "PacketTracer"),
-        (repro.trace, repro.obs, "FaultRecord"),
-        (repro.trace.monitors, repro.obs.monitors, "FlowThroughputMonitor"),
-        (repro.trace.monitors, repro.obs.monitors, "CwndMonitor"),
-        (repro.trace.monitors, repro.obs.monitors, "QueueMonitor"),
-        (repro.trace.monitors, repro.obs.monitors, "FaultTimelineMonitor"),
-        (repro.trace.events, repro.obs.trace, "PacketTracer"),
-        (repro.trace.events, repro.obs.trace, "TraceEvent"),
-        (repro.trace.events, repro.obs.trace, "FaultRecord"),
-    ],
+from repro.experiments._deprecation import (
+    EXEC_OPTION_KEYS,
+    LegacyCallError,
+    reject_legacy_call,
 )
-def test_trace_shim_warns_and_returns_the_moved_object(shim, home, name):
-    with pytest.warns(DeprecationWarning, match=r"^repro\.trace.*deprecated"):
-        shimmed = getattr(shim, name)
-    assert shimmed is getattr(home, name)
-
-
-def test_trace_shim_message_points_at_new_home():
-    with pytest.warns(DeprecationWarning) as caught:
-        repro.trace.PacketTracer
-    message = str(caught[0].message)
-    assert "repro.trace.PacketTracer" in message
-    assert "repro.obs" in message
-    assert "docs/OBSERVABILITY.md" in message
-
-
-def test_trace_shim_unknown_attribute_raises():
-    with pytest.raises(AttributeError):
-        repro.trace.NoSuchThing
-    with pytest.raises(AttributeError):
-        repro.trace.monitors.NoSuchThing
-    with pytest.raises(AttributeError):
-        repro.trace.events.NoSuchThing
-
-
-def test_trace_shim_all_lists_only_moved_names():
-    assert set(repro.trace.__all__) == {
-        "CwndMonitor",
-        "FaultRecord",
-        "FaultTimelineMonitor",
-        "FlowThroughputMonitor",
-        "PacketTracer",
-        "QueueMonitor",
-    }
 
 
 # ----------------------------------------------------------------------
-# Legacy keyword-form experiment entry points
+# repro.trace tombstone
 # ----------------------------------------------------------------------
-def test_legacy_run_fig6_keyword_form_warns():
+def test_import_repro_trace_raises_with_migration_map():
+    with pytest.raises(ModuleNotFoundError) as excinfo:
+        importlib.import_module("repro.trace")
+    message = str(excinfo.value)
+    assert "repro.trace was removed" in message
+    assert "repro.obs.monitors" in message
+    assert "repro.obs.trace" in message
+    assert "repro.traces" in message
+    assert "docs/TRACES.md" in message
+
+
+def test_import_repro_trace_fails_in_a_fresh_interpreter():
+    """The acceptance check, verbatim: ``import repro.trace`` fails."""
+    proc = subprocess.run(
+        [sys.executable, "-c", "import repro.trace"],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode != 0
+    assert "repro.trace was removed" in proc.stderr
+
+
+def test_no_in_tree_module_imports_the_tombstone():
+    """Nothing under repro/ may import repro.trace (repro.traces is the
+    new pipeline; repro.obs.trace is the tracer's canonical home)."""
+    import re
+    from pathlib import Path
+
+    import repro
+
+    root = Path(repro.__file__).parent
+    pattern = re.compile(
+        r"^\s*(?:from\s+repro\.trace\s+import|import\s+repro\.trace(?:\s|$))",
+        re.MULTILINE,
+    )
+    offenders = [
+        str(path)
+        for path in root.rglob("*.py")
+        if path.name != "trace.py" and pattern.search(path.read_text())
+    ]
+    assert offenders == []
+
+
+# ----------------------------------------------------------------------
+# Spec-required experiment entry points
+# ----------------------------------------------------------------------
+def test_run_fig6_rejects_keyword_form():
     from repro.experiments.fig6_multipath import run_fig6
 
-    with pytest.warns(DeprecationWarning, match=r"^repro\.experiments\.run_fig6"):
+    with pytest.raises(LegacyCallError, match="Fig6Spec"):
         run_fig6(protocols=("tcp-pr",), epsilons=(500.0,), duration=2.0)
 
 
-def test_spec_form_does_not_warn():
-    from repro.experiments.fig6_multipath import Fig6Spec, run_fig6
+def test_run_fig6_rejects_positional_link_delay():
+    from repro.experiments.fig6_multipath import run_fig6
 
-    with warnings.catch_warnings():
-        warnings.simplefilter("error")
-        run_fig6(Fig6Spec(protocols=("tcp-pr",), epsilons=(500.0,), duration=2.0))
+    with pytest.raises(LegacyCallError, match="run_fig6"):
+        run_fig6(0.01)
 
 
-def test_legacy_warning_names_the_spec_class():
+def test_run_fig2_rejects_positional_topology():
+    from repro.experiments.fig2_fairness import run_fig2
+
+    with pytest.raises(LegacyCallError, match="Fig2Spec"):
+        run_fig2("dumbbell", flow_counts=(2,))
+
+
+def test_run_fig4_rejects_missing_spec():
     from repro.experiments.fig4_params import run_fig4
 
-    with pytest.warns(DeprecationWarning, match="Fig4Spec") as caught:
-        run_fig4(alphas=(0.995,), betas=(1.0,), total_flows=2, duration=3.0,
-                 measure_window=2.0)
-    assert "docs/EXECUTOR.md" in str(caught[0].message)
+    with pytest.raises(LegacyCallError, match="docs/EXECUTOR.md"):
+        run_fig4()
 
 
-def test_internal_code_cannot_use_its_own_shims():
-    """pytest.ini turns repro.* DeprecationWarnings into errors, so any
-    internal import through a shim fails the suite loudly."""
-    with pytest.raises(DeprecationWarning):
-        warnings.warn("repro.trace.X is deprecated", DeprecationWarning)
+def test_beta_sweep_rejects_positional_betas():
+    from repro.experiments.fig4_params import run_extreme_loss_beta_sweep
+
+    with pytest.raises(LegacyCallError, match="BetaSweepSpec"):
+        run_extreme_loss_beta_sweep([1.0, 2.0])
+
+
+def test_stale_spec_keywords_are_rejected_even_with_a_spec():
+    from repro.experiments.fig6_multipath import Fig6Spec, run_fig6
+
+    with pytest.raises(LegacyCallError, match="epsilons"):
+        run_fig6(Fig6Spec(), epsilons=(0.1,))
+
+
+def test_exec_options_still_pass_through():
+    from repro.experiments.fig6_multipath import Fig6Spec, run_fig6
+
+    result = run_fig6(
+        Fig6Spec(protocols=("tcp-pr",), epsilons=(500.0,), duration=2.0),
+        keep_going=True,
+    )
+    assert result.throughput_mbps
+
+
+def test_error_names_replacement_and_docs():
+    with pytest.raises(LegacyCallError) as excinfo:
+        reject_legacy_call("run_fig9", "Fig9Spec", "spec=None")
+    message = str(excinfo.value)
+    assert "Fig9Spec.presets(Scale.QUICK" in message
+    assert "docs/EXECUTOR.md" in message
+    assert "run_fig9(spec, jobs=" in message
+
+
+def test_exec_option_keys_match_run_sweep_signature():
+    """The screening set must track run_sweep's keyword surface."""
+    import inspect
+
+    from repro.exec.runner import run_sweep
+
+    parameters = set(inspect.signature(run_sweep).parameters)
+    # run_sweep's spec/jobs/cache/seed are explicit run_figN parameters.
+    assert EXEC_OPTION_KEYS <= parameters

@@ -62,21 +62,25 @@ def test_run_sweep_seed_override():
     assert base == overridden
 
 
-def test_legacy_keyword_form_matches_spec_form():
-    """The deprecated keyword form still works — and warns."""
-    with pytest.warns(DeprecationWarning, match=r"^repro\."):
-        legacy = run_fig6(
-            protocols=("tcp-pr",), epsilons=(0.0, 500.0), duration=2.0
-        )
-    speced = run_fig6(_tiny_fig6_spec())
-    assert legacy == speced
+def test_spec_form_is_the_only_calling_convention():
+    """The legacy keyword/positional forms raise (see test_deprecations);
+    the spec form runs and matches itself across invocations."""
+    first = run_fig6(_tiny_fig6_spec())
+    second = run_fig6(_tiny_fig6_spec())
+    assert first == second
 
 
-def test_legacy_positional_topology_still_accepted():
-    with pytest.warns(DeprecationWarning, match=r"^repro\."):
-        result = run_fig2(
-            "dumbbell", flow_counts=(2,), duration=4.0, measure_window=2.0
+def test_run_fig2_spec_form():
+    from repro.experiments.fig2_fairness import Fig2Spec
+
+    result = run_fig2(
+        Fig2Spec(
+            topology="dumbbell",
+            flow_counts=(2,),
+            duration=4.0,
+            measure_window=2.0,
         )
+    )
     assert result.topology == "dumbbell"
     assert 2 in result.results
 

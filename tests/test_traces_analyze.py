@@ -1,0 +1,212 @@
+"""Unit tests for the pcap-style trace analyzer (repro.traces.analyze).
+
+Hand-built event streams with known ground truth: every metric the
+analyzer reports is checked against values computable by eye.
+"""
+
+import pytest
+
+from repro.traces import analyze_records, format_report
+from repro.traces.analyze import DUPACK_THRESHOLD
+
+
+def _trace(time, kind, seq, *, packet_kind="data", ack=-1, uid=None,
+           flow=1, flow_seq=0, retransmit=False, where=""):
+    return {
+        "record": "trace", "time": time, "kind": kind, "where": where,
+        "packet_uid": uid if uid is not None else int(time * 1e6),
+        "flow_id": flow, "flow_seq": flow_seq, "packet_kind": packet_kind,
+        "seq": seq, "ack": ack, "retransmit": retransmit, "path": None,
+    }
+
+
+def _with_flow_seq(records):
+    for index, record in enumerate(records):
+        record["flow_seq"] = index
+    return records
+
+
+# ----------------------------------------------------------------------
+# Reordering metrics (RFC 4737 at segment granularity)
+# ----------------------------------------------------------------------
+def test_in_order_stream_has_no_reordering():
+    records = _with_flow_seq(
+        [_trace(0.1 * i, "recv", i, uid=i) for i in range(10)]
+    )
+    report = analyze_records(records).flow(1)
+    assert report.reordered == 0
+    assert report.reorder_ratio == 0.0
+    assert report.extent_histogram == [10]
+    assert report.reorder_density() == [1.0]
+
+
+def test_single_swap_extent_and_late_offset():
+    # Arrivals: 0, 2, 1 — seq 1 is displaced by one position; the first
+    # greater-seq arrival (2) landed at t=0.2, seq 1 at t=0.35.
+    records = _with_flow_seq([
+        _trace(0.10, "recv", 0, uid=0),
+        _trace(0.20, "recv", 2, uid=2),
+        _trace(0.35, "recv", 1, uid=1),
+    ])
+    report = analyze_records(records).flow(1)
+    assert report.reordered == 1
+    assert report.extents == [1]
+    assert report.displacements == [1]
+    assert report.late_offsets == [pytest.approx(0.15)]
+    assert report.extent_histogram == [2, 1]
+
+
+def test_extent_counts_positions_not_sequence_gap():
+    # Arrivals: 1, 2, 3, 0 — seq 0 arrives 3 positions after seq 1 (the
+    # earliest greater-seq arrival), so extent = 3; displacement in
+    # sequence space = max_seen - seq = 3.
+    records = _with_flow_seq([
+        _trace(0.1, "recv", 1, uid=1),
+        _trace(0.2, "recv", 2, uid=2),
+        _trace(0.3, "recv", 3, uid=3),
+        _trace(0.4, "recv", 0, uid=0),
+    ])
+    report = analyze_records(records).flow(1)
+    assert report.extents == [3]
+    assert report.displacements == [3]
+    assert report.reorder_ratio == pytest.approx(1 / 4)
+
+
+def test_retransmit_fills_are_not_reordering():
+    # Hole at seq 1 filled by a segment flagged as a retransmission:
+    # loss recovery, not reordering.
+    records = _with_flow_seq([
+        _trace(0.1, "recv", 0, uid=0),
+        _trace(0.2, "recv", 2, uid=2),
+        _trace(0.5, "recv", 1, uid=9, retransmit=True),
+    ])
+    report = analyze_records(records).flow(1)
+    assert report.reordered == 0
+    assert report.late_originals == 0
+    assert report.retransmit_fills == 1
+
+
+def test_duplicate_arrivals_are_counted_separately():
+    records = _with_flow_seq([
+        _trace(0.1, "recv", 0, uid=0),
+        _trace(0.2, "recv", 0, uid=1),
+        _trace(0.3, "recv", 1, uid=2),
+    ])
+    report = analyze_records(records).flow(1)
+    assert report.unique_arrivals == 2
+    assert report.duplicate_arrivals == 1
+
+
+# ----------------------------------------------------------------------
+# Duplicate ACKs
+# ----------------------------------------------------------------------
+def test_dupack_run_detection():
+    acks = [1, 1, 1, 1, 2, 3, 3]  # one run of 3 dupacks, one lone dupack
+    records = _with_flow_seq([
+        _trace(0.1 * i, "recv", -1, packet_kind="ack", ack=a, uid=100 + i)
+        for i, a in enumerate(acks)
+    ])
+    report = analyze_records(records).flow(1)
+    assert report.dupacks == 4
+    assert report.dupack_events == 1
+    assert DUPACK_THRESHOLD == 3
+
+
+# ----------------------------------------------------------------------
+# Retransmission phases and interruptions
+# ----------------------------------------------------------------------
+def test_retransmission_phases_cluster_by_gap():
+    sends = (
+        [_trace(0.0 + 0.1 * i, "send", i, uid=i) for i in range(3)]
+        + [_trace(1.0, "send", 0, uid=10, retransmit=True),
+           _trace(1.2, "send", 1, uid=11, retransmit=True)]
+        + [_trace(5.0, "send", 2, uid=12, retransmit=True)]
+    )
+    report = analyze_records(
+        _with_flow_seq(sends), phase_gap=1.0
+    ).flow(1)
+    assert report.retransmits == 3
+    assert len(report.phases) == 2
+    first, second = report.phases
+    assert (first.start, first.end, first.segments) == (1.0, 1.2, 2)
+    assert (second.start, second.end, second.segments) == (5.0, 5.0, 1)
+
+
+def test_connection_interruption_detection():
+    times = [0.1 * i for i in range(20)] + [10.0, 10.1]
+    records = _with_flow_seq([
+        _trace(t, "recv", i, uid=i) for i, t in enumerate(times)
+    ])
+    report = analyze_records(records, interruption_gap=2.0).flow(1)
+    assert len(report.interruptions) == 1
+    gap = report.interruptions[0]
+    assert gap.start == pytest.approx(1.9)
+    assert gap.end == pytest.approx(10.0)
+    assert gap.duration == pytest.approx(8.1)
+
+
+# ----------------------------------------------------------------------
+# RTT and throughput sample streams
+# ----------------------------------------------------------------------
+def test_rtt_samples_match_send_ack_pairs():
+    records = _with_flow_seq([
+        _trace(0.0, "send", 0, uid=0),
+        _trace(1.0, "send", 1, uid=1),
+        _trace(0.08, "recv", -1, packet_kind="ack", ack=1, uid=100),
+        _trace(1.09, "recv", -1, packet_kind="ack", ack=2, uid=101),
+    ])
+    report = analyze_records(records).flow(1)
+    rtts = [rtt for _, rtt in report.rtt_samples]
+    assert rtts == [pytest.approx(0.08), pytest.approx(0.09)]
+
+
+def test_rtt_skips_retransmitted_seqs():
+    # Karn's rule: seq 0 was retransmitted, so its ACK is ambiguous.
+    records = _with_flow_seq([
+        _trace(0.0, "send", 0, uid=0),
+        _trace(0.5, "send", 0, uid=1, retransmit=True),
+        _trace(0.6, "recv", -1, packet_kind="ack", ack=1, uid=100),
+    ])
+    report = analyze_records(records).flow(1)
+    assert report.rtt_samples == []
+
+
+def test_throughput_samples_bucket_unique_deliveries():
+    # 4 unique arrivals over 2 s in 1 s windows: 2 segments each.
+    records = _with_flow_seq([
+        _trace(0.1, "recv", 0, uid=0),
+        _trace(0.6, "recv", 1, uid=1),
+        _trace(1.2, "recv", 2, uid=2),
+        _trace(1.2, "recv", 2, uid=3),  # duplicate: not goodput
+        _trace(1.8, "recv", 3, uid=4),
+    ])
+    report = analyze_records(records, throughput_window=1.0).flow(1)
+    mbps = [value for _, value in report.throughput_samples]
+    assert mbps == [pytest.approx(0.016), pytest.approx(0.016)]
+
+
+# ----------------------------------------------------------------------
+# Report plumbing
+# ----------------------------------------------------------------------
+def test_report_jsonable_and_format():
+    records = _with_flow_seq([
+        _trace(0.1, "recv", 0, uid=0),
+        _trace(0.2, "recv", 2, uid=2),
+        _trace(0.3, "recv", 1, uid=1),
+    ])
+    report = analyze_records(records)
+    jsonable = report.to_jsonable()
+    assert jsonable["flows"]["flow=1"]["reordered"] == 1
+    text = format_report(report)
+    assert "flow=1" in text
+    assert "reordered=1" in text
+
+
+def test_drop_events_counted():
+    records = _with_flow_seq([
+        _trace(0.0, "send", 0, uid=0),
+        _trace(0.1, "drop", 0, uid=0, where="a->b"),
+    ])
+    report = analyze_records(records).flow(1)
+    assert report.dropped_packets == 1
+    assert report.segments_sent == 1

@@ -1,0 +1,180 @@
+"""Tests for trace distillation (repro.traces.profile).
+
+Hand-built streams with known delays drive :func:`distill_profile`;
+the serialization round-trip and the determinism property of
+:meth:`ReorderProfile.sampler` (seed-derived via ``derive_child_seed``)
+are the load-bearing guarantees for replay.
+"""
+
+import pytest
+
+from repro.sim.rng import derive_child_seed
+from repro.traces import ReorderProfile, TraceStream, distill_profile
+from repro.traces.profile import PROFILE_RECORD
+
+
+def _trace(time, kind, seq, *, uid, flow=1, retransmit=False, path=None):
+    return {
+        "record": "trace", "time": time, "kind": kind,
+        "where": "src" if kind == "send" else "dst",
+        "packet_uid": uid, "flow_id": flow, "flow_seq": 0,
+        "packet_kind": "data", "seq": seq, "ack": -1,
+        "retransmit": retransmit, "path": path,
+    }
+
+
+def _known_stream():
+    """Ten sends 0.1 s apart; delays 50 ms + per-seq extra; seq 5 lost."""
+    records = []
+    for seq in range(10):
+        send_time = 0.1 * seq
+        records.append(_trace(send_time, "send", seq, uid=seq,
+                              path="p0" if seq % 2 == 0 else "p1"))
+        if seq == 5:
+            continue  # never arrives
+        extra = 0.002 * seq
+        records.append(_trace(send_time + 0.05 + extra, "recv", seq, uid=seq))
+    # A retransmission of the lost segment: excluded from the delay
+    # distribution and from the loss denominator.
+    records.append(_trace(2.0, "send", 5, uid=99, retransmit=True))
+    records.append(_trace(2.05, "recv", 5, uid=99))
+    for index, record in enumerate(sorted(records, key=lambda r: r["time"])):
+        record["flow_seq"] = index
+    return TraceStream(records)
+
+
+# ----------------------------------------------------------------------
+# Distillation ground truth
+# ----------------------------------------------------------------------
+def test_distill_base_delay_is_propagation_floor():
+    profile = distill_profile(_known_stream())
+    assert profile.base_delay == pytest.approx(0.05)
+
+
+def test_distill_extras_are_sorted_empirical_samples():
+    profile = distill_profile(_known_stream())
+    # seqs 0..9 minus the lost seq 5: extras 0.002 * seq.
+    expected = sorted(0.002 * seq for seq in range(10) if seq != 5)
+    assert profile.extra_delays == pytest.approx(tuple(expected))
+    assert profile.extra_delays == tuple(sorted(profile.extra_delays))
+
+
+def test_distill_loss_counts_matured_unarrived_originals():
+    profile = distill_profile(_known_stream())
+    # 10 matured originals, seq 5 never arrived as an original.
+    assert profile.loss_rate == pytest.approx(0.1)
+
+
+def test_distill_excludes_retransmissions_from_schedule():
+    profile = distill_profile(_known_stream())
+    assert len(profile.send_times) == 10  # originals only
+    assert profile.send_times[0] == 0.0  # shifted to start at zero
+    assert profile.send_seqs == tuple(range(10))
+
+
+def test_distill_groups_extras_by_path():
+    profile = distill_profile(_known_stream())
+    paths = dict(profile.path_extras)
+    assert set(paths) == {"p0", "p1"}
+    # Even seqs (minus nothing) rode p0; odd seqs (minus lost 5) rode p1.
+    assert len(paths["p0"]) == 5
+    assert len(paths["p1"]) == 4
+
+
+def test_distill_requires_matched_pairs():
+    records = [_trace(0.0, "send", 0, uid=0)]
+    with pytest.raises(ValueError, match="no matched send/arrival pairs"):
+        distill_profile(TraceStream(records))
+
+
+def test_distill_flow_selection_errors_list_known_flows():
+    records = [
+        _trace(0.0, "send", 0, uid=0, flow=1),
+        _trace(0.1, "recv", 0, uid=0, flow=1),
+        _trace(0.0, "send", 0, uid=1, flow=2),
+        _trace(0.1, "recv", 0, uid=1, flow=2),
+    ]
+    stream = TraceStream(records)
+    with pytest.raises(ValueError, match="pass flow_id="):
+        distill_profile(stream)
+    profile = distill_profile(stream, flow_id=2)
+    assert profile.source_flow.endswith("flow=2")
+    with pytest.raises(ValueError, match="matches 0 flows"):
+        distill_profile(stream, flow_id=7)
+
+
+# ----------------------------------------------------------------------
+# Serialization round-trip
+# ----------------------------------------------------------------------
+def test_record_round_trip_preserves_every_field():
+    profile = distill_profile(_known_stream(), name="known")
+    clone = ReorderProfile.from_record(profile.to_record())
+    assert clone == profile
+    assert clone.to_record()["record"] == PROFILE_RECORD
+
+
+def test_save_load_round_trip(tmp_path):
+    profile = distill_profile(_known_stream(), name="known")
+    path = profile.save(tmp_path / "profile.json")
+    assert ReorderProfile.load(path) == profile
+
+
+def test_from_record_rejects_other_record_types():
+    with pytest.raises(ValueError, match=PROFILE_RECORD):
+        ReorderProfile.from_record({"record": "metric", "base_delay": 0.0})
+
+
+def test_profile_validation():
+    with pytest.raises(ValueError, match="base_delay"):
+        ReorderProfile(name="x", base_delay=-1.0, extra_delays=(),
+                       loss_rate=0.0)
+    with pytest.raises(ValueError, match="loss_rate"):
+        ReorderProfile(name="x", base_delay=0.0, extra_delays=(),
+                       loss_rate=1.5)
+    with pytest.raises(ValueError, match="parallel"):
+        ReorderProfile(name="x", base_delay=0.0, extra_delays=(),
+                       loss_rate=0.0, send_times=(0.0,), send_seqs=())
+
+
+# ----------------------------------------------------------------------
+# Deterministic sampling (the property replay relies on)
+# ----------------------------------------------------------------------
+def test_sampler_is_deterministic_under_equal_seeds():
+    profile = distill_profile(_known_stream())
+    draws = [
+        [profile.sample_path_delay(profile.sampler(seed=7))
+         for _ in range(200)]
+        for _ in range(2)
+    ]
+    assert draws[0] == draws[1]
+
+
+def test_sampler_differs_across_seeds():
+    profile = distill_profile(_known_stream())
+    one = [profile.sample_path_delay(profile.sampler(seed=1))
+           for _ in range(200)]
+    two = [profile.sample_path_delay(profile.sampler(seed=2))
+           for _ in range(200)]
+    assert one != two
+
+
+def test_sampler_uses_derived_child_seed():
+    profile = distill_profile(_known_stream())
+    import random
+
+    expected = random.Random(derive_child_seed(11, "replay.delay"))
+    rng = profile.sampler(seed=11)
+    assert [rng.random() for _ in range(5)] == [
+        expected.random() for _ in range(5)
+    ]
+
+
+def test_samples_come_from_the_empirical_support():
+    profile = distill_profile(_known_stream())
+    rng = profile.sampler(seed=3)
+    pooled = set(profile.extra_delays)
+    for _ in range(500):
+        path, extra = profile.sample_path_delay(rng)
+        assert extra in pooled
+        assert path in {"p0", "p1"}
+    assert profile.sample_extra_delay(rng) in pooled

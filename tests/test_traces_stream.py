@@ -1,0 +1,159 @@
+"""Golden round-trip tests for the ``repro.obs/v1`` trace schema.
+
+The guarantee under test: a trace file parsed by
+:class:`~repro.traces.TraceStream` and re-emitted is **bit-identical**
+to the original — every record survives verbatim, including record
+types the stream does not itself interpret (the schema is append-only,
+so unknown types must pass through untouched).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.net.network import Network, install_static_routes
+from repro.obs.export import (
+    header_record,
+    read_jsonl,
+    trace_event_from_record,
+    trace_event_record,
+    write_jsonl,
+)
+from repro.obs.trace import PacketTracer, TraceEvent
+from repro.tcp.base import TcpConfig
+from repro.tcp.receiver import TcpReceiver
+from repro.tcp.sack import SackSender
+from repro.traces import FlowKey, TraceStream
+
+
+def _run_traced_flow(duration=2.0, seed=5):
+    """A tiny two-node SACK flow, traced at both endpoints."""
+    net = Network(seed=seed)
+    net.add_nodes("a", "b")
+    net.add_duplex_link("a", "b", bandwidth=4e6, delay=0.01, queue=40)
+    install_static_routes(net)
+    sender = SackSender(net.sim, net.node("a"), 1, "b", TcpConfig())
+    TcpReceiver(net.sim, net.node("b"), 1, "a")
+    tracer = PacketTracer()
+    tracer.watch_node_sends(net.node("a"))
+    tracer.watch_node(net.node("a"))
+    tracer.watch_node(net.node("b"))
+    tracer.watch_link_drops(net.link("a", "b"))
+    sender.start(0.0)
+    net.run(until=duration)
+    return tracer
+
+
+@pytest.fixture(scope="module")
+def trace_file(tmp_path_factory):
+    tracer = _run_traced_flow()
+    path = tmp_path_factory.mktemp("traces") / "flow.jsonl"
+    records = [trace_event_record(event) for event in tracer.events]
+    write_jsonl(records, path, command="test")
+    return path
+
+
+# ----------------------------------------------------------------------
+# Bit-identical re-emission
+# ----------------------------------------------------------------------
+def test_round_trip_is_bit_identical(trace_file, tmp_path):
+    original = Path(trace_file).read_bytes()
+    stream = TraceStream.from_jsonl(trace_file)
+    out = tmp_path / "reemitted.jsonl"
+    stream.write(out)
+    assert out.read_bytes() == original
+
+
+def test_double_round_trip_is_stable(trace_file, tmp_path):
+    once = tmp_path / "once.jsonl"
+    twice = tmp_path / "twice.jsonl"
+    TraceStream.from_jsonl(trace_file).write(once)
+    TraceStream.from_jsonl(once).write(twice)
+    assert twice.read_bytes() == once.read_bytes()
+
+
+def test_unknown_record_types_pass_through(tmp_path):
+    records = [
+        header_record(command="test"),
+        {"record": "trace", "time": 0.5, "kind": "send", "where": "a",
+         "packet_uid": 1, "flow_id": 1, "flow_seq": 0,
+         "packet_kind": "data", "seq": 0, "ack": -1,
+         "retransmit": False, "path": None},
+        {"record": "something_new", "payload": [1, 2, {"k": "v"}]},
+        {"record": "metric", "kind": "counter", "name": "x", "value": 3},
+    ]
+    path = tmp_path / "mixed.jsonl"
+    write_jsonl(records, path)
+    stream = TraceStream.from_jsonl(path)
+    assert len(stream.records) == 4
+    assert len(stream.events) == 1
+    out = tmp_path / "mixed-out.jsonl"
+    stream.write(out)
+    assert out.read_bytes() == path.read_bytes()
+
+
+def test_event_record_field_round_trip():
+    event = TraceEvent(
+        time=1.25, kind="recv", where="dst", packet_uid=77, flow_id=3,
+        flow_seq=12, packet_kind="data", seq=40, ack=-1, retransmit=True,
+        path="src>m1>dst",
+    )
+    assert trace_event_from_record(trace_event_record(event)) == event
+
+
+def test_reader_tolerates_pre_flow_seq_records():
+    """Append-only schema: old records without the new fields parse."""
+    old = {"record": "trace", "time": 2.0, "kind": "recv", "where": "b",
+           "packet_uid": 5, "flow_id": 1, "packet_kind": "data",
+           "seq": 9, "ack": -1}
+    event = trace_event_from_record(old)
+    assert event.flow_seq == 0
+    assert event.retransmit is False
+    assert event.path is None
+
+
+# ----------------------------------------------------------------------
+# Flow views and the stable join key
+# ----------------------------------------------------------------------
+def test_flow_views_split_by_kind(trace_file):
+    stream = TraceStream.from_jsonl(trace_file)
+    flow = stream.flow(1)
+    assert flow.sends, "sender node sends were not traced"
+    assert flow.arrivals, "receiver arrivals were not traced"
+    assert flow.ack_arrivals, "returning ACKs were not traced"
+    assert all(e.kind == "send" and e.packet_kind == "data" for e in flow.sends)
+    assert all(e.kind == "recv" and e.packet_kind == "data" for e in flow.arrivals)
+    assert all(e.kind == "recv" and e.packet_kind == "ack" for e in flow.ack_arrivals)
+
+
+def test_flow_seq_is_monotonic_per_flow(trace_file):
+    stream = TraceStream.from_jsonl(trace_file)
+    seqs = [event.flow_seq for event, _ in stream.events]
+    assert seqs == sorted(seqs)
+    assert len(set(seqs)) == len(seqs)
+
+
+def test_flow_ordering_survives_record_shuffle(trace_file):
+    """The analyzer join must not depend on emission order: shuffling
+    the records leaves every flow view identical, because views sort by
+    the stable (flow_seq, time) key."""
+    records = read_jsonl(trace_file)
+    header, body = records[0], records[1:]
+    reversed_stream = TraceStream([header] + list(reversed(body)))
+    original_stream = TraceStream(records)
+    assert reversed_stream.flow(1).sends == original_stream.flow(1).sends
+    assert reversed_stream.flow(1).arrivals == original_stream.flow(1).arrivals
+
+
+def test_cell_tags_keep_sweep_flows_apart():
+    base = {"record": "trace", "time": 0.0, "kind": "send", "where": "a",
+            "packet_uid": 0, "flow_id": 1, "flow_seq": 0,
+            "packet_kind": "data", "seq": 0, "ack": -1,
+            "retransmit": False, "path": None}
+    records = [dict(base, cell="cell-a"), dict(base, cell="cell-b",
+                                               packet_uid=1)]
+    stream = TraceStream(records)
+    flows = stream.flows()
+    assert FlowKey(cell="cell-a", flow_id=1) in flows
+    assert FlowKey(cell="cell-b", flow_id=1) in flows
+    assert len(flows) == 2
