@@ -1,0 +1,68 @@
+"""Crash-safe simulator checkpoint/resume (``repro.ckpt/v1``).
+
+Public surface:
+
+* :func:`save_checkpoint` / :func:`load_checkpoint` /
+  :func:`inspect_checkpoint` and the :class:`Checkpoint` handle —
+  whole-simulator snapshots with atomic writes, per-section CRCs, and a
+  bit-identical continuation contract (:mod:`repro.checkpoint.snapshot`).
+* The :class:`StatefulComponent` protocol and generic helpers for
+  component-level snapshot/restore (:mod:`repro.checkpoint.state`).
+* :class:`CellPlan` / :func:`cell_plan` / :func:`checkpointable` — the
+  cooperative opt-in that makes sweep cell functions resumable across
+  process death (:mod:`repro.checkpoint.cell`).
+* Typed errors (:mod:`repro.checkpoint.errors`).
+
+See ``docs/CHECKPOINT.md`` for the file format, the atomicity story,
+and the resume contract's caveats.
+"""
+
+from repro.checkpoint.cell import (
+    CellPlan,
+    CellScope,
+    cell_plan,
+    checkpointable,
+    get_plan,
+    set_plan,
+)
+from repro.checkpoint.errors import (
+    CheckpointCorruptError,
+    CheckpointError,
+    CheckpointFormatError,
+)
+from repro.checkpoint.snapshot import (
+    SCHEMA_VERSION,
+    Checkpoint,
+    inspect_checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.checkpoint.state import (
+    StatefulComponent,
+    restore_globals,
+    restore_object,
+    snapshot_globals,
+    snapshot_object,
+)
+
+__all__ = [
+    "CellPlan",
+    "CellScope",
+    "Checkpoint",
+    "CheckpointCorruptError",
+    "CheckpointError",
+    "CheckpointFormatError",
+    "SCHEMA_VERSION",
+    "StatefulComponent",
+    "cell_plan",
+    "checkpointable",
+    "get_plan",
+    "inspect_checkpoint",
+    "load_checkpoint",
+    "save_checkpoint",
+    "set_plan",
+    "snapshot_globals",
+    "snapshot_object",
+    "restore_globals",
+    "restore_object",
+]

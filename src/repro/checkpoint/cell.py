@@ -1,0 +1,218 @@
+"""Cooperative per-cell checkpointing for sweep cell functions.
+
+A cell function cannot be transparently checkpointed from the outside —
+only it knows how to build its scenario.  The contract here mirrors the
+ambient :class:`~repro.obs.instrument.Instrumentation` pattern: the
+executor (or a test) arms an ambient :class:`CellPlan` (checkpoint path
++ interval); a cell that wraps its scenario in :func:`checkpointable`
+then becomes resumable across process death for free:
+
+* no plan armed -> ``build()`` runs and the simulation executes exactly
+  as before (zero overhead, zero behavior change);
+* plan armed, no checkpoint file -> ``build()`` runs, the returned
+  components are registered on the simulator, and the run snapshots
+  every ``plan.every`` simulation seconds;
+* plan armed, checkpoint file present (a previous attempt died) -> the
+  scenario is **not** rebuilt; the simulator and components are restored
+  from the file and the run continues bit-identically.
+
+::
+
+    def run_cell(*, duration, seed):
+        def build():
+            net = make_network(seed)
+            flow = BulkTransfer(net, ...)
+            maybe_observe(net)
+            return {"net": net, "flow": flow}
+
+        with checkpointable(build) as scope:
+            scope.run(until=duration)
+            return scope["flow"].delivered_bytes()
+
+On clean exit of the ``with`` block the checkpoint file is deleted — the
+cell completed, and its result travels through the normal cache/journal
+machinery.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterator, Mapping, Optional
+
+from repro.checkpoint.errors import CheckpointError
+from repro.checkpoint.snapshot import load_checkpoint
+from repro.sim.engine import Simulator
+
+#: Registry-name prefix for components a cell scope registers.
+_CELL_PREFIX = "cell:"
+#: Registry name under which the ambient instrumentation rides the graph.
+_OBS_COMPONENT = "cell:__obs__"
+
+
+@dataclass(frozen=True)
+class CellPlan:
+    """Where and how often the current cell should checkpoint."""
+
+    path: Path
+    every: float
+
+    def __post_init__(self) -> None:
+        if self.every <= 0:
+            raise ValueError(f"checkpoint interval must be positive, got {self.every}")
+
+
+_plan: Optional[CellPlan] = None
+
+
+def set_plan(plan: Optional[CellPlan]) -> None:
+    """Set (or clear, with None) the ambient checkpoint plan."""
+    global _plan
+    _plan = plan
+
+
+def get_plan() -> Optional[CellPlan]:
+    """The ambient checkpoint plan, if one is armed."""
+    return _plan
+
+
+@contextlib.contextmanager
+def cell_plan(plan: Optional[CellPlan]) -> Iterator[Optional[CellPlan]]:
+    """Arm ``plan`` as the ambient checkpoint plan for the duration."""
+    previous = get_plan()
+    set_plan(plan)
+    try:
+        yield plan
+    finally:
+        set_plan(previous)
+
+
+class CellScope:
+    """The live scenario of one cell: components plus the run entry point."""
+
+    __slots__ = ("components", "simulator", "resumed", "plan")
+
+    def __init__(
+        self,
+        components: Dict[str, Any],
+        simulator: Simulator,
+        resumed: bool,
+        plan: Optional[CellPlan],
+    ) -> None:
+        self.components = components
+        self.simulator = simulator
+        #: True when the scenario was restored from a checkpoint file
+        #: instead of built fresh (``build()`` did not run).
+        self.resumed = resumed
+        self.plan = plan
+
+    def __getitem__(self, name: str) -> Any:
+        try:
+            return self.components[name]
+        except KeyError:
+            raise CheckpointError(
+                f"cell component {name!r} not found "
+                f"(known: {sorted(self.components)})"
+            ) from None
+
+    def run(self, until: Optional[float] = None, **kwargs: Any) -> None:
+        """Run the cell's simulator, checkpointing if a plan is armed."""
+        if self.plan is None:
+            self.simulator.run(until=until, **kwargs)
+        else:
+            self.simulator.run(
+                until=until,
+                checkpoint_every=self.plan.every,
+                checkpoint_path=self.plan.path,
+                **kwargs,
+            )
+
+
+@contextlib.contextmanager
+def checkpointable(build: Callable[[], Mapping[str, Any]]) -> Iterator[CellScope]:
+    """Make one cell's scenario resumable under the ambient plan.
+
+    ``build`` constructs the scenario from scratch and returns a name ->
+    component mapping; at least one component must expose the simulator
+    (a ``.sim`` attribute, e.g. a :class:`~repro.net.network.Network`).
+    See the module docstring for the three execution modes.
+    """
+    plan = get_plan()
+    if plan is not None and plan.path.exists():
+        simulator = load_checkpoint(plan.path).resume()
+        components = {
+            name[len(_CELL_PREFIX):]: comp
+            for name, comp in simulator.components.items()
+            if name.startswith(_CELL_PREFIX) and name != _OBS_COMPONENT
+        }
+        _adopt_restored_instrumentation(simulator)
+        scope = CellScope(components, simulator, resumed=True, plan=plan)
+    else:
+        components = dict(build())
+        simulator = _find_simulator(components)
+        for name, comp in components.items():
+            simulator.register_component(_CELL_PREFIX + name, comp)
+        _register_ambient_instrumentation(simulator)
+        scope = CellScope(components, simulator, resumed=False, plan=plan)
+    yield scope
+    # Clean completion: the cell's result is about to be recorded by the
+    # caller, so the intermediate snapshot has served its purpose.  (On
+    # an exception the file survives for the next attempt to resume.)
+    if plan is not None:
+        try:
+            plan.path.unlink()
+        except OSError:
+            pass
+
+
+# ----------------------------------------------------------------------
+def _find_simulator(components: Mapping[str, Any]) -> Simulator:
+    for comp in components.values():
+        if isinstance(comp, Simulator):
+            return comp
+        sim = getattr(comp, "sim", None)
+        if isinstance(sim, Simulator):
+            return sim
+    raise CheckpointError(
+        "checkpointable build() returned no component exposing the "
+        "simulator (need a Simulator or an object with a .sim attribute)"
+    )
+
+
+def _register_ambient_instrumentation(simulator: Simulator) -> None:
+    """Put the ambient Instrumentation (if any) on the checkpointed graph.
+
+    The executor's metrics/trace collection lives in an ambient
+    :class:`~repro.obs.instrument.Instrumentation`; registering it as a
+    component means its registry, tracer, and monitors are snapshotted
+    with everything else, so a resumed cell still exports the complete
+    observation stream.
+    """
+    from repro.obs.instrument import get_ambient
+
+    ambient = get_ambient()
+    if ambient is not None:
+        simulator.register_component(_OBS_COMPONENT, ambient)
+
+
+def _adopt_restored_instrumentation(simulator: Simulator) -> None:
+    """Graft restored observation state onto the fresh ambient instance.
+
+    After a resume the executor holds a *new* ambient Instrumentation
+    (created in the new process) while the restored graph carries the
+    one that actually observed the run so far.  The fresh instance
+    adopts the restored registry/tracer/monitors so ``to_records()`` in
+    the executor sees the full history.
+    """
+    from repro.obs.instrument import get_ambient
+
+    ambient = get_ambient()
+    restored = simulator.components.get(_OBS_COMPONENT)
+    if ambient is None or restored is None or restored is ambient:
+        return
+    ambient.registry = restored.registry
+    ambient.trace_enabled = restored.trace_enabled
+    ambient._tracer = restored._tracer
+    ambient._fault_monitor = restored._fault_monitor
+    ambient.monitors = restored.monitors

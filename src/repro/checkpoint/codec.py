@@ -1,0 +1,48 @@
+"""The one sanctioned pickle site for simulator snapshots.
+
+All checkpoint payloads go through :func:`encode`/:func:`decode` with a
+*pinned* pickle protocol, so files written by one interpreter resume on
+another and lint rule REP105 can forbid ad-hoc ``pickle`` use elsewhere
+(serialization that bypasses the versioned ``repro.ckpt`` container and
+its CRCs is exactly the corruption vector this subsystem exists to
+close).
+
+Why whole-graph pickling: bit-identical continuation requires that
+shared references survive the round trip — a sender's ``peer`` string,
+a link's queue, the packets sitting both in a queue *and* in a heap
+event must come back as the *same* objects, not equal copies.  Pickling
+the entire :class:`~repro.sim.engine.Simulator` graph in one pass gives
+exactly that via the pickle memo; per-component serialization would
+silently sever those identities.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any
+
+from repro.checkpoint.errors import CheckpointCorruptError
+
+#: Pinned so checkpoints are portable across the supported interpreters
+#: (protocol 4 is the py3.8+ default and readable everywhere we run).
+PICKLE_PROTOCOL = 4
+
+
+def encode(obj: Any) -> bytes:
+    """Serialize ``obj`` with the pinned checkpoint protocol."""
+    return pickle.dumps(obj, protocol=PICKLE_PROTOCOL)
+
+
+def decode(data: bytes, *, section: str = "payload") -> Any:
+    """Deserialize a checkpoint payload.
+
+    Raises:
+        CheckpointCorruptError: naming ``section`` when the payload does
+            not unpickle (CRCs catch bit rot; this catches truncated
+            writes of a *valid* CRC'd section and version skew in the
+            pickled class layout).
+    """
+    try:
+        return pickle.loads(data)
+    except Exception as exc:  # lint: allow-broad-except(unpickling raises arbitrary errors from reconstructed __setstate__; all become CheckpointCorruptError)
+        raise CheckpointCorruptError(section, f"payload does not unpickle: {exc!r}") from exc

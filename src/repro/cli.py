@@ -46,6 +46,7 @@ full flag surface by construction.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from dataclasses import dataclass
 from pathlib import Path
@@ -152,6 +153,22 @@ def _execution_parent() -> argparse.ArgumentParser:
         default=0.25,
         help="base delay between attempts, doubled each retry (default: 0.25)",
     )
+    parent.add_argument(
+        "--checkpoint-every",
+        type=float,
+        metavar="SIM-SECONDS",
+        default=None,
+        help="snapshot each cell's simulator every SIM-SECONDS of "
+        "simulated time (arms the crash-safe sweep journal under the "
+        "cache directory; see docs/CHECKPOINT.md)",
+    )
+    parent.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay the sweep journal before running: skip completed "
+        "cells, re-arm cells that were mid-run when a previous "
+        "invocation was killed from their latest checkpoint",
+    )
     return parent
 
 
@@ -202,6 +219,8 @@ def _runner_from(args: argparse.Namespace) -> ParallelRunner:
         keep_going=args.keep_going,
         collect_metrics=bool(args.metrics_out),
         collect_trace=bool(args.trace_out),
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
     )
 
 
@@ -553,6 +572,19 @@ def _cmd_trace_convert(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ckpt_inspect(args: argparse.Namespace) -> int:
+    """Describe a ``repro.ckpt/v1`` file without unpickling its graph."""
+    from repro.checkpoint import CheckpointError, inspect_checkpoint
+
+    try:
+        info = inspect_checkpoint(args.file)
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(info, indent=2, sort_keys=True))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -682,6 +714,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="output CSV path (default: FILE with a .csv suffix)",
     )
     obs_convert.set_defaults(func=_cmd_obs)
+
+    ckpt = sub.add_parser(
+        "ckpt", help="inspect simulator checkpoint files (repro.ckpt/v1)"
+    )
+    ckpt_sub = ckpt.add_subparsers(dest="ckpt_command", required=True)
+    ckpt_inspect = ckpt_sub.add_parser(
+        "inspect",
+        help="print a checkpoint's metadata and section sizes as JSON "
+        "(reads headers only; never unpickles the simulation graph)",
+    )
+    ckpt_inspect.add_argument(
+        "file", metavar="FILE", help="checkpoint file (*.ckpt)"
+    )
+    ckpt_inspect.set_defaults(func=_cmd_ckpt_inspect)
 
     compare = sub.add_parser(
         "compare",

@@ -13,6 +13,9 @@ package turns that observation into infrastructure:
   re-derived seeds, ``keep_going`` partial assembly);
 * :mod:`repro.exec.cache` — :class:`ResultCache`, a content-addressed
   on-disk store under ``.repro-cache/`` making repeat runs near-instant;
+* :mod:`repro.exec.journal` — :class:`SweepJournal`, the append-only
+  crash log that makes a killed sweep resumable (paired with the
+  per-cell checkpoints of :mod:`repro.checkpoint`);
 * :mod:`repro.exec.telemetry` — :class:`CellTelemetry` /
   :class:`SweepTelemetry`, the per-cell execution stories (cache hits,
   retries, timeouts, wall time, metric summaries) every run attaches to
@@ -27,6 +30,12 @@ from repro.exec.cache import (
     DEFAULT_CACHE_DIR,
     CacheStats,
     ResultCache,
+)
+from repro.exec.journal import (
+    JOURNAL_SCHEMA,
+    JournalState,
+    SweepJournal,
+    sweep_id_for,
 )
 from repro.exec.runner import (
     CellError,
@@ -53,6 +62,8 @@ __all__ = [
     "CellTelemetry",
     "CellTimeout",
     "ExperimentSpec",
+    "JOURNAL_SCHEMA",
+    "JournalState",
     "ParallelRunner",
     "PartialSweepResult",
     "ResultCache",
@@ -60,7 +71,9 @@ __all__ = [
     "Scale",
     "SweepCell",
     "SweepError",
+    "SweepJournal",
     "SweepTelemetry",
     "resolve_func",
     "run_sweep",
+    "sweep_id_for",
 ]

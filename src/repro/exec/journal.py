@@ -1,0 +1,196 @@
+"""Crash-safe sweep journal: resumable execution across process death.
+
+The :class:`~repro.exec.runner.ParallelRunner` can only recover at
+whole-sweep granularity on its own — a SIGKILL mid-sweep loses all
+bookkeeping about what was running.  The journal closes that gap with
+an append-only JSONL file under the cache root
+(``.repro-cache/journal/<sweep-id>/journal.jsonl``):
+
+* ``sweep`` record at open (total cell count, package version),
+* ``cell-start`` when a cell is dispatched (with its attempt number),
+* ``cell-finish`` when its result landed (status ``ok``/``failed``).
+
+Appends go through :class:`repro.obs.export.JsonlAppender`, so a torn
+tail line from a kill is truncated on the next open instead of
+poisoning the stream.  On restart:
+
+* cells with a ``cell-finish`` *and* a cached result are skipped by the
+  normal cache-first path (the journal reconciles against the
+  :class:`~repro.exec.cache.ResultCache`: finish records whose cached
+  result has vanished are counted and re-run);
+* cells that started but never finished (in flight at the kill) re-run;
+  when per-cell checkpointing is armed, their checkpoint file under the
+  same journal directory re-arms them mid-run via
+  :func:`repro.checkpoint.checkpointable`.
+
+The sweep id is a content hash of the cells' cache identities, so the
+same sweep re-invoked resumes its own journal while any change to
+functions, params, seeds, or package version starts a fresh one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
+
+from repro.exec.cache import CACHE_SCHEMA_VERSION, DEFAULT_CACHE_DIR
+from repro.obs.export import JsonlAppender, read_jsonl
+
+if TYPE_CHECKING:
+    from repro.exec.spec import SweepCell
+
+PathLike = Union[str, Path]
+
+#: Schema tag written into the journal's header record.
+JOURNAL_SCHEMA = "repro.sweep-journal/v1"
+
+
+def sweep_id_for(cells: Sequence["SweepCell"], version: Optional[str] = None) -> str:
+    """Content hash identifying a sweep: its cells' cache identities."""
+    from repro.experiments.serialize import result_to_jsonable
+
+    if version is None:
+        from repro import __version__ as version  # type: ignore[no-redef]
+    canonical = json.dumps(
+        {
+            "schema": CACHE_SCHEMA_VERSION,
+            "version": version,
+            "cells": [
+                {
+                    "func": cell.func,
+                    "params": result_to_jsonable(dict(cell.params)),
+                    "seed": cell.seed,
+                }
+                for cell in cells
+            ],
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+@dataclass
+class JournalState:
+    """What a journal says happened before this process started."""
+
+    total: Optional[int] = None
+    #: key -> highest attempt number started.
+    started: Dict[str, int] = field(default_factory=dict)
+    #: key -> final status ("ok" | "failed").
+    finished: Dict[str, str] = field(default_factory=dict)
+    #: Bytes of torn tail truncated while reading (0 = clean file).
+    recovered_bytes: int = 0
+
+    @property
+    def in_flight(self) -> List[str]:
+        """Keys that started but never finished (sorted for determinism)."""
+        return sorted(key for key in self.started if key not in self.finished)
+
+
+class SweepJournal:
+    """One sweep's append-only journal plus its checkpoint directory."""
+
+    def __init__(self, root: PathLike, sweep_id: str) -> None:
+        self.root = Path(root)
+        self.sweep_id = sweep_id
+        self.directory = self.root / "journal" / sweep_id
+        self.path = self.directory / "journal.jsonl"
+        self._appender: Optional[JsonlAppender] = None
+
+    @classmethod
+    def for_cells(
+        cls,
+        cells: Sequence["SweepCell"],
+        root: Optional[PathLike] = None,
+        version: Optional[str] = None,
+    ) -> "SweepJournal":
+        return cls(
+            root if root is not None else DEFAULT_CACHE_DIR,
+            sweep_id_for(cells, version),
+        )
+
+    # ------------------------------------------------------------------
+    def load(self) -> JournalState:
+        """Replay the journal (recovering any torn tail first)."""
+        state = JournalState()
+        if not self.path.exists():
+            return state
+        from repro.obs.export import recover_jsonl_tail
+
+        state.recovered_bytes = recover_jsonl_tail(self.path)
+        for record in read_jsonl(self.path):
+            kind = record.get("record")
+            if kind == "sweep":
+                state.total = record.get("total")
+            elif kind == "cell-start":
+                key = str(record.get("key"))
+                attempt = int(record.get("attempt", 0))
+                if attempt >= state.started.get(key, -1):
+                    state.started[key] = attempt
+            elif kind == "cell-finish":
+                state.finished[str(record.get("key"))] = str(
+                    record.get("status", "ok")
+                )
+        return state
+
+    def open(self, total: int) -> None:
+        """Open for appending, writing the sweep header on a fresh file."""
+        fresh = not self.path.exists() or self.path.stat().st_size == 0
+        self._appender = JsonlAppender(self.path, header=False)
+        if fresh:
+            self._append(
+                {
+                    "record": "sweep",
+                    "schema": JOURNAL_SCHEMA,
+                    "sweep_id": self.sweep_id,
+                    "total": total,
+                }
+            )
+
+    def close(self) -> None:
+        if self._appender is not None:
+            self._appender.close()
+            self._appender = None
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def cell_started(self, key: str, attempt: int = 0) -> None:
+        self._append({"record": "cell-start", "key": key, "attempt": attempt})
+
+    def cell_finished(self, key: str, status: str = "ok") -> None:
+        self._append({"record": "cell-finish", "key": key, "status": status})
+        # The cell completed; its mid-run checkpoint (if any) is spent.
+        # The worker already unlinks on clean scope exit — this covers
+        # workers that died *after* returning the result.
+        try:
+            self.checkpoint_path(key).unlink()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    def checkpoint_path(self, key: str) -> Path:
+        """Per-cell checkpoint file inside this sweep's journal directory.
+
+        Named by a hash of the cell key, so arbitrary key strings never
+        have to be filesystem-safe; scoped under the sweep id, so any
+        change to the sweep's content invalidates old checkpoints.
+        """
+        digest = hashlib.sha256(key.encode()).hexdigest()[:24]
+        return self.directory / f"{digest}.ckpt"
+
+    def _append(self, record: Dict[str, object]) -> None:
+        if self._appender is None:
+            raise ValueError("journal is not open (call open() first)")
+        self._appender.write(record)
+
+    def __repr__(self) -> str:
+        return f"<SweepJournal {self.sweep_id[:12]} at {self.directory}>"

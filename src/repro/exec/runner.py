@@ -44,6 +44,7 @@ import time
 import traceback as _traceback
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.exec.cache import ResultCache
@@ -109,9 +110,20 @@ class SweepError(RuntimeError):
 #: Payload shipped to a worker: everything needed to run one cell with
 #: the full failure policy applied *inside* the worker, so retries and
 #: timeouts behave identically in-process and across the pool.  The two
-#: trailing booleans are (collect_metrics, collect_trace).
+#: booleans are (collect_metrics, collect_trace); the trailing element
+#: arms mid-run checkpointing as ``(checkpoint path, every seconds)``
+#: (None = off) — see :mod:`repro.checkpoint`.
 _Payload = Tuple[
-    int, str, Dict[str, Any], int, Optional[float], int, float, bool, bool
+    int,
+    str,
+    Dict[str, Any],
+    int,
+    Optional[float],
+    int,
+    float,
+    bool,
+    bool,
+    Optional[Tuple[str, float]],
 ]
 #: What comes back: (index, failure-or-None, value, attempts, wall_time,
 #: records) where failure is (error name, message, traceback, timed_out)
@@ -136,6 +148,11 @@ def _alarm(seconds: Optional[float]):
     alarm always lands).  The timer is cleared before results are
     pickled back, and fork does not inherit interval timers, so workers
     start clean.
+
+    Safe under an enclosing SIGALRM user (e.g. a test harness arming
+    its own per-test deadline): the previous handler is restored even
+    if disarming raises, and a pending outer interval timer is re-armed
+    with its remaining time instead of being silently cancelled.
     """
     if seconds is None or not hasattr(signal, "SIGALRM"):
         yield
@@ -144,13 +161,43 @@ def _alarm(seconds: Optional[float]):
     def _on_alarm(signum, frame):
         raise CellTimeout(f"cell exceeded its {seconds:g} s wall-clock timeout")
 
-    previous = signal.signal(signal.SIGALRM, _on_alarm)
-    signal.setitimer(signal.ITIMER_REAL, seconds)
+    previous_handler = signal.signal(signal.SIGALRM, _on_alarm)
+    outer_delay, _ = signal.setitimer(signal.ITIMER_REAL, seconds)
+    armed_at = time.monotonic()
     try:
         yield
     finally:
-        signal.setitimer(signal.ITIMER_REAL, 0.0)
-        signal.signal(signal.SIGALRM, previous)
+        try:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+        finally:
+            signal.signal(signal.SIGALRM, previous_handler)
+            if outer_delay:
+                # The enclosing timer keeps ticking on *wall* time while
+                # we borrowed the itimer; hand back whatever is left (a
+                # tiny positive value if it already expired — zero would
+                # disarm it instead of firing).
+                remaining = outer_delay - (time.monotonic() - armed_at)
+                signal.setitimer(signal.ITIMER_REAL, max(remaining, 1e-6))
+
+
+@contextmanager
+def _cell_checkpoint(checkpoint: Optional[Tuple[str, float]]):
+    """Arm the ambient :class:`~repro.checkpoint.CellPlan` for one attempt.
+
+    With ``checkpoint`` set, a cell function built on
+    :func:`repro.checkpoint.checkpointable` saves its simulator every
+    ``every`` seconds of simulated time to ``path`` — and, when that
+    file already exists (a previous process died mid-cell), resumes
+    from it instead of re-running from zero.
+    """
+    if checkpoint is None:
+        yield
+        return
+    from repro.checkpoint import CellPlan, cell_plan
+
+    path, every = checkpoint
+    with cell_plan(CellPlan(Path(path), every)):
+        yield
 
 
 def _execute_payload(payload: Tuple[str, Dict[str, Any], int]) -> Any:
@@ -187,6 +234,7 @@ def _execute_payload_guarded(payload: _Payload) -> _Outcome:
         backoff,
         collect_metrics,
         collect_trace,
+        checkpoint,
     ) = payload
     started = time.perf_counter()
     collect = collect_metrics or collect_trace
@@ -197,18 +245,19 @@ def _execute_payload_guarded(payload: _Payload) -> _Outcome:
         )
         try:
             func = resolve_func(func_path)
-            if collect:
-                instrumentation = Instrumentation(trace=collect_trace)
-                with ambient(instrumentation):
+            with _cell_checkpoint(checkpoint):
+                if collect:
+                    instrumentation = Instrumentation(trace=collect_trace)
+                    with ambient(instrumentation):
+                        with _alarm(timeout):
+                            value = func(**params, seed=attempt_seed)
+                    records: Optional[List[Dict[str, Any]]] = (
+                        instrumentation.to_records()
+                    )
+                else:
                     with _alarm(timeout):
                         value = func(**params, seed=attempt_seed)
-                records: Optional[List[Dict[str, Any]]] = (
-                    instrumentation.to_records()
-                )
-            else:
-                with _alarm(timeout):
-                    value = func(**params, seed=attempt_seed)
-                records = None
+                    records = None
             wall = time.perf_counter() - started
             return index, None, value, attempt + 1, wall, records
         # lint: allow-broad-except(worker guard must capture every cell failure as CellError data, never crash the pool)
@@ -220,6 +269,14 @@ def _execute_payload_guarded(payload: _Payload) -> _Outcome:
                 _traceback.format_exc(),
                 timed_out,
             )
+            if checkpoint is not None:
+                # A failed attempt's mid-run checkpoint must not leak
+                # into the retry: retries re-derive the seed to escape a
+                # pathological draw, which resuming would defeat.
+                try:
+                    Path(checkpoint[0]).unlink()
+                except OSError:
+                    pass
         if attempt >= retries:
             wall = time.perf_counter() - started
             return index, failure, None, attempt + 1, wall, None
@@ -246,6 +303,11 @@ class RunStats:
     failed: int = 0
     timed_out: int = 0
     retried: int = 0
+    #: Cells re-armed from a mid-run checkpoint left by a killed process.
+    resumed: int = 0
+    #: Cells whose journal said "finished" but whose cached result had
+    #: vanished — reconciled by re-running them.
+    reconciled: int = 0
     #: Terminal per-cell failures, in cell order (empty on a clean run).
     errors: List[CellError] = field(default_factory=list)
     #: Per-cell execution stories + collected metric records (see
@@ -277,6 +339,16 @@ class ParallelRunner:
             :attr:`RunStats.telemetry`.
         collect_trace: Additionally enable packet/fault tracing on the
             ambient instrumentation (expensive; opt-in separately).
+        checkpoint_every: Simulated-time interval between mid-cell
+            checkpoints (None = off).  Arms the sweep journal: each
+            cell built on :func:`repro.checkpoint.checkpointable`
+            periodically snapshots its simulator under the journal
+            directory, so a killed process resumes cells *mid-run*.
+        resume: Replay the sweep journal before executing, so a
+            re-invoked sweep skips journalled-and-cached cells, re-runs
+            reconciliation misses, and (with ``checkpoint_every``)
+            re-arms in-flight cells from their latest checkpoint.
+            Journalling itself is armed by either flag.
     """
 
     def __init__(
@@ -290,6 +362,8 @@ class ParallelRunner:
         keep_going: bool = False,
         collect_metrics: bool = False,
         collect_trace: bool = False,
+        checkpoint_every: Optional[float] = None,
+        resume: bool = False,
     ) -> None:
         if timeout is not None and timeout <= 0:
             raise ValueError(f"timeout must be positive, got {timeout}")
@@ -297,6 +371,10 @@ class ParallelRunner:
             raise ValueError(f"retries must be >= 0, got {retries}")
         if backoff < 0:
             raise ValueError(f"backoff must be >= 0, got {backoff}")
+        if checkpoint_every is not None and checkpoint_every <= 0:
+            raise ValueError(
+                f"checkpoint_every must be positive, got {checkpoint_every}"
+            )
         self.jobs = max(1, int(jobs))
         self.cache = cache
         self.timeout = timeout
@@ -305,6 +383,8 @@ class ParallelRunner:
         self.keep_going = keep_going
         self.collect_metrics = collect_metrics
         self.collect_trace = collect_trace
+        self.checkpoint_every = checkpoint_every
+        self.resume = resume
         self._mp_context = mp_context
         self.last_stats = RunStats()
 
@@ -358,52 +438,95 @@ class ParallelRunner:
                     continue
             pending.append(cell)
 
+        # Crash-safe bookkeeping: with checkpointing or resume armed, an
+        # append-only journal under the cache root records every
+        # dispatch and completion, and provides the per-cell checkpoint
+        # paths.  See repro.exec.journal for the recovery contract.
+        journal = None
+        resumed = 0
+        reconciled = 0
+        checkpoints: Optional[List[Optional[Tuple[str, float]]]] = None
+        if self.checkpoint_every is not None or self.resume:
+            from repro.exec.journal import SweepJournal
+
+            journal = SweepJournal.for_cells(
+                cells,
+                root=self.cache.root if self.cache is not None else None,
+                version=self.cache.version if self.cache is not None else None,
+            )
+            journal_state = journal.load()
+            journal.open(total=len(cells))
+            pending_keys = [key_to_str(cell.key) for cell in pending]
+            reconciled = sum(
+                1 for key in pending_keys if key in journal_state.finished
+            )
+            checkpoints = []
+            for key in pending_keys:
+                ckpt_path = journal.checkpoint_path(key)
+                if self.checkpoint_every is not None:
+                    checkpoints.append((str(ckpt_path), self.checkpoint_every))
+                    if ckpt_path.exists():
+                        resumed += 1
+                else:
+                    checkpoints.append(None)
+                journal.cell_started(
+                    key, attempt=journal_state.started.get(key, -1) + 1
+                )
+
         errors: Dict[Any, CellError] = {}
         cell_stories: Dict[Any, CellTelemetry] = {}
         collected: List[Dict[str, Any]] = []
         retried = 0
         timed_out = 0
-        for index, failure, value, attempts, wall, records in self._execute(
-            pending
-        ):
-            cell = pending[index]
-            retried += attempts - 1
-            if records:
-                tag = key_to_str(cell.key)
-                for record in records:
-                    record["cell"] = tag
-                collected.extend(records)
-            error_text: Optional[str] = None
-            cell_timed_out = False
-            if failure is None:
-                results[cell.key] = value
-                if self.cache is not None:
-                    # Store as each cell completes: a crash later in the
-                    # sweep cannot discard this cell's work.
-                    self.cache.store(cell, value)
-            else:
-                error_name, message, trace, cell_timed_out = failure
-                error_text = f"{error_name}: {message}"
-                errors[cell.key] = CellError(
+        try:
+            for index, failure, value, attempts, wall, records in self._execute(
+                pending, checkpoints
+            ):
+                cell = pending[index]
+                retried += attempts - 1
+                if records:
+                    tag = key_to_str(cell.key)
+                    for record in records:
+                        record["cell"] = tag
+                    collected.extend(records)
+                error_text: Optional[str] = None
+                cell_timed_out = False
+                if failure is None:
+                    results[cell.key] = value
+                    if self.cache is not None:
+                        # Store as each cell completes: a crash later in
+                        # the sweep cannot discard this cell's work.
+                        self.cache.store(cell, value)
+                    if journal is not None:
+                        journal.cell_finished(key_to_str(cell.key), "ok")
+                else:
+                    error_name, message, trace, cell_timed_out = failure
+                    error_text = f"{error_name}: {message}"
+                    errors[cell.key] = CellError(
+                        key=cell.key,
+                        func=cell.func,
+                        error=error_name,
+                        message=message,
+                        traceback=trace,
+                        attempts=attempts,
+                        timed_out=cell_timed_out,
+                    )
+                    if cell_timed_out:
+                        timed_out += 1
+                    if journal is not None:
+                        journal.cell_finished(key_to_str(cell.key), "failed")
+                cell_stories[cell.key] = CellTelemetry(
                     key=cell.key,
-                    func=cell.func,
-                    error=error_name,
-                    message=message,
-                    traceback=trace,
+                    cached=False,
                     attempts=attempts,
                     timed_out=cell_timed_out,
+                    error=error_text,
+                    wall_time=wall,
+                    metrics=summaries_from_records(records) if records else {},
                 )
-                if cell_timed_out:
-                    timed_out += 1
-            cell_stories[cell.key] = CellTelemetry(
-                key=cell.key,
-                cached=False,
-                attempts=attempts,
-                timed_out=cell_timed_out,
-                error=error_text,
-                wall_time=wall,
-                metrics=summaries_from_records(records) if records else {},
-            )
+        finally:
+            if journal is not None:
+                journal.close()
 
         error_list = [errors[cell.key] for cell in pending if cell.key in errors]
         elapsed = time.perf_counter() - started
@@ -441,6 +564,8 @@ class ParallelRunner:
             failed=len(error_list),
             timed_out=timed_out,
             retried=retried,
+            resumed=resumed,
+            reconciled=reconciled,
             errors=error_list,
             telemetry=telemetry,
         )
@@ -449,7 +574,11 @@ class ParallelRunner:
         combined = {**results, **errors}
         return {cell.key: combined[cell.key] for cell in cells}
 
-    def _execute(self, cells: Sequence[SweepCell]) -> Iterator[_Outcome]:
+    def _execute(
+        self,
+        cells: Sequence[SweepCell],
+        checkpoints: Optional[Sequence[Optional[Tuple[str, float]]]] = None,
+    ) -> Iterator[_Outcome]:
         """Yield guarded outcomes for ``cells`` (any completion order)."""
         payloads: List[_Payload] = [
             (
@@ -462,6 +591,7 @@ class ParallelRunner:
                 self.backoff,
                 self.collect_metrics,
                 self.collect_trace,
+                checkpoints[index] if checkpoints is not None else None,
             )
             for index, cell in enumerate(cells)
         ]
@@ -499,6 +629,8 @@ def run_sweep(
     keep_going: bool = False,
     collect_metrics: bool = False,
     collect_trace: bool = False,
+    checkpoint_every: Optional[float] = None,
+    resume: bool = False,
     runner: Optional[ParallelRunner] = None,
 ) -> Any:
     """Run a declarative sweep end-to-end and return the assembled result.
@@ -507,7 +639,8 @@ def run_sweep(
     CLI case: one ``--seed`` flag threading into a preset spec).  Pass a
     pre-built ``runner`` to reuse one runner across sweeps (and read its
     ``last_stats`` afterwards); the other executor knobs are ignored
-    then.
+    then.  ``checkpoint_every`` / ``resume`` arm the crash-safe sweep
+    journal (see :mod:`repro.exec.journal`).
     """
     spec = spec.with_seed(seed)
     if runner is None:
@@ -520,5 +653,7 @@ def run_sweep(
             keep_going=keep_going,
             collect_metrics=collect_metrics,
             collect_trace=collect_trace,
+            checkpoint_every=checkpoint_every,
+            resume=resume,
         )
     return runner.run(spec)

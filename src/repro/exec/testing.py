@@ -9,8 +9,9 @@ and deterministic; the test suite (``tests/test_exec_failures.py``) and
 
 from __future__ import annotations
 
+import os
 import time
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 #: Importable paths, mirroring the figure modules' ``CELL_FUNC`` idiom.
 OK_CELL = "repro.exec.testing:ok_cell"
@@ -18,6 +19,7 @@ BOOM_CELL = "repro.exec.testing:boom_cell"
 FLAKY_CELL = "repro.exec.testing:flaky_cell"
 SLEEPY_CELL = "repro.exec.testing:sleepy_cell"
 METRIC_CELL = "repro.exec.testing:metric_cell"
+CHECKPOINT_CELL = "repro.exec.testing:checkpoint_cell"
 
 
 def ok_cell(*, value: Any = 1, seed: int) -> Dict[str, Any]:
@@ -63,3 +65,63 @@ def metric_cell(*, value: float = 1.0, seed: int) -> Dict[str, Any]:
     if inst is not None:
         inst.registry.counter("test.cell_value", seed=seed).inc(value)
     return {"value": value, "seed": seed}
+
+
+def _log_line(log_path: Optional[str], line: str) -> None:
+    if log_path is None:
+        return
+    with open(log_path, "a") as handle:
+        handle.write(line + "\n")
+        handle.flush()
+
+
+def checkpoint_cell(
+    *,
+    duration: float = 4.0,
+    pause_at: Optional[float] = None,
+    block_path: Optional[str] = None,
+    log_path: Optional[str] = None,
+    tag: str = "cell",
+    seed: int,
+) -> Dict[str, Any]:
+    """A real (tiny) simulation built on :func:`~repro.checkpoint.checkpointable`.
+
+    Runs one TCP-PR flow over a one-pair dumbbell for ``duration``
+    simulated seconds.  With the runner's ``checkpoint_every`` armed,
+    the simulator snapshots periodically; a killed process re-invoked
+    with ``resume`` picks the cell up mid-run.
+
+    The crash-choreography hooks (all optional) let a test stage a kill
+    deterministically: the cell appends ``"<tag>:fresh"`` /
+    ``"<tag>:resumed"`` to ``log_path`` when it starts computing, and —
+    on a fresh (non-resumed) run only — pauses at ``pause_at`` simulated
+    seconds, then stalls on wall-clock while ``block_path`` exists.  The
+    test watches the log, SIGKILLs the sweep while the cell is stalled
+    (checkpoints already on disk), removes the sentinel, and re-invokes.
+    """
+    from repro.app.bulk import BulkTransfer
+    from repro.checkpoint import checkpointable
+    from repro.obs.instrument import maybe_observe
+    from repro.topologies.dumbbell import DumbbellSpec, build_dumbbell
+
+    def build() -> Dict[str, Any]:
+        net = build_dumbbell(DumbbellSpec(num_pairs=1, seed=seed))
+        flow = BulkTransfer(net, "tcp-pr", "s0", "d0", flow_id=1)
+        maybe_observe(net)
+        return {"net": net, "flow": flow}
+
+    with checkpointable(build) as scope:
+        _log_line(log_path, f"{tag}:{'resumed' if scope.resumed else 'fresh'}")
+        if not scope.resumed:
+            if pause_at is not None:
+                scope.run(until=pause_at)
+            if block_path is not None:
+                while os.path.exists(block_path):
+                    time.sleep(0.05)  # lint: allow-wallclock(deliberate stall so a crash test can SIGKILL this worker mid-cell)
+        scope.run(until=duration)
+        flow = scope["flow"]
+        return {
+            "delivered": flow.receiver.delivered,
+            "resumed": scope.resumed,
+            "seed": seed,
+        }

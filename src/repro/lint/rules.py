@@ -319,6 +319,64 @@ class UnsortedJsonRule(Rule):
                 )
 
 
+#: Serialization modules whose byte output is interpreter-dependent
+#: and whose load side executes arbitrary reduction callables.
+_PICKLE_MODULES = frozenset(
+    {"pickle", "cPickle", "_pickle", "dill", "cloudpickle", "shelve", "marshal"}
+)
+
+
+class PickleRule(Rule):
+    """Pickle only inside the checkpoint subsystem (and the cache).
+
+    Pickle bytes are not a stable artifact format: they are
+    protocol/refactor-sensitive, and loading them executes arbitrary
+    ``__reduce__`` callables.  Results, traces, and metrics must travel
+    through the registered JSON codecs
+    (:mod:`repro.experiments.serialize`, ``repro.obs/v1``) so cached
+    artifacts survive refactors and stay inspectable.  The one sanctioned
+    consumer is :mod:`repro.checkpoint` — a checkpoint *is* a live object
+    graph, same-version by construction (the schema/version meta is
+    verified before the graph section is ever unpickled).
+    """
+
+    slug = "pickle"
+    code = "REP105"
+    summary = "pickle-family imports only in repro.checkpoint (and exec/cache.py)"
+
+    _ALLOWED_PREFIXES = ("checkpoint/",)
+    _ALLOWED = ("exec/cache.py",)
+
+    def applies(self, mod: "ParsedModule") -> bool:  # noqa: F821
+        if mod.rel in self._ALLOWED:
+            return False
+        return not mod.rel.startswith(self._ALLOWED_PREFIXES)
+
+    def check(self, mod: "ParsedModule") -> Iterator[Finding]:  # noqa: F821
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.Import):
+                for item in node.names:
+                    root = item.name.split(".")[0]
+                    if root in _PICKLE_MODULES:
+                        yield self.finding(
+                            mod,
+                            node,
+                            f"import of {item.name!r} outside the checkpoint "
+                            "subsystem: persistent artifacts must use the "
+                            "registered JSON codecs, not pickle bytes",
+                        )
+            elif isinstance(node, ast.ImportFrom) and node.module is not None:
+                root = node.module.split(".")[0]
+                if root in _PICKLE_MODULES:
+                    yield self.finding(
+                        mod,
+                        node,
+                        f"'from {node.module} import ...' outside the "
+                        "checkpoint subsystem: persistent artifacts must "
+                        "use the registered JSON codecs, not pickle bytes",
+                    )
+
+
 # ----------------------------------------------------------------------
 # Hot-path family (REP2xx)
 # ----------------------------------------------------------------------
@@ -679,6 +737,7 @@ RULES: Tuple[Rule, ...] = (
     WallclockRule(),
     SetIterationRule(),
     UnsortedJsonRule(),
+    PickleRule(),
     SlotsRule(),
     PostKwargsRule(),
     HandleMutationRule(),

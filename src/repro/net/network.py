@@ -7,6 +7,7 @@ computation by :mod:`repro.routing`.
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 import networkx as nx
@@ -18,6 +19,20 @@ from repro.net.node import Node
 from repro.net.queues import Queue
 from repro.sim.engine import Simulator
 from repro.sim.errors import SimulationError
+
+
+def _unique_component_name(sim: Simulator, base: str) -> str:
+    """First of ``base``, ``base#2``, ``base#3``, ... not yet registered.
+
+    Deterministic (construction order), so multi-network simulators get
+    stable registry names across runs.
+    """
+    if base not in sim.components:
+        return base
+    index = 2
+    while f"{base}#{index}" in sim.components:
+        index += 1
+    return f"{base}#{index}"
 
 
 class Network:
@@ -34,6 +49,7 @@ class Network:
         self.sim = sim if sim is not None else Simulator(seed=seed)
         self.nodes: Dict[str, Node] = {}
         self.links: Dict[Tuple[str, str], Link] = {}
+        self.sim.register_component(_unique_component_name(self.sim, "net"), self)
 
     # ------------------------------------------------------------------
     # Construction
@@ -183,11 +199,14 @@ class Network:
         max_events: Optional[int] = None,
         deadline: Optional[float] = None,
         livelock_threshold: Optional[int] = None,
+        checkpoint_every: Optional[float] = None,
+        checkpoint_path: "Optional[str | Path]" = None,
     ) -> None:
         """Run the simulation until ``until`` seconds.
 
         ``deadline`` (wall-clock seconds) and ``livelock_threshold``
-        (events without clock progress) arm the simulator's watchdog —
+        (events without clock progress) arm the simulator's watchdog;
+        ``checkpoint_every``/``checkpoint_path`` arm periodic snapshots —
         see :meth:`repro.sim.engine.Simulator.run`.
         """
         self.sim.run(
@@ -195,6 +214,8 @@ class Network:
             max_events=max_events,
             deadline=deadline,
             livelock_threshold=livelock_threshold,
+            checkpoint_every=checkpoint_every,
+            checkpoint_path=checkpoint_path,
         )
 
     def __repr__(self) -> str:

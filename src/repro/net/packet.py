@@ -13,7 +13,7 @@ block, timestamps) are explicit attributes here; an attribute being
 from __future__ import annotations
 
 import itertools
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, List, Optional, Sequence, Tuple, cast
 
 #: Default data-segment size on the wire (payload + headers), bytes.
 DATA_SIZE_BYTES = 1000
@@ -21,6 +21,30 @@ DATA_SIZE_BYTES = 1000
 ACK_SIZE_BYTES = 40
 
 _uid_counter = itertools.count()
+
+
+def peek_next_uid() -> int:
+    """The uid the next :class:`Packet` will get, without consuming it.
+
+    ``itertools.count`` exposes its next value through ``__reduce__``
+    (its pickle form is ``count(n)``); reading it this way does not
+    advance the counter.  Used by :mod:`repro.checkpoint` so a resumed
+    run in a fresh process continues the uid sequence exactly.
+    """
+    reduced = cast(Tuple[Any, ...], _uid_counter.__reduce__())
+    return int(reduced[1][0])
+
+
+def reset_uid_counter(next_uid: int = 0) -> None:
+    """Rebind the uid counter so the next packet gets ``next_uid``.
+
+    Checkpoint restore (and tests that compare whole-run traces) must
+    set this; uids key trace records, so a resumed process that started
+    its counter at zero would emit diverging trace output.
+    """
+    global _uid_counter
+    _uid_counter = itertools.count(next_uid)
+
 
 #: A SACK block is a half-open segment-number interval [start, end).
 SackBlock = Tuple[int, int]

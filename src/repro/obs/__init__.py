@@ -25,7 +25,9 @@ Submodules:
 
 from repro.obs.export import (
     SCHEMA,
+    JsonlAppender,
     read_jsonl,
+    recover_jsonl_tail,
     summarize_records,
     write_csv,
     write_jsonl,
@@ -74,7 +76,9 @@ __all__ = [
     "get_ambient",
     "maybe_observe",
     "observe",
+    "JsonlAppender",
     "read_jsonl",
+    "recover_jsonl_tail",
     "set_ambient",
     "summarize_records",
     "write_csv",

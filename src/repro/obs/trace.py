@@ -16,7 +16,7 @@ the ``--trace-out`` CLI flag; the recorded stream is exported as
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional, Set
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set
 
 from repro.net.packet import Packet
 
@@ -70,6 +70,59 @@ class FaultRecord:
     detail: str  # human-readable state change ("down", "delay x3", ...)
 
 
+class _TracedReceive:
+    """Picklable wrapper installed over ``node.receive`` by a tracer.
+
+    A plain class (not a closure) so that a traced simulation graph can
+    round-trip through :mod:`repro.checkpoint` — closures cannot be
+    pickled, and these wrappers end up referenced from heap events.
+    """
+
+    __slots__ = ("tracer", "node", "original")
+
+    def __init__(
+        self, tracer: "PacketTracer", node: "Node", original: "Callable[[Packet], None]"
+    ) -> None:
+        self.tracer = tracer
+        self.node = node
+        self.original = original
+
+    def __call__(self, packet: Packet) -> None:
+        node = self.node
+        self.tracer._record(node.sim.now, "recv", node.name, packet)
+        self.original(packet)
+
+
+class _TracedSend:
+    """Picklable wrapper installed over ``node.send`` by a tracer."""
+
+    __slots__ = ("tracer", "node", "original")
+
+    def __init__(
+        self, tracer: "PacketTracer", node: "Node", original: "Callable[[Packet], None]"
+    ) -> None:
+        self.tracer = tracer
+        self.node = node
+        self.original = original
+
+    def __call__(self, packet: Packet) -> None:
+        self.original(packet)
+        node = self.node
+        self.tracer._record(node.sim.now, "send", node.name, packet)
+
+
+class _DropRecorder:
+    """Picklable link drop listener feeding a tracer."""
+
+    __slots__ = ("tracer",)
+
+    def __init__(self, tracer: "PacketTracer") -> None:
+        self.tracer = tracer
+
+    def __call__(self, dropped_on: "Link", packet: Packet) -> None:
+        self.tracer._record(dropped_on.sim.now, "drop", dropped_on.name, packet)
+
+
 class PacketTracer:
     """Records sends, arrivals, and drops at chosen nodes and links.
 
@@ -114,14 +167,9 @@ class PacketTracer:
         if id(node) in self._watched_recv:
             return
         self._watched_recv.add(id(node))
-        original = node.receive
-        record = self._record
-
-        def traced_receive(packet: Packet) -> None:
-            record(node.sim.now, "recv", node.name, packet)
-            original(packet)
-
-        node.receive = traced_receive  # type: ignore[method-assign]
+        node.receive = _TracedReceive(  # type: ignore[method-assign]
+            self, node, node.receive
+        )
 
     def watch_node_sends(self, node: "Node") -> None:
         """Record every packet injected at ``node`` (wraps its send).
@@ -132,26 +180,14 @@ class PacketTracer:
         if id(node) in self._watched_send:
             return
         self._watched_send.add(id(node))
-        original = node.send
-        record = self._record
-
-        def traced_send(packet: Packet) -> None:
-            original(packet)
-            record(node.sim.now, "send", node.name, packet)
-
-        node.send = traced_send  # type: ignore[method-assign]
+        node.send = _TracedSend(self, node, node.send)  # type: ignore[method-assign]
 
     def watch_link_drops(self, link: "Link") -> None:
         """Record every packet the link drops."""
         if id(link) in self._watched_drop:
             return
         self._watched_drop.add(id(link))
-        record = self._record
-
-        def on_drop(dropped_on: "Link", packet: Packet) -> None:
-            record(dropped_on.sim.now, "drop", dropped_on.name, packet)
-
-        link.drop_listeners.append(on_drop)
+        link.drop_listeners.append(_DropRecorder(self))
 
     # ------------------------------------------------------------------
     def sends(

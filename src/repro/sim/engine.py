@@ -26,7 +26,10 @@ from __future__ import annotations
 
 import heapq
 import time as _time
-from typing import Any, Callable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:
+    from pathlib import Path
 
 from repro.sim.errors import (
     DeadlineExceededError,
@@ -95,6 +98,7 @@ class Simulator:
         "_live",
         "_running",
         "_profile",
+        "_components",
     )
 
     def __init__(
@@ -116,6 +120,11 @@ class Simulator:
         self._live = 0
         self._running = False
         self._profile: Optional[SimProfile] = SimProfile() if profile else None
+        # Name -> component registry (insertion-ordered).  Purely
+        # passive: registration never schedules events or affects
+        # dispatch.  repro.checkpoint uses it to list what a snapshot
+        # contains and to hand components back after a resume.
+        self._components: Dict[str, Any] = {}
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -247,6 +256,8 @@ class Simulator:
         max_events: Optional[int] = None,
         deadline: Optional[float] = None,
         livelock_threshold: Optional[int] = None,
+        checkpoint_every: Optional[float] = None,
+        checkpoint_path: "Optional[Path | str]" = None,
     ) -> None:
         """Dispatch events in time order.
 
@@ -256,7 +267,9 @@ class Simulator:
                 queue drains.
             max_events: Safety valve — abort with :class:`SimulationError`
                 after dispatching this many events (catches accidental
-                infinite event loops in tests).
+                infinite event loops in tests).  The budget is cumulative
+                over the simulator's lifetime (it compares against
+                :attr:`dispatched_events`).
             deadline: Wall-clock watchdog — abort with
                 :class:`DeadlineExceededError` once this many real seconds
                 have elapsed since the call started (checked every
@@ -266,7 +279,26 @@ class Simulator:
                 dispatched without the clock advancing (a zero-delay event
                 loop; legitimate same-instant bursts are orders of
                 magnitude smaller than a sensible threshold).
+            checkpoint_every: Snapshot the simulator to
+                ``checkpoint_path`` every this many *simulation* seconds
+                (see :mod:`repro.checkpoint`).  The run is executed as a
+                sequence of plain segments, so the no-checkpoint path is
+                byte-for-byte the code it always was; the final state at
+                ``until`` is not snapshotted (the run completed).  Both
+                checkpoint arguments must be given together.
+            checkpoint_path: Destination file for the periodic snapshot
+                (atomically replaced at every boundary).
         """
+        if checkpoint_every is not None or checkpoint_path is not None:
+            self._run_checkpointed(
+                until,
+                max_events,
+                deadline,
+                livelock_threshold,
+                checkpoint_every,
+                checkpoint_path,
+            )
+            return
         if self._running:
             raise SimulationError("Simulator.run() is not reentrant")
         if deadline is not None and deadline <= 0:
@@ -434,6 +466,109 @@ class Simulator:
             self._dispatched = dispatched
             self._running = False
 
+    def _run_checkpointed(
+        self,
+        until: Optional[float],
+        max_events: Optional[int],
+        deadline: Optional[float],
+        livelock_threshold: Optional[int],
+        checkpoint_every: Optional[float],
+        checkpoint_path: "Optional[Path | str]",
+    ) -> None:
+        """Run in plain segments, snapshotting at each time boundary."""
+        if checkpoint_every is None or checkpoint_path is None:
+            raise ValueError(
+                "checkpoint_every and checkpoint_path must be given together"
+            )
+        if checkpoint_every <= 0:
+            raise ValueError(
+                f"checkpoint_every must be positive, got {checkpoint_every}"
+            )
+        # Lazy import: the engine must stay importable (and fast) without
+        # the checkpoint subsystem in play.
+        from repro.checkpoint.snapshot import save_checkpoint
+
+        started_wall = _time.monotonic() if deadline is not None else 0.0
+        while True:
+            boundary = self.now + checkpoint_every
+            stop = boundary if until is None else min(until, boundary)
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - (_time.monotonic() - started_wall)
+                if remaining <= 0:
+                    raise DeadlineExceededError(
+                        deadline, self.now, self._dispatched
+                    )
+            self.run(stop, max_events, remaining, livelock_threshold)
+            if until is not None and until <= boundary:
+                return  # reached the caller's horizon (no trailing snapshot)
+            if self._live == 0:
+                return  # queue drained inside the segment
+            save_checkpoint(self, checkpoint_path)
+
+    @classmethod
+    def resume(cls, path: "Path | str") -> "Simulator":
+        """Load a checkpoint file and return the restored simulator.
+
+        Equivalent to ``load_checkpoint(path).resume()`` — restores
+        process-global counters and, under ``sanitize=True``, audits the
+        restored heap (see :meth:`_audit_resume`).
+        """
+        from repro.checkpoint.snapshot import load_checkpoint
+
+        restored = load_checkpoint(path).resume()
+        if not isinstance(restored, cls):
+            raise SimulationError(
+                f"checkpoint {path} holds a {type(restored).__name__}, "
+                f"not a {cls.__name__}"
+            )
+        return restored
+
+    def save_checkpoint(self, path: "Path | str") -> None:
+        """Snapshot this simulator to ``path`` (see :mod:`repro.checkpoint`)."""
+        from repro.checkpoint.snapshot import save_checkpoint
+
+        save_checkpoint(self, path)
+
+    # ------------------------------------------------------------------
+    # Component registry
+    # ------------------------------------------------------------------
+    def register_component(
+        self, name: str, component: Any, replace: bool = True
+    ) -> None:
+        """Register a named component with this simulator.
+
+        Purely passive bookkeeping (no events, no behavior change):
+        the checkpoint subsystem snapshots the registry with the graph
+        and callers use :meth:`component` to find their objects again
+        after a resume.  Agents, links, and networks self-register at
+        construction; ``replace=True`` (the default) lets repeated
+        hand-built scenarios reuse names, while ``replace=False`` turns
+        an accidental collision into a :class:`SimulationError`.
+        """
+        if not replace and name in self._components:
+            raise SimulationError(f"component {name!r} is already registered")
+        self._components[name] = component
+
+    def component(self, name: str) -> Any:
+        """Look up a registered component by name.
+
+        Raises:
+            SimulationError: if nothing is registered under ``name``.
+        """
+        try:
+            return self._components[name]
+        except KeyError:
+            raise SimulationError(
+                f"no component registered as {name!r} "
+                f"(known: {sorted(self._components)})"
+            ) from None
+
+    @property
+    def components(self) -> Dict[str, Any]:
+        """A copy of the name -> component registry."""
+        return dict(self._components)
+
     def step(self) -> bool:
         """Dispatch the single next pending event.
 
@@ -493,6 +628,29 @@ class Simulator:
                 "double-counted cancel)",
             )
 
+    def _audit_resume(self) -> None:
+        """Structural audit of a freshly-restored simulator.
+
+        Called by :meth:`repro.checkpoint.snapshot.Checkpoint.resume`
+        when the restored simulator has ``sanitize=True``: every live
+        restored heap entry must fire at or after the restored clock,
+        and the O(1) live-event counter must match the heap (a mismatch
+        means the snapshot itself was taken from a corrupted engine, or
+        the restore path lost events).
+        """
+        for entry in self._heap:
+            target = entry[2]
+            if type(target) is EventHandle and target.callback is None:
+                continue  # lazily-deleted (cancelled) entry
+            if entry[0] < self.now:
+                raise InvariantViolation(
+                    "resume-heap-time",
+                    f"restored heap event {entry[4]!r} fires at "
+                    f"t={entry[0]!r}, before the restored clock "
+                    f"t={self.now!r}",
+                )
+        self._audit_live()
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -505,6 +663,11 @@ class Simulator:
     def dispatched_events(self) -> int:
         """Total number of events dispatched so far."""
         return self._dispatched
+
+    @property
+    def event_seq(self) -> int:
+        """The next tie-break sequence number (monotonic event counter)."""
+        return self._seq
 
     @property
     def stats(self) -> SimStats:

@@ -1,0 +1,228 @@
+"""Golden resume tests: a continued run is *bit-identical* to an
+uninterrupted one.
+
+The scenarios are real Figure 6 cells (multipath mesh, ε-routing, the
+paper's protocols), not toys: persistent reordering keeps hundreds of
+events and SACK runs in flight, so any state a snapshot misses shows up
+as diverging traces within milliseconds of simulated time.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.app.bulk import BulkTransfer
+from repro.checkpoint import (
+    CellPlan,
+    cell_plan,
+    checkpointable,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.core.pr import PrConfig
+from repro.experiments.fig6_multipath import (
+    DEFAULT_INITIAL_SSTHRESH,
+    run_single_multipath_flow,
+)
+from repro.net import packet as packet_mod
+from repro.obs.instrument import Instrumentation, ambient, maybe_observe
+from repro.sim.engine import Simulator
+from repro.sim.errors import InvariantViolation
+from repro.tcp.base import TcpConfig
+from repro.topologies.multipath_mesh import (
+    MultipathMeshSpec,
+    build_multipath_mesh,
+    install_epsilon_routing,
+)
+from repro.util.units import MS
+
+#: Three figure cells spanning the interesting regimes: TCP-PR under
+#: moderate reordering, TD-FR under the worst-case ε=0, and a
+#: DUPACK-based baseline on the single-path ε=500 edge.
+CELLS = [("tcp-pr", 4.0), ("tdfr", 0.0), ("dsack-nm", 500.0)]
+
+DURATION = 6.0
+CUT = 3.0
+SEED = 7
+
+
+def _build_cell(variant, epsilon, seed=SEED):
+    """The exact scenario of one Figure 6 cell (mirrors fig6_multipath)."""
+    net = build_multipath_mesh(MultipathMeshSpec(link_delay=10 * MS, seed=seed))
+    install_epsilon_routing(net, epsilon, reorder_acks=True)
+    flow = BulkTransfer(
+        net,
+        variant,
+        "src",
+        "dst",
+        flow_id=1,
+        tcp_config=TcpConfig(initial_ssthresh=DEFAULT_INITIAL_SSTHRESH),
+        pr_config=PrConfig(initial_ssthresh=DEFAULT_INITIAL_SSTHRESH),
+    )
+    return net, flow
+
+
+def _run_uninterrupted(variant, epsilon):
+    packet_mod.reset_uid_counter(0)
+    inst = Instrumentation(trace=True)
+    with ambient(inst):
+        net, flow = _build_cell(variant, epsilon)
+        maybe_observe(net)
+        net.run(until=DURATION)
+    return flow.receiver.delivered, inst.to_records()
+
+
+def _save_partial(variant, epsilon, path):
+    """Run a cell to CUT and checkpoint it (obs and flow ride the graph)."""
+    packet_mod.reset_uid_counter(0)
+    inst = Instrumentation(trace=True)
+    with ambient(inst):
+        net, flow = _build_cell(variant, epsilon)
+        maybe_observe(net)
+        net.sim.register_component("obs", inst)
+        net.sim.register_component("flow", flow)
+        net.run(until=CUT)
+        save_checkpoint(net.sim, path)
+
+
+@pytest.mark.parametrize("variant,epsilon", CELLS)
+def test_resume_is_bit_identical(tmp_path, variant, epsilon):
+    delivered, records = _run_uninterrupted(variant, epsilon)
+    assert delivered > 0 and records
+
+    path = tmp_path / "cell.ckpt"
+    _save_partial(variant, epsilon, path)
+    # Simulate process death: globals clobbered, every object gone.
+    packet_mod.reset_uid_counter(987654321)
+
+    sim = Simulator.resume(path)
+    assert sim.now == CUT
+    sim.run(until=DURATION)
+    flow = sim.component("flow")
+    restored_inst = sim.component("obs")
+    assert flow.receiver.delivered == delivered
+    assert restored_inst.to_records() == records
+
+
+def test_resume_across_processes(tmp_path):
+    variant, epsilon = CELLS[0]
+    delivered, records = _run_uninterrupted(variant, epsilon)
+    path = tmp_path / "cell.ckpt"
+    _save_partial(variant, epsilon, path)
+
+    script = (
+        "import json, sys\n"
+        "from repro.sim.engine import Simulator\n"
+        "sim = Simulator.resume(sys.argv[1])\n"
+        f"sim.run(until={DURATION!r})\n"
+        "print(json.dumps({'delivered': sim.component('flow').receiver.delivered,"
+        " 'records': sim.component('obs').to_records()}))\n"
+    )
+    src_dir = str(Path(__file__).resolve().parent.parent / "src")
+    env = dict(os.environ, PYTHONPATH=src_dir)
+    out = subprocess.run(
+        [sys.executable, "-c", script, str(path)],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    result = json.loads(out.stdout)
+    assert result["delivered"] == delivered
+    assert result["records"] == json.loads(json.dumps(records))
+
+
+def test_checkpoint_every_does_not_perturb(tmp_path):
+    variant, epsilon = CELLS[0]
+    delivered, records = _run_uninterrupted(variant, epsilon)
+
+    packet_mod.reset_uid_counter(0)
+    inst = Instrumentation(trace=True)
+    path = tmp_path / "periodic.ckpt"
+    with ambient(inst):
+        net, flow = _build_cell(variant, epsilon)
+        maybe_observe(net)
+        net.run(until=DURATION, checkpoint_every=1.5, checkpoint_path=path)
+    assert flow.receiver.delivered == delivered
+    assert inst.to_records() == records
+    assert path.exists()  # the last boundary snapshot remains on disk
+
+
+# ----------------------------------------------------------------------
+# Cell-function-level resume (the executor's view)
+# ----------------------------------------------------------------------
+class _SimulatedCrash(RuntimeError):
+    pass
+
+
+def test_cell_function_resumes_from_checkpoint(tmp_path):
+    variant, epsilon = CELLS[0]
+    packet_mod.reset_uid_counter(0)
+    baseline = run_single_multipath_flow(
+        variant, epsilon, duration=DURATION, seed=SEED
+    )
+
+    plan = CellPlan(tmp_path / "cell.ckpt", every=1.0)
+
+    def build():
+        net, flow = _build_cell(variant, epsilon)
+        maybe_observe(net)
+        return {"net": net, "flow": flow}
+
+    packet_mod.reset_uid_counter(0)
+    with cell_plan(plan):
+        with pytest.raises(_SimulatedCrash):
+            with checkpointable(build) as scope:
+                assert not scope.resumed
+                scope.run(until=CUT)
+                raise _SimulatedCrash("process dies mid-cell")
+    assert plan.path.exists()  # crash leaves the snapshot for the retry
+
+    packet_mod.reset_uid_counter(424242)  # a "new process" starts dirty
+    with cell_plan(plan):
+        resumed = run_single_multipath_flow(
+            variant, epsilon, duration=DURATION, seed=SEED
+        )
+    assert resumed == baseline
+    assert not plan.path.exists()  # clean completion retires the snapshot
+
+
+def test_cell_function_unaffected_without_plan(tmp_path):
+    variant, epsilon = CELLS[1]
+    packet_mod.reset_uid_counter(0)
+    first = run_single_multipath_flow(variant, epsilon, duration=2.0, seed=3)
+    packet_mod.reset_uid_counter(0)
+    second = run_single_multipath_flow(variant, epsilon, duration=2.0, seed=3)
+    assert first == second
+
+
+# ----------------------------------------------------------------------
+# Sanitizer: resume audits the restored heap
+# ----------------------------------------------------------------------
+def _noop():
+    pass
+
+
+def test_sanitize_resume_rejects_stale_heap(tmp_path):
+    path = tmp_path / "bad.ckpt"
+    sim = Simulator(seed=0, sanitize=True)
+    sim.post_in(1.0, _noop, None, "timer")
+    # Corrupt the snapshot source: clock ahead of a live heap entry, the
+    # signature of a mixed-up or hand-edited checkpoint.
+    sim.now = 5.0
+    save_checkpoint(sim, path)
+    with pytest.raises(InvariantViolation):
+        load_checkpoint(path).resume()
+
+
+def test_unsanitized_resume_does_not_audit(tmp_path):
+    path = tmp_path / "bad.ckpt"
+    sim = Simulator(seed=0, sanitize=False)
+    sim.post_in(1.0, _noop, None, "timer")
+    sim.now = 5.0
+    save_checkpoint(sim, path)
+    load_checkpoint(path).resume()  # no audit requested, no raise

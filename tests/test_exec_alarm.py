@@ -1,0 +1,107 @@
+"""Regression tests for the runner's nested-safe SIGALRM guard.
+
+The test suite itself arms a per-test SIGALRM deadline (see
+``conftest.py``), so ``_alarm`` *always* runs nested here — exactly the
+scenario that used to clobber the outer handler and silently cancel the
+outer interval timer.  These tests pin the repaired contract: the
+previous handler is restored on every exit path, and a pending outer
+itimer is re-armed with its remaining time.
+"""
+
+import signal
+import time
+
+import pytest
+
+from repro.exec.runner import CellTimeout, _alarm
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(signal, "SIGALRM"), reason="platform lacks SIGALRM"
+)
+
+
+class _OuterDeadline(Exception):
+    pass
+
+
+def _sentinel_handler(signum, frame):
+    raise _OuterDeadline("outer timer fired")
+
+
+@pytest.fixture
+def outer_alarm():
+    """Install a recognisable outer handler + itimer, restore after."""
+    previous_handler = signal.signal(signal.SIGALRM, _sentinel_handler)
+    previous_delay, _ = signal.setitimer(signal.ITIMER_REAL, 60.0)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous_handler)
+        if previous_delay:
+            signal.setitimer(signal.ITIMER_REAL, previous_delay)
+
+
+def test_alarm_fires_and_restores_handler(outer_alarm):
+    with pytest.raises(CellTimeout):
+        with _alarm(0.05):
+            time.sleep(5)  # lint: allow-wallclock(the alarm must interrupt a real stall)
+    assert signal.getsignal(signal.SIGALRM) is _sentinel_handler
+
+
+def test_alarm_rearms_outer_itimer_on_clean_exit(outer_alarm):
+    with _alarm(30.0):
+        # While the inner alarm is armed, the itimer belongs to it.
+        delay, _ = signal.getitimer(signal.ITIMER_REAL)
+        assert 0 < delay <= 30.0
+    delay, _ = signal.getitimer(signal.ITIMER_REAL)
+    # The outer 60 s timer is back, minus the time we borrowed it for.
+    assert 50.0 < delay <= 60.0
+    assert signal.getsignal(signal.SIGALRM) is _sentinel_handler
+
+
+def test_alarm_rearms_outer_itimer_after_timeout(outer_alarm):
+    with pytest.raises(CellTimeout):
+        with _alarm(0.05):
+            time.sleep(5)  # lint: allow-wallclock(the alarm must interrupt a real stall)
+    delay, _ = signal.getitimer(signal.ITIMER_REAL)
+    assert 50.0 < delay <= 60.0
+
+
+def test_alarm_rearms_outer_itimer_after_body_exception(outer_alarm):
+    with pytest.raises(ValueError):
+        with _alarm(30.0):
+            raise ValueError("cell crashed")
+    delay, _ = signal.getitimer(signal.ITIMER_REAL)
+    assert 50.0 < delay <= 60.0
+    assert signal.getsignal(signal.SIGALRM) is _sentinel_handler
+
+
+def test_alarm_nested_inner_does_not_cancel_outer():
+    # Two _alarm levels: the inner one exits cleanly, the outer must
+    # still fire afterwards.
+    with pytest.raises(CellTimeout):
+        with _alarm(0.4):
+            with _alarm(0.1):
+                pass  # inner finishes instantly
+            delay, _ = signal.getitimer(signal.ITIMER_REAL)
+            assert delay > 0, "inner exit disarmed the outer alarm"
+            time.sleep(5)  # lint: allow-wallclock(waiting for the re-armed outer alarm)
+
+
+def test_alarm_expired_outer_rearms_minimally(outer_alarm):
+    # If the outer timer's remaining budget is exhausted while the
+    # inner alarm held the itimer, the outer must be re-armed with a
+    # tiny positive delay (zero would disarm it), so it still fires.
+    signal.setitimer(signal.ITIMER_REAL, 0.15)
+    with pytest.raises(_OuterDeadline):
+        with _alarm(30.0):
+            time.sleep(0.3)  # lint: allow-wallclock(outlive the outer timer's budget on purpose)
+        # exiting re-arms the outer timer with ~1 µs; it fires at once
+
+
+def test_alarm_none_is_a_noop(outer_alarm):
+    with _alarm(None):
+        delay, _ = signal.getitimer(signal.ITIMER_REAL)
+        assert 0 < delay <= 60.0  # outer timer untouched
+    assert signal.getsignal(signal.SIGALRM) is _sentinel_handler

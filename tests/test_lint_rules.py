@@ -218,6 +218,52 @@ def test_unsorted_json_pragma_suppressed():
 
 
 # ----------------------------------------------------------------------
+# REP105 pickle
+# ----------------------------------------------------------------------
+def test_pickle_positive_import():
+    src = """
+        import pickle
+        data = pickle.dumps({})
+    """
+    assert flagged(src, "exec/runner.py", "pickle")
+
+
+def test_pickle_positive_from_import_and_friends():
+    src = """
+        from pickle import dumps
+        import cloudpickle
+        import shelve
+    """
+    assert len(flagged(src, "obs/export.py", "pickle")) == 3
+
+
+def test_pickle_positive_dotted_import():
+    src = "import dill.settings\n"
+    assert flagged(src, "net/foo.py", "pickle")
+
+
+def test_pickle_negative_in_checkpoint_subsystem():
+    src = """
+        import pickle
+        data = pickle.dumps({})
+    """
+    assert not flagged(src, "checkpoint/codec.py", "pickle")
+    assert not flagged(src, "exec/cache.py", "pickle")
+
+
+def test_pickle_negative_unrelated_module_name():
+    src = "from repro.checkpoint import save_checkpoint\n"
+    assert not flagged(src, "experiments/fig6_multipath.py", "pickle")
+
+
+def test_pickle_pragma_suppressed():
+    src = """
+        import pickle  # lint: allow-pickle(fixture reason)
+    """
+    assert not flagged(src, "exec/runner.py", "pickle")
+
+
+# ----------------------------------------------------------------------
 # REP201 slots
 # ----------------------------------------------------------------------
 def test_slots_positive_plain_class():
