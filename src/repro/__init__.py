@@ -52,8 +52,12 @@ from repro.tcp import (
 )
 from repro.topologies import (
     DumbbellSpec,
+    FatTreeSpec,
     MultipathMeshSpec,
     ParkingLotSpec,
+    Topology,
+    TopologySpec,
+    WanMeshSpec,
     build_dumbbell,
     build_multipath_mesh,
     build_parking_lot,
@@ -75,6 +79,7 @@ __all__ = [
     "CwndMonitor",
     "DumbbellSpec",
     "EpsilonMultipathPolicy",
+    "FatTreeSpec",
     "FlowThroughputMonitor",
     "Instrumentation",
     "MaxRttEstimator",
@@ -92,6 +97,9 @@ __all__ = [
     "TcpConfig",
     "TcpPrSender",
     "TcpReceiver",
+    "Topology",
+    "TopologySpec",
+    "WanMeshSpec",
     "available_variants",
     "build_dumbbell",
     "build_multipath_mesh",

@@ -102,10 +102,10 @@ def checkpoint_cell(
     from repro.app.bulk import BulkTransfer
     from repro.checkpoint import checkpointable
     from repro.obs.instrument import maybe_observe
-    from repro.topologies.dumbbell import DumbbellSpec, build_dumbbell
+    from repro.topologies.dumbbell import DumbbellSpec
 
     def build() -> Dict[str, Any]:
-        net = build_dumbbell(DumbbellSpec(num_pairs=1, seed=seed))
+        net = DumbbellSpec(num_pairs=1, seed=seed).build().network
         flow = BulkTransfer(net, "tcp-pr", "s0", "d0", flow_id=1)
         maybe_observe(net)
         return {"net": net, "flow": flow}

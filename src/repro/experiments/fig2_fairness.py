@@ -18,7 +18,11 @@ from repro.exec.runner import ResultCache, run_sweep
 from repro.experiments._deprecation import require_spec
 from repro.exec.spec import ExperimentSpec, Scale, SweepCell
 from repro.experiments.runner import FairnessResult, run_fairness
+from repro.scenarios.spec import ScenarioSpec
+from repro.scenarios.workload import WorkloadSpec
+from repro.topologies.base import TopologySpec
 from repro.topologies.dumbbell import DumbbellSpec
+from repro.topologies.parking_lot import ParkingLotSpec
 
 #: The flow counts on Figure 2's x-axis.
 PAPER_FLOW_COUNTS: Sequence[int] = (4, 8, 16, 32, 64)
@@ -119,6 +123,44 @@ class Fig2Spec(ExperimentSpec):
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "flow_counts", tuple(self.flow_counts))
+
+    @property
+    def scenario(self) -> ScenarioSpec:
+        """This panel's topology/workload as a declarative scenario.
+
+        Mirrors the largest cell (``max(flow_counts)``): the same scaled
+        dumbbell (or parking lot) and a half TCP-PR / half SACK bulk
+        population with the cell's 2 s start stagger.  Variant
+        assignment is drawn from the mix rather than alternating
+        deterministically, so the split is statistical, not positional.
+        """
+        count = max(self.flow_counts)
+        topo: TopologySpec
+        if self.topology == "dumbbell":
+            scale = max(1.0, count / 8.0)
+            topo = DumbbellSpec(
+                num_pairs=1,
+                bottleneck_bandwidth=max(15e6, DUMBBELL_PER_FLOW_BPS * count),
+                access_bandwidth=1e9,
+                access_delay=1e-3,
+                queue_packets=int(100 * scale),
+                seed=self.seed,
+            )
+        else:
+            topo = ParkingLotSpec(seed=self.seed)
+        return ScenarioSpec(
+            topology=topo,
+            workload=WorkloadSpec(
+                arrival="fixed",
+                flow_count=count,
+                start_stagger=2.0,
+                size="bulk",
+                variant_mix=(("tcp-pr", 1.0), ("sack", 1.0)),
+            ),
+            duration=self.duration,
+            seed=self.seed,
+            name=self.name,
+        )
 
     def cells(self) -> List[SweepCell]:
         # Per-cell seed = seed + count: each flow count gets its own

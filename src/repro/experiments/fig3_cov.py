@@ -17,6 +17,9 @@ from repro.exec.runner import ResultCache, run_sweep
 from repro.experiments._deprecation import require_spec
 from repro.exec.spec import ExperimentSpec, Scale, SweepCell
 from repro.experiments.runner import FairnessResult, run_fairness
+from repro.scenarios.spec import ScenarioSpec
+from repro.scenarios.workload import WorkloadSpec
+from repro.topologies.base import TopologySpec
 from repro.topologies.dumbbell import DumbbellSpec
 from repro.topologies.parking_lot import ParkingLotSpec
 from repro.util.units import MBPS
@@ -122,6 +125,42 @@ class Fig3Spec(ExperimentSpec):
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "bandwidths_mbps", tuple(self.bandwidths_mbps))
+
+    @property
+    def scenario(self) -> ScenarioSpec:
+        """This panel's topology/workload as a declarative scenario.
+
+        Mirrors the first bandwidth cell: the same bottleneck topology
+        and a half TCP-PR / half SACK bulk population (statistically
+        mixed rather than positionally alternated).
+        """
+        bandwidth = self.bandwidths_mbps[0]
+        topo: TopologySpec
+        if self.topology == "dumbbell":
+            topo = DumbbellSpec(
+                num_pairs=1,
+                bottleneck_bandwidth=bandwidth * MBPS,
+                access_bandwidth=100 * MBPS,
+                access_delay=1e-3,
+                seed=self.seed,
+            )
+        else:
+            topo = ParkingLotSpec(
+                backbone_bandwidth=bandwidth * MBPS, seed=self.seed
+            )
+        return ScenarioSpec(
+            topology=topo,
+            workload=WorkloadSpec(
+                arrival="fixed",
+                flow_count=self.total_flows,
+                start_stagger=2.0,
+                size="bulk",
+                variant_mix=(("tcp-pr", 1.0), ("sack", 1.0)),
+            ),
+            duration=self.duration,
+            seed=self.seed,
+            name=self.name,
+        )
 
     def cells(self) -> List[SweepCell]:
         return [

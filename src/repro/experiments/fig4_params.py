@@ -21,6 +21,8 @@ from repro.exec.runner import ResultCache, run_sweep
 from repro.experiments._deprecation import require_spec
 from repro.exec.spec import ExperimentSpec, Scale, SweepCell
 from repro.experiments.runner import FairnessResult, run_fairness
+from repro.scenarios.spec import ScenarioSpec
+from repro.scenarios.workload import WorkloadSpec
 from repro.topologies.dumbbell import DumbbellSpec
 from repro.util.units import MBPS
 
@@ -107,6 +109,33 @@ class Fig4Spec(ExperimentSpec):
     def __post_init__(self) -> None:
         object.__setattr__(self, "alphas", tuple(self.alphas))
         object.__setattr__(self, "betas", tuple(self.betas))
+
+    @property
+    def scenario(self) -> ScenarioSpec:
+        """This sweep's topology/workload as a declarative scenario.
+
+        The (alpha, beta) surface shares one fairness setup: the default
+        fat-access dumbbell and a half TCP-PR / half SACK bulk
+        population of ``total_flows`` (statistically mixed).
+        """
+        return ScenarioSpec(
+            topology=DumbbellSpec(
+                num_pairs=1,
+                access_bandwidth=100 * MBPS,
+                access_delay=1e-3,
+                seed=self.seed,
+            ),
+            workload=WorkloadSpec(
+                arrival="fixed",
+                flow_count=self.total_flows,
+                start_stagger=2.0,
+                size="bulk",
+                variant_mix=(("tcp-pr", 1.0), ("sack", 1.0)),
+            ),
+            duration=self.duration,
+            seed=self.seed,
+            name=self.name,
+        )
 
     def cells(self) -> List[SweepCell]:
         return [

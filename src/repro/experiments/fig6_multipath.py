@@ -25,10 +25,11 @@ from repro.exec.runner import ResultCache, run_sweep
 from repro.experiments._deprecation import require_spec
 from repro.exec.spec import ExperimentSpec, Scale, SweepCell
 from repro.obs import maybe_observe
+from repro.scenarios.spec import ScenarioSpec
+from repro.scenarios.workload import WorkloadSpec
 from repro.tcp.base import TcpConfig
 from repro.topologies.multipath_mesh import (
     MultipathMeshSpec,
-    build_multipath_mesh,
     install_epsilon_routing,
 )
 from repro.util.units import MBPS, MS
@@ -100,7 +101,7 @@ def run_single_multipath_flow(
         mesh_spec = spec if spec is not None else MultipathMeshSpec(
             link_delay=link_delay, seed=seed
         )
-        net = build_multipath_mesh(mesh_spec)
+        net = mesh_spec.build().network
         install_epsilon_routing(net, epsilon, reorder_acks=reorder_acks)
         flow = BulkTransfer(
             net,
@@ -165,6 +166,30 @@ class Fig6Spec(ExperimentSpec):
     def __post_init__(self) -> None:
         object.__setattr__(self, "protocols", tuple(self.protocols))
         object.__setattr__(self, "epsilons", tuple(self.epsilons))
+
+    @property
+    def scenario(self) -> ScenarioSpec:
+        """This panel's topology/workload as a declarative scenario.
+
+        One infinite bulk flow of the first listed protocol over the
+        Figure 5 mesh at this panel's link delay (the ε axis is an
+        execution knob, not part of the population).
+        """
+        return ScenarioSpec(
+            topology=MultipathMeshSpec(
+                link_delay=self.link_delay, seed=self.seed
+            ),
+            workload=WorkloadSpec(
+                arrival="fixed",
+                flow_count=1,
+                start_stagger=0.0,
+                size="bulk",
+                variant_mix=((self.protocols[0], 1.0),),
+            ),
+            duration=self.duration,
+            seed=self.seed,
+            name=self.name,
+        )
 
     def cells(self) -> List[SweepCell]:
         return [

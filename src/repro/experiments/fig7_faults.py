@@ -45,10 +45,11 @@ from repro.faults.schedule import (
     PathBlackout,
 )
 from repro.obs import maybe_observe
+from repro.scenarios.spec import ScenarioSpec
+from repro.scenarios.workload import WorkloadSpec
 from repro.tcp.base import TcpConfig
 from repro.topologies.multipath_mesh import (
     MultipathMeshSpec,
-    build_multipath_mesh,
     install_epsilon_routing,
 )
 from repro.util.units import MBPS, MS
@@ -161,7 +162,7 @@ def run_fig7_cell(
     event ordering and must not change.
     """
     mesh_spec = MultipathMeshSpec(link_delay=link_delay, seed=seed)
-    net = build_multipath_mesh(mesh_spec)
+    net = mesh_spec.build().network
     install_epsilon_routing(net, epsilon=0.0, reorder_acks=True)
     inst = maybe_observe()
     Injector(
@@ -203,6 +204,30 @@ class Fig7Spec(ExperimentSpec):
     def __post_init__(self) -> None:
         object.__setattr__(self, "protocols", tuple(self.protocols))
         object.__setattr__(self, "outages", tuple(self.outages))
+
+    @property
+    def scenario(self) -> ScenarioSpec:
+        """This sweep's topology/workload as a declarative scenario.
+
+        One infinite bulk flow of the first listed protocol over the
+        Figure 5 mesh at this sweep's link delay (outage schedules are
+        an execution knob, not part of the population).
+        """
+        return ScenarioSpec(
+            topology=MultipathMeshSpec(
+                link_delay=self.link_delay, seed=self.seed
+            ),
+            workload=WorkloadSpec(
+                arrival="fixed",
+                flow_count=1,
+                start_stagger=0.0,
+                size="bulk",
+                variant_mix=((self.protocols[0], 1.0),),
+            ),
+            duration=self.duration,
+            seed=self.seed,
+            name=self.name,
+        )
 
     def cells(self) -> List[SweepCell]:
         return [

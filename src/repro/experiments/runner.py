@@ -22,12 +22,9 @@ from repro.core.pr import PrConfig
 from repro.experiments.serialize import register_result_type
 from repro.net.network import Network
 from repro.tcp.base import TcpConfig
-from repro.topologies.dumbbell import DumbbellSpec, build_dumbbell
-from repro.topologies.parking_lot import (
-    CROSS_TRAFFIC_PAIRS,
-    ParkingLotSpec,
-    build_parking_lot,
-)
+from repro.topologies.base import Topology
+from repro.topologies.dumbbell import DumbbellSpec
+from repro.topologies.parking_lot import CROSS_TRAFFIC_PAIRS, ParkingLotSpec
 from repro.obs import maybe_observe
 from repro.obs.monitors import FlowThroughputMonitor
 from repro.util.units import MBPS
@@ -99,6 +96,7 @@ def build_fairness_scenario(
     if total_flows < 2 or total_flows % 2 != 0:
         raise ValueError(f"total_flows must be even and >= 2, got {total_flows}")
 
+    built: Topology
     if topology == "dumbbell":
         # Fat access links by default so the r0->r1 link is the unique
         # bottleneck even with every flow sharing one source host.
@@ -112,18 +110,17 @@ def build_fairness_scenario(
                 seed=seed,
             )
         )
-        network = build_dumbbell(spec)
-        src, dst = "s0", "d0"
-        bottlenecks = ["r0->r1"]
+        built = spec.build()
     elif topology == "parking-lot":
         pspec = (
             parking_spec if parking_spec is not None else ParkingLotSpec(seed=seed)
         )
-        network = build_parking_lot(pspec)
-        src, dst = "S", "D"
-        bottlenecks = ["n1->n2", "n2->n3", "n3->n4"]
+        built = pspec.build()
     else:
         raise ValueError(f"unknown topology {topology!r}")
+    network = built.network
+    src, dst = built.senders[0], built.receivers[0]
+    bottlenecks = list(built.bottlenecks)
 
     rng = network.sim.rng.stream("fairness-starts")
     flows: List[BulkTransfer] = []

@@ -199,8 +199,12 @@ class JsonlAppender:
 
     Opens ``path`` in append mode after truncating any torn tail line
     (see :func:`recover_jsonl_tail`); each :meth:`write` emits one
-    record and flushes, so a kill between writes loses at most the
-    record in flight — never the stream behind it.  A header record is
+    record as a single unbuffered O_APPEND write, so a kill between
+    writes loses at most the record in flight — never the stream behind
+    it.  Because every record reaches the file in one ``write(2)`` at a
+    kernel-assigned offset, any number of appenders — including
+    concurrent worker *processes* sharding one scenario — can share the
+    path without ever interleaving partial lines.  A header record is
     written automatically when the file starts out empty.
 
     Attributes:
@@ -220,16 +224,15 @@ class JsonlAppender:
         self.recovered_bytes = recover_jsonl_tail(self.path)
         fresh = not self.path.exists() or self.path.stat().st_size == 0
         self._fsync = fsync
-        self._handle: Optional[Any] = self.path.open("a", encoding="utf-8")
+        self._handle: Optional[Any] = self.path.open("ab", buffering=0)
         if fresh and header:
             self.write(header_record(**header_fields))
 
     def write(self, record: Dict[str, Any]) -> None:
         if self._handle is None:
             raise ValueError(f"appender for {self.path} is closed")
-        self._handle.write(json.dumps(record, default=str))
-        self._handle.write("\n")
-        self._handle.flush()
+        line = json.dumps(record, default=str) + "\n"
+        self._handle.write(line.encode("utf-8"))
         if self._fsync:
             import os
 

@@ -1,0 +1,49 @@
+"""Declarative scale-out scenarios: topology × workload → sharded runs.
+
+``repro.scenarios`` is the scale-out layer on top of the figure
+harness: a :class:`ScenarioSpec` declares *what* to simulate (any
+registered :class:`~repro.topologies.base.TopologySpec` plus a
+:class:`WorkloadSpec` flow population) as pure JSON-able data, and a
+:class:`ShardPlan` declares *how* to run it — partitioned into
+per-flow-group shards across the :mod:`repro.exec` worker pool, with
+per-flow results streamed incrementally as ``repro.obs/v1`` JSONL so
+memory stays bounded by the live flow population.
+
+See ``docs/SCENARIOS.md`` for the spec schema, the seed-derivation
+table, and the exact semantics (and caveats) of sharding.
+"""
+
+from repro.scenarios.shard import (
+    CELL_FUNC,
+    ScenarioReport,
+    ShardPlan,
+    format_scale,
+    run_scale,
+    run_shard_cell,
+)
+from repro.scenarios.spec import SCENARIO_SCHEMA, ScenarioSpec
+from repro.scenarios.workload import (
+    ARRIVAL_MODES,
+    SIZE_DISTRIBUTIONS,
+    FlowSpec,
+    WorkloadSpec,
+    count_flows,
+    generate_flows,
+)
+
+__all__ = [
+    "ARRIVAL_MODES",
+    "CELL_FUNC",
+    "FlowSpec",
+    "SCENARIO_SCHEMA",
+    "SIZE_DISTRIBUTIONS",
+    "ScenarioReport",
+    "ScenarioSpec",
+    "ShardPlan",
+    "WorkloadSpec",
+    "count_flows",
+    "format_scale",
+    "generate_flows",
+    "run_scale",
+    "run_shard_cell",
+]

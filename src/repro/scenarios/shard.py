@@ -1,0 +1,481 @@
+"""Sharded scale-out execution of one large :class:`ScenarioSpec`.
+
+A :class:`ShardPlan` partitions a scenario's flow population into
+``num_shards`` residue classes (``flow_id % num_shards``) and runs each
+class as an independent :class:`~repro.exec.spec.SweepCell` on the
+existing :mod:`repro.exec` process pool — inheriting its caching,
+timeout/retry/keep-going failure policy, journal, and bit-identical
+serial/parallel guarantee for free.
+
+Semantics (documented in ``docs/SCENARIOS.md``): a shard is its own
+simulation — flows in different shards do not share queues, so sharding
+is an *approximation* that trades cross-shard contention for
+parallelism.  What is exact: every shard regenerates the identical flow
+population from the scenario seed (see
+:mod:`repro.scenarios.workload`), the partition is a disjoint cover of
+it, and for a fixed ``num_shards`` the merged result is bit-identical
+whether the shards run serially or across workers.
+
+Bounded memory is the other contract.  Inside a shard, flows are
+*admitted* lazily from the workload generator at their start times and
+*retired* by a periodic sim-time reaper once fully delivered (their
+per-flow record is streamed to the shard's
+:class:`~repro.obs.export.JsonlAppender` and the agents are
+deregistered), so resident state tracks the live population — not
+everything that ever ran — and per-flow results are never assembled in
+memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, ClassVar, Dict, Iterator, List, Mapping, Optional
+
+from repro.app.bulk import BulkTransfer
+from repro.core.pr import PrConfig
+from repro.exec.runner import ResultCache, run_sweep
+from repro.exec.spec import ExperimentSpec, Scale, SweepCell
+from repro.net.network import Network
+from repro.obs import maybe_observe
+from repro.obs.export import JsonlAppender
+from repro.scenarios.spec import ScenarioSpec
+from repro.scenarios.workload import FlowSpec
+from repro.sim.rng import derive_child_seed
+from repro.tcp.base import TcpConfig
+from repro.topologies.base import topology_with_seed
+from repro.util.units import MBPS
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    resource = None  # type: ignore[assignment]
+
+#: Importable path of the shard cell function (see :class:`SweepCell`).
+CELL_FUNC = "repro.scenarios.shard:run_shard_cell"
+
+#: Slow-start cap applied to every scenario flow (segments); without it
+#: the first slow-start of a long flow on a fat path overshoots by
+#: hundreds of segments (see fig6's DEFAULT_INITIAL_SSTHRESH).
+SCENARIO_INITIAL_SSTHRESH = 128.0
+
+
+def _max_rss_kb() -> int:
+    """This process's peak RSS in KiB (0 where rusage is unavailable)."""
+    if resource is None:
+        return 0
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+class _ShardDriver:
+    """Lazy admission + reaping of one shard's flows inside a simulation.
+
+    Holds the shard's slice of the workload generator; an admission
+    event chain constructs each :class:`BulkTransfer` at its start time
+    and a periodic reaper retires completed flows (streams their record,
+    deregisters their agents) so live state stays bounded.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        flows: Iterator[FlowSpec],
+        appender: Optional[JsonlAppender],
+        cell: str,
+        reap_interval: float,
+    ) -> None:
+        self.network = network
+        self.sim = network.sim
+        self.cell = cell
+        self.reap_interval = reap_interval
+        self._flows = flows
+        self._pending: Optional[FlowSpec] = next(flows, None)
+        self._appender = appender
+        self.active: Dict[int, BulkTransfer] = {}
+        self._sizes: Dict[int, Optional[int]] = {}
+        self._starts: Dict[int, float] = {}
+        self.admitted = 0
+        self.completed = 0
+        self.delivered_segments = 0
+        self.delivered_bytes = 0
+        self.per_variant: Dict[str, Dict[str, int]] = {}
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Arm the admission chain and the reaper."""
+        if self._pending is not None:
+            self.sim.post(self._pending.start, self._admit)
+        if self.reap_interval > 0:
+            self.sim.post_in(self.reap_interval, self._reap_tick)
+
+    def _admit(self) -> None:
+        now = self.sim.now
+        while self._pending is not None and self._pending.start <= now:
+            flow_spec = self._pending
+            self._pending = next(self._flows, None)
+            size = flow_spec.size_segments
+            flow = BulkTransfer(
+                self.network,
+                flow_spec.variant,
+                flow_spec.src,
+                flow_spec.dst,
+                flow_id=flow_spec.flow_id,
+                start_at=now,
+                tcp_config=TcpConfig(
+                    total_segments=size,
+                    initial_ssthresh=SCENARIO_INITIAL_SSTHRESH,
+                ),
+                pr_config=PrConfig(
+                    total_segments=size,
+                    initial_ssthresh=SCENARIO_INITIAL_SSTHRESH,
+                ),
+            )
+            maybe_observe(flow)
+            self.active[flow_spec.flow_id] = flow
+            self._sizes[flow_spec.flow_id] = size
+            self._starts[flow_spec.flow_id] = flow_spec.start
+            self.admitted += 1
+            stats = self.per_variant.setdefault(
+                flow.variant,
+                {"flows": 0, "completed": 0, "delivered_segments": 0},
+            )
+            stats["flows"] += 1
+        if self._pending is not None:
+            self.sim.post(self._pending.start, self._admit)
+
+    # ------------------------------------------------------------------
+    def _reap_tick(self) -> None:
+        done = [
+            flow_id
+            for flow_id, flow in self.active.items()
+            if flow.sender.done
+        ]
+        for flow_id in done:
+            self._retire(flow_id)
+        if self.active or self._pending is not None:
+            self.sim.post_in(self.reap_interval, self._reap_tick)
+
+    def _retire(self, flow_id: int) -> None:
+        """Record and release one flow (its agents leave every registry)."""
+        flow = self.active.pop(flow_id)
+        completed = bool(flow.sender.done)
+        delivered = flow.delivered_segments
+        self.delivered_segments += delivered
+        self.delivered_bytes += flow.delivered_bytes()
+        stats = self.per_variant[flow.variant]
+        stats["delivered_segments"] += delivered
+        if completed:
+            self.completed += 1
+            stats["completed"] += 1
+        if self._appender is not None:
+            self._appender.write(
+                {
+                    "record": "flow",
+                    "cell": self.cell,
+                    "flow_id": flow_id,
+                    "variant": flow.variant,
+                    "src": flow.src,
+                    "dst": flow.dst,
+                    "start": self._starts.pop(flow_id),
+                    "size_segments": self._sizes.pop(flow_id),
+                    "delivered_segments": delivered,
+                    "completed": completed,
+                    "finish_time": self.sim.now,
+                }
+            )
+        else:
+            self._starts.pop(flow_id)
+            self._sizes.pop(flow_id)
+        for agent in (flow.sender, flow.receiver):
+            agent.node.agents.pop(flow_id, None)
+            self.sim.deregister_component(
+                f"agent:{agent.node.name}/f{flow_id}"
+            )
+
+    def finish(self) -> None:
+        """Retire whatever is still live at the end of the horizon."""
+        for flow_id in sorted(self.active):
+            self._retire(flow_id)
+
+
+def run_shard_cell(
+    *,
+    scenario: Dict[str, Any],
+    shard_index: int,
+    num_shards: int,
+    stream_path: Optional[str] = None,
+    reap_interval: float = 1.0,
+    seed: int,
+) -> Dict[str, Any]:
+    """One shard of a scenario: build, admit, run, stream, summarize.
+
+    ``scenario`` arrives in its JSON form (cells are plain data for the
+    cache and the process boundary).  The flow population is regenerated
+    from the *scenario* seed and filtered to ``flow_id % num_shards ==
+    shard_index``; the simulator itself runs under the per-shard
+    ``seed`` the plan derived.  Returns a JSON-able shard summary.
+
+    Note: a cache hit on this cell returns the summary *without*
+    re-writing the per-flow stream — run with caching disabled when the
+    stream file is the product.
+    """
+    spec = ScenarioSpec.from_jsonable(scenario)
+    if not 0 <= shard_index < num_shards:
+        raise ValueError(
+            f"shard_index {shard_index} out of range for {num_shards} shards"
+        )
+    topo_spec = topology_with_seed(spec.topology, seed)
+    topology = topo_spec.build()
+    network = topology.network
+    maybe_observe(network)
+
+    cell = f"shard/{shard_index}"
+    flows = (
+        flow for flow in spec.flows() if flow.flow_id % num_shards == shard_index
+    )
+    appender = (
+        JsonlAppender(
+            stream_path,
+            scenario=spec.name,
+            command="scale",
+        )
+        if stream_path
+        else None
+    )
+    try:
+        driver = _ShardDriver(
+            network, flows, appender, cell, reap_interval=reap_interval
+        )
+        driver.start()
+        network.run(until=spec.duration)
+        driver.finish()
+        summary: Dict[str, Any] = {
+            "shard_index": shard_index,
+            "num_shards": num_shards,
+            "flows": driver.admitted,
+            "completed": driver.completed,
+            "delivered_segments": driver.delivered_segments,
+            "delivered_bytes": driver.delivered_bytes,
+            "goodput_mbps": (
+                driver.delivered_bytes * 8.0 / spec.duration / MBPS
+            ),
+            "per_variant": driver.per_variant,
+            "drops": network.total_drops(),
+            "dead_letters": network.dead_letters(),
+            "live_agents": sum(
+                len(node.agents) for node in network.nodes.values()
+            ),
+            "max_rss_kb": _max_rss_kb(),
+        }
+        if appender is not None:
+            appender.write({"record": "shard", "cell": cell, **summary})
+        return summary
+    finally:
+        if appender is not None:
+            appender.close()
+
+
+@dataclass
+class ScenarioReport:
+    """Merged outcome of a sharded scenario run."""
+
+    scenario: str
+    num_shards: int
+    duration: float
+    flows: int
+    completed: int
+    delivered_segments: int
+    delivered_bytes: int
+    goodput_mbps: float
+    per_variant: Dict[str, Dict[str, int]]
+    drops: int
+    dead_letters: int
+    max_rss_kb: int
+    failed_shards: List[str] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        return not self.failed_shards
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "num_shards": self.num_shards,
+            "duration": self.duration,
+            "flows": self.flows,
+            "completed": self.completed,
+            "delivered_segments": self.delivered_segments,
+            "delivered_bytes": self.delivered_bytes,
+            "goodput_mbps": self.goodput_mbps,
+            "per_variant": self.per_variant,
+            "drops": self.drops,
+            "dead_letters": self.dead_letters,
+            "max_rss_kb": self.max_rss_kb,
+            "failed_shards": list(self.failed_shards),
+        }
+
+
+@dataclass(frozen=True)
+class ShardPlan(ExperimentSpec):
+    """A scenario exploded into per-flow-group shard cells.
+
+    ``stream_path`` (optional) is where every shard appends its
+    ``repro.obs/v1`` flow records; concurrent shards share the file
+    safely through :class:`~repro.obs.export.JsonlAppender`'s atomic
+    appends.  ``reap_interval`` is the sim-time period of the in-shard
+    flow reaper.
+    """
+
+    name: ClassVar[str] = "scale"
+    SCALE_PRESETS: ClassVar[Mapping[Scale, Mapping[str, Any]]] = {}
+
+    scenario: ScenarioSpec = field(
+        default_factory=lambda: ScenarioSpec(
+            topology=_default_topology(), workload=_default_workload()
+        )
+    )
+    num_shards: int = 1
+    stream_path: Optional[str] = None
+    reap_interval: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {self.num_shards}")
+        if self.reap_interval <= 0:
+            raise ValueError(
+                f"reap_interval must be positive, got {self.reap_interval}"
+            )
+
+    @property
+    def seed(self) -> int:
+        """The master seed is the scenario's (one source of truth)."""
+        return self.scenario.seed
+
+    def with_seed(self, seed: "int | None") -> "ShardPlan":
+        if seed is None:
+            return self
+        return replace(self, scenario=self.scenario.with_seed(seed))
+
+    def shard_seed(self, index: int) -> int:
+        """Deterministic per-shard simulator seed."""
+        return derive_child_seed(self.scenario.seed, f"{self.name}/shard/{index}")
+
+    def cells(self) -> List[SweepCell]:
+        payload = self.scenario.to_jsonable()
+        return [
+            SweepCell(
+                key=f"shard/{index}",
+                func=CELL_FUNC,
+                params={
+                    "scenario": payload,
+                    "shard_index": index,
+                    "num_shards": self.num_shards,
+                    "stream_path": self.stream_path,
+                    "reap_interval": self.reap_interval,
+                },
+                seed=self.shard_seed(index),
+            )
+            for index in range(self.num_shards)
+        ]
+
+    def assemble(self, results: Mapping[Any, Any]) -> ScenarioReport:
+        return self.assemble_partial(results, {})
+
+    def assemble_partial(
+        self, results: Mapping[Any, Any], errors: Mapping[Any, Any]
+    ) -> ScenarioReport:
+        """Merge shard summaries; failed shards become report holes."""
+        per_variant: Dict[str, Dict[str, int]] = {}
+        flows = completed = segments = delivered = drops = dead = 0
+        max_rss = 0
+        for key in sorted(results, key=str):
+            summary = results[key]
+            flows += int(summary["flows"])
+            completed += int(summary["completed"])
+            segments += int(summary["delivered_segments"])
+            delivered += int(summary["delivered_bytes"])
+            drops += int(summary["drops"])
+            dead += int(summary["dead_letters"])
+            max_rss = max(max_rss, int(summary.get("max_rss_kb", 0)))
+            for variant, stats in summary["per_variant"].items():
+                merged = per_variant.setdefault(
+                    variant,
+                    {"flows": 0, "completed": 0, "delivered_segments": 0},
+                )
+                for field_name, value in stats.items():
+                    merged[field_name] = merged.get(field_name, 0) + int(value)
+        return ScenarioReport(
+            scenario=self.scenario.name,
+            num_shards=self.num_shards,
+            duration=self.scenario.duration,
+            flows=flows,
+            completed=completed,
+            delivered_segments=segments,
+            delivered_bytes=delivered,
+            goodput_mbps=delivered * 8.0 / self.scenario.duration / MBPS,
+            per_variant=per_variant,
+            drops=drops,
+            dead_letters=dead,
+            max_rss_kb=max_rss,
+            failed_shards=sorted(str(key) for key in errors),
+        )
+
+
+def _default_topology() -> Any:
+    from repro.topologies.dumbbell import DumbbellSpec
+
+    return DumbbellSpec(num_pairs=1)
+
+
+def _default_workload() -> Any:
+    from repro.scenarios.workload import WorkloadSpec
+
+    return WorkloadSpec(arrival="fixed", flow_count=4, size="fixed",
+                        mean_size_segments=50.0)
+
+
+def run_scale(
+    plan: ShardPlan,
+    *,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    seed: Optional[int] = None,
+    **exec_options: Any,
+) -> ScenarioReport:
+    """Run a sharded scenario through the sweep executor.
+
+    When the plan streams per-flow records, the target file is created
+    (with its header) before the fan-out so concurrent shards only ever
+    append.  Extra keyword arguments (``runner``, ``timeout``,
+    ``retries``, ``keep_going``) forward to
+    :func:`~repro.exec.runner.run_sweep`.
+    """
+    if plan.stream_path:
+        JsonlAppender(
+            plan.stream_path, scenario=plan.scenario.name, command="scale"
+        ).close()
+    report = run_sweep(plan, jobs=jobs, cache=cache, seed=seed, **exec_options)
+    assert isinstance(report, ScenarioReport)
+    return report
+
+
+def format_scale(report: ScenarioReport) -> str:
+    """Human-readable summary of a :class:`ScenarioReport`."""
+    lines = [
+        f"Scenario {report.scenario!r}: {report.flows} flows over "
+        f"{report.num_shards} shard(s), {report.duration:g} s horizon",
+        f"  completed {report.completed}/{report.flows} flows, "
+        f"delivered {report.delivered_segments} segments "
+        f"({report.goodput_mbps:.2f} Mbps aggregate)",
+        f"  drops {report.drops}, dead letters {report.dead_letters}, "
+        f"peak worker RSS {report.max_rss_kb} KiB",
+    ]
+    for variant in sorted(report.per_variant):
+        stats = report.per_variant[variant]
+        lines.append(
+            f"  {variant:>9}: flows={stats['flows']} "
+            f"completed={stats['completed']} "
+            f"segments={stats['delivered_segments']}"
+        )
+    if report.failed_shards:
+        lines.append(f"  FAILED shards: {', '.join(report.failed_shards)}")
+    return "\n".join(lines)

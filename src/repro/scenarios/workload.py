@@ -1,0 +1,339 @@
+"""Declarative workload generation: flow arrivals, sizes, variant mix.
+
+A :class:`WorkloadSpec` describes a *population* of flows — how they
+arrive (Poisson churn or a fixed staggered batch), how big they are
+(Pareto heavy tail, lognormal, fixed, or infinite bulk), and which TCP
+variant each one runs — without naming any endpoints.
+:func:`generate_flows` materializes the population against a topology's
+``(senders, receivers)`` endpoint lists as a *lazy* stream of
+:class:`FlowSpec` records.
+
+Determinism is the whole point: every draw comes from named
+:class:`~repro.sim.rng.RngRegistry` streams of one master seed, so the
+same ``(spec, endpoints, duration, seed)`` always yields the identical
+flow sequence — in any process, on any worker.  Shards regenerate the
+full sequence and keep only their residue class of ``flow_id``
+(see :mod:`repro.scenarios.shard`), which guarantees every shard agrees
+on the global population without ever shipping it across a boundary.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, Optional, Sequence, Tuple
+
+from repro.sim.rng import RngRegistry
+from repro.tcp.registry import canonical_name
+
+#: Supported arrival processes.
+ARRIVAL_MODES: Tuple[str, ...] = ("poisson", "fixed")
+#: Supported flow-size distributions (``"bulk"`` = infinite flows).
+SIZE_DISTRIBUTIONS: Tuple[str, ...] = ("pareto", "lognormal", "fixed", "bulk")
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """One generated flow: identity, endpoints, variant, start, size.
+
+    ``size_segments`` is ``None`` for an infinite bulk flow (it sends
+    until the scenario ends).
+    """
+
+    flow_id: int
+    src: str
+    dst: str
+    variant: str
+    start: float
+    size_segments: Optional[int]
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {
+            "flow_id": self.flow_id,
+            "src": self.src,
+            "dst": self.dst,
+            "variant": self.variant,
+            "start": self.start,
+            "size_segments": self.size_segments,
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: Dict[str, Any]) -> "FlowSpec":
+        return cls(
+            flow_id=int(data["flow_id"]),
+            src=str(data["src"]),
+            dst=str(data["dst"]),
+            variant=str(data["variant"]),
+            start=float(data["start"]),
+            size_segments=(
+                None
+                if data.get("size_segments") is None
+                else int(data["size_segments"])
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of a flow population (pure data, JSON-round-trippable).
+
+    Attributes:
+        arrival: ``"poisson"`` (open-loop churn at ``arrival_rate``
+            flows/second for the scenario duration) or ``"fixed"``
+            (exactly ``flow_count`` flows, starts uniform over
+            ``start_stagger`` seconds).
+        arrival_rate: Poisson arrival intensity (flows/second).
+        flow_count: Population size in ``"fixed"`` mode.
+        start_stagger: Start-time spread in ``"fixed"`` mode (seconds).
+        max_flows: Hard cap on generated flows (``None`` = unlimited;
+            Poisson mode otherwise generates ``rate * duration`` in
+            expectation).
+        size: Flow-size distribution — ``"pareto"`` (heavy tail),
+            ``"lognormal"``, ``"fixed"``, or ``"bulk"`` (every flow
+            infinite, size ``None``).
+        mean_size_segments: Target mean flow size (segments).
+        pareto_shape: Pareto tail index (> 1 so the mean exists;
+            web-like workloads use 1.1-1.5).
+        lognormal_sigma: Lognormal shape parameter.
+        min_size_segments: Floor applied to every drawn size.
+        variant_mix: ``((variant, weight), ...)`` — each flow's TCP
+            variant is drawn from this (normalized) distribution.
+    """
+
+    arrival: str = "poisson"
+    arrival_rate: float = 10.0
+    flow_count: int = 8
+    start_stagger: float = 2.0
+    max_flows: Optional[int] = None
+    size: str = "pareto"
+    mean_size_segments: float = 100.0
+    pareto_shape: float = 1.3
+    lognormal_sigma: float = 1.0
+    min_size_segments: int = 1
+    variant_mix: Tuple[Tuple[str, float], ...] = (("tcp-pr", 1.0),)
+
+    def __post_init__(self) -> None:
+        # JSON round-trips deliver lists; freeze back to tuples so specs
+        # stay hashable/comparable.
+        object.__setattr__(
+            self,
+            "variant_mix",
+            tuple((str(name), float(weight)) for name, weight in self.variant_mix),
+        )
+        self.validate()
+
+    def validate(self) -> None:
+        if self.arrival not in ARRIVAL_MODES:
+            raise ValueError(
+                f"arrival must be one of {ARRIVAL_MODES}, got {self.arrival!r}"
+            )
+        if self.size not in SIZE_DISTRIBUTIONS:
+            raise ValueError(
+                f"size must be one of {SIZE_DISTRIBUTIONS}, got {self.size!r}"
+            )
+        if self.arrival == "poisson" and self.arrival_rate <= 0:
+            raise ValueError(
+                f"arrival_rate must be positive, got {self.arrival_rate}"
+            )
+        if self.arrival == "fixed" and self.flow_count < 1:
+            raise ValueError(f"flow_count must be >= 1, got {self.flow_count}")
+        if self.start_stagger < 0:
+            raise ValueError(
+                f"start_stagger must be >= 0, got {self.start_stagger}"
+            )
+        if self.max_flows is not None and self.max_flows < 0:
+            raise ValueError(f"max_flows must be >= 0, got {self.max_flows}")
+        if self.size in ("pareto", "lognormal", "fixed"):
+            if self.mean_size_segments < 1:
+                raise ValueError(
+                    f"mean_size_segments must be >= 1, got "
+                    f"{self.mean_size_segments}"
+                )
+        if self.size == "pareto" and self.pareto_shape <= 1.0:
+            raise ValueError(
+                f"pareto_shape must be > 1 (finite mean), got "
+                f"{self.pareto_shape}"
+            )
+        if self.lognormal_sigma <= 0:
+            raise ValueError(
+                f"lognormal_sigma must be positive, got {self.lognormal_sigma}"
+            )
+        if self.min_size_segments < 1:
+            raise ValueError(
+                f"min_size_segments must be >= 1, got {self.min_size_segments}"
+            )
+        if not self.variant_mix:
+            raise ValueError("variant_mix must name at least one variant")
+        for name, weight in self.variant_mix:
+            canonical_name(name)  # raises on unknown variants
+            if weight < 0:
+                raise ValueError(f"negative weight for variant {name!r}")
+        if not any(weight > 0 for _, weight in self.variant_mix):
+            raise ValueError("variant_mix weights sum to zero")
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {
+            "arrival": self.arrival,
+            "arrival_rate": self.arrival_rate,
+            "flow_count": self.flow_count,
+            "start_stagger": self.start_stagger,
+            "max_flows": self.max_flows,
+            "size": self.size,
+            "mean_size_segments": self.mean_size_segments,
+            "pareto_shape": self.pareto_shape,
+            "lognormal_sigma": self.lognormal_sigma,
+            "min_size_segments": self.min_size_segments,
+            "variant_mix": [list(pair) for pair in self.variant_mix],
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: Dict[str, Any]) -> "WorkloadSpec":
+        payload = dict(data)
+        payload["variant_mix"] = tuple(
+            (str(name), float(weight)) for name, weight in payload["variant_mix"]
+        )
+        if payload.get("max_flows") is not None:
+            payload["max_flows"] = int(payload["max_flows"])
+        return cls(**payload)
+
+
+@dataclass
+class _FlowDraws:
+    """The per-flow RNG streams, in one place so draw order is fixed."""
+
+    arrivals: random.Random
+    sizes: random.Random
+    variants: random.Random
+    endpoints: random.Random
+    cumulative_mix: Tuple[Tuple[str, float], ...] = field(default=())
+
+
+def _cumulative_mix(spec: WorkloadSpec) -> Tuple[Tuple[str, float], ...]:
+    total = sum(weight for _, weight in spec.variant_mix)
+    out = []
+    running = 0.0
+    for name, weight in spec.variant_mix:
+        running += weight / total
+        out.append((canonical_name(name), running))
+    return tuple(out)
+
+
+def _draw_variant(draws: _FlowDraws) -> str:
+    u = draws.variants.random()
+    for name, boundary in draws.cumulative_mix:
+        if u <= boundary:
+            return name
+    return draws.cumulative_mix[-1][0]
+
+
+def _draw_size(spec: WorkloadSpec, draws: _FlowDraws) -> Optional[int]:
+    if spec.size == "bulk":
+        return None
+    if spec.size == "fixed":
+        return max(spec.min_size_segments, round(spec.mean_size_segments))
+    if spec.size == "pareto":
+        # Scale xm so the distribution's mean is mean_size_segments:
+        # E[xm * Pareto(shape)] = xm * shape / (shape - 1).
+        xm = spec.mean_size_segments * (spec.pareto_shape - 1) / spec.pareto_shape
+        value = xm * draws.sizes.paretovariate(spec.pareto_shape)
+    else:  # lognormal
+        mu = (
+            math.log(spec.mean_size_segments)
+            - spec.lognormal_sigma * spec.lognormal_sigma / 2.0
+        )
+        value = draws.sizes.lognormvariate(mu, spec.lognormal_sigma)
+    return max(spec.min_size_segments, round(value))
+
+
+def _draw_endpoints(
+    senders: Sequence[str], receivers: Sequence[str], draws: _FlowDraws
+) -> Tuple[str, str]:
+    src = senders[draws.endpoints.randrange(len(senders))]
+    dst = receivers[draws.endpoints.randrange(len(receivers))]
+    if dst == src and len(receivers) > 1:
+        while dst == src:
+            dst = receivers[draws.endpoints.randrange(len(receivers))]
+    return src, dst
+
+
+def generate_flows(
+    spec: WorkloadSpec,
+    senders: Sequence[str],
+    receivers: Sequence[str],
+    duration: float,
+    seed: int,
+    first_flow_id: int = 1,
+) -> Iterator[FlowSpec]:
+    """Lazily yield the deterministic flow population.
+
+    Flow ids are assigned sequentially from ``first_flow_id`` in arrival
+    order; shard partitioning keys off them.  All randomness comes from
+    named streams of ``RngRegistry(seed)``, so the sequence is identical
+    across processes.  The only degenerate endpoint case — a single
+    node that is both the sole sender and sole receiver — is rejected.
+    """
+    spec.validate()
+    if not senders or not receivers:
+        raise ValueError("topology has no endpoints to generate flows over")
+    if len(senders) == 1 and len(receivers) == 1 and senders[0] == receivers[0]:
+        raise ValueError(
+            f"sole sender and receiver are the same node {senders[0]!r}"
+        )
+    registry = RngRegistry(seed)
+    draws = _FlowDraws(
+        arrivals=registry.stream("workload/arrivals"),
+        sizes=registry.stream("workload/sizes"),
+        variants=registry.stream("workload/variants"),
+        endpoints=registry.stream("workload/endpoints"),
+        cumulative_mix=_cumulative_mix(spec),
+    )
+
+    def make_flow(flow_id: int, start: float) -> FlowSpec:
+        src, dst = _draw_endpoints(senders, receivers, draws)
+        return FlowSpec(
+            flow_id=flow_id,
+            src=src,
+            dst=dst,
+            variant=_draw_variant(draws),
+            start=start,
+            size_segments=_draw_size(spec, draws),
+        )
+
+    if spec.arrival == "fixed":
+        count = spec.flow_count
+        if spec.max_flows is not None:
+            count = min(count, spec.max_flows)
+        for i in range(count):
+            start = (
+                draws.arrivals.uniform(0.0, spec.start_stagger)
+                if spec.start_stagger > 0
+                else 0.0
+            )
+            yield make_flow(first_flow_id + i, start)
+        return
+
+    # Poisson arrivals over [0, duration).
+    flow_id = first_flow_id
+    now = 0.0
+    while True:
+        if spec.max_flows is not None and flow_id - first_flow_id >= spec.max_flows:
+            return
+        now += draws.arrivals.expovariate(spec.arrival_rate)
+        if now >= duration:
+            return
+        yield make_flow(flow_id, now)
+        flow_id += 1
+
+
+def count_flows(
+    spec: WorkloadSpec,
+    senders: Sequence[str],
+    receivers: Sequence[str],
+    duration: float,
+    seed: int,
+) -> int:
+    """The exact population size (walks the generator; O(n) draws)."""
+    return sum(
+        1 for _ in generate_flows(spec, senders, receivers, duration, seed)
+    )

@@ -550,6 +550,15 @@ class Simulator:
             raise SimulationError(f"component {name!r} is already registered")
         self._components[name] = component
 
+    def deregister_component(self, name: str) -> None:
+        """Drop a component from the registry (missing names are ignored).
+
+        Long-horizon scenarios with flow churn retire completed agents
+        this way so the registry (and checkpoint payloads) stay bounded
+        by the *live* population, not everything that ever ran.
+        """
+        self._components.pop(name, None)
+
     def component(self, name: str) -> Any:
         """Look up a registered component by name.
 

@@ -13,16 +13,18 @@ Node naming: senders ``s0..s{n-1}``, receivers ``d0..d{n-1}``, routers
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import ClassVar, Optional, Tuple
 
 from repro.net.network import Network, install_static_routes
 from repro.sim import Simulator
+from repro.topologies.base import Topology, register_topology
 from repro.util.units import MBPS, MS
 
 
+@register_topology
 @dataclass
 class DumbbellSpec:
-    """Parameters of a dumbbell topology.
+    """Parameters of a dumbbell topology (implements ``TopologySpec``).
 
     Attributes:
         num_pairs: Number of sender/receiver pairs.
@@ -33,6 +35,8 @@ class DumbbellSpec:
         queue_packets: DropTail queue capacity on every link.
         seed: Master RNG seed for the simulation.
     """
+
+    kind: ClassVar[str] = "dumbbell"
 
     num_pairs: int = 2
     bottleneck_bandwidth: float = 15 * MBPS
@@ -46,43 +50,64 @@ class DumbbellSpec:
         """Two-way propagation delay with zero queueing."""
         return 2.0 * (self.bottleneck_delay + 2 * self.access_delay)
 
+    def endpoints(self) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+        senders = tuple(f"s{i}" for i in range(self.num_pairs))
+        receivers = tuple(f"d{i}" for i in range(self.num_pairs))
+        return senders, receivers
+
+    def build(self, sim: Optional[Simulator] = None) -> Topology:
+        """Construct the dumbbell and install shortest-path routes.
+
+        Pass ``sim`` to host the topology on a pre-built simulator (e.g.
+        ``Simulator(seed=..., profile=True)``); otherwise one is created
+        from :attr:`seed`.
+        """
+        if self.num_pairs < 1:
+            raise ValueError(f"need at least one pair, got {self.num_pairs}")
+        net = Network(seed=self.seed, sim=sim)
+        net.add_nodes("r0", "r1")
+        net.add_duplex_link(
+            "r0",
+            "r1",
+            bandwidth=self.bottleneck_bandwidth,
+            delay=self.bottleneck_delay,
+            queue=self.queue_packets,
+        )
+        for i in range(self.num_pairs):
+            net.add_node(f"s{i}")
+            net.add_node(f"d{i}")
+            net.add_duplex_link(
+                f"s{i}",
+                "r0",
+                bandwidth=self.access_bandwidth,
+                delay=self.access_delay,
+                queue=self.queue_packets,
+            )
+            net.add_duplex_link(
+                "r1",
+                f"d{i}",
+                bandwidth=self.access_bandwidth,
+                delay=self.access_delay,
+                queue=self.queue_packets,
+            )
+        install_static_routes(net)
+        senders, receivers = self.endpoints()
+        return Topology(
+            network=net,
+            kind=self.kind,
+            senders=senders,
+            receivers=receivers,
+            bottlenecks=("r0->r1",),
+        )
+
 
 def build_dumbbell(
     spec: DumbbellSpec, sim: Optional[Simulator] = None
 ) -> Network:
     """Construct the dumbbell network and install shortest-path routes.
 
-    Pass ``sim`` to host the topology on a pre-built simulator (e.g.
-    ``Simulator(seed=..., profile=True)``); otherwise one is created
-    from ``spec.seed``.
+    Deprecated: thin wrapper kept for older call sites.  New code should
+    use the ``TopologySpec`` protocol — ``spec.build(sim)`` — which also
+    returns the sender/receiver/bottleneck handles.
     """
-    if spec.num_pairs < 1:
-        raise ValueError(f"need at least one pair, got {spec.num_pairs}")
-    net = Network(seed=spec.seed, sim=sim)
-    net.add_nodes("r0", "r1")
-    net.add_duplex_link(
-        "r0",
-        "r1",
-        bandwidth=spec.bottleneck_bandwidth,
-        delay=spec.bottleneck_delay,
-        queue=spec.queue_packets,
-    )
-    for i in range(spec.num_pairs):
-        net.add_node(f"s{i}")
-        net.add_node(f"d{i}")
-        net.add_duplex_link(
-            f"s{i}",
-            "r0",
-            bandwidth=spec.access_bandwidth,
-            delay=spec.access_delay,
-            queue=spec.queue_packets,
-        )
-        net.add_duplex_link(
-            "r1",
-            f"d{i}",
-            bandwidth=spec.access_bandwidth,
-            delay=spec.access_delay,
-            queue=spec.queue_packets,
-        )
-    install_static_routes(net)
-    return net
+    return spec.build(sim).network

@@ -1,0 +1,164 @@
+"""k-ary fat-tree topology generator (the datacenter scale-out shape).
+
+The classic three-tier Clos fat-tree: ``(k/2)^2`` core switches, ``k``
+pods of ``k/2`` aggregation and ``k/2`` edge switches each, and
+``hosts_per_edge`` hosts per edge switch (the textbook value is ``k/2``;
+the default here is smaller so quick scenarios stay small).  Aggregation
+switch ``a`` of every pod uplinks to cores ``a*(k/2) .. a*(k/2)+k/2-1``.
+
+Node naming: cores ``c{i}``, aggregation ``p{p}a{a}``, edge
+``p{p}e{e}``, hosts ``p{p}e{e}h{j}``.
+
+Two knobs parameterize the capacity and delay distributions:
+
+* ``oversubscription`` divides the aggregation→core uplink bandwidth,
+  modeling the usual under-provisioned core (1.0 = full bisection);
+* ``delay_jitter`` perturbs every link's propagation delay by a
+  uniform ``±jitter`` *fraction*, drawn from the spec's seeded RNG
+  stream, so equal-cost paths get distinct-but-deterministic costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar, List, Optional, Tuple
+
+from repro.net.network import Network, install_static_routes
+from repro.sim import Simulator
+from repro.sim.rng import RngRegistry
+from repro.topologies.base import Topology, register_topology
+from repro.util.units import MBPS, MS
+
+
+@register_topology
+@dataclass
+class FatTreeSpec:
+    """Parameters of a k-ary fat-tree (implements ``TopologySpec``).
+
+    Attributes:
+        k: Pod degree (even, >= 2): ``k`` pods, ``k/2`` edge and ``k/2``
+            aggregation switches per pod, ``(k/2)^2`` cores.
+        hosts_per_edge: Hosts attached to each edge switch.
+        bandwidth: Host and intra-pod link rate (bits/second).
+        oversubscription: Aggregation→core uplinks run at
+            ``bandwidth / oversubscription`` (>= 1.0).
+        host_delay: Host↔edge propagation delay (seconds).
+        switch_delay: Switch↔switch propagation delay (seconds).
+        delay_jitter: Uniform ±fraction applied to every link delay,
+            drawn deterministically from ``seed`` (0 disables).
+        queue_packets: DropTail queue capacity on every link.
+        seed: Master RNG seed (simulator and jitter stream).
+    """
+
+    kind: ClassVar[str] = "fat-tree"
+
+    k: int = 4
+    hosts_per_edge: int = 2
+    bandwidth: float = 100 * MBPS
+    oversubscription: float = 1.0
+    host_delay: float = 0.05 * MS
+    switch_delay: float = 0.05 * MS
+    delay_jitter: float = 0.0
+    queue_packets: int = 100
+    seed: int = 0
+
+    def _validate(self) -> None:
+        if self.k < 2 or self.k % 2 != 0:
+            raise ValueError(f"k must be even and >= 2, got {self.k}")
+        if self.hosts_per_edge < 1:
+            raise ValueError(
+                f"hosts_per_edge must be >= 1, got {self.hosts_per_edge}"
+            )
+        if self.oversubscription < 1.0:
+            raise ValueError(
+                f"oversubscription must be >= 1.0, got {self.oversubscription}"
+            )
+        if not 0.0 <= self.delay_jitter < 1.0:
+            raise ValueError(
+                f"delay_jitter must be in [0, 1), got {self.delay_jitter}"
+            )
+
+    def host_names(self) -> List[str]:
+        """Every host name, in pod/edge/index order."""
+        self._validate()
+        half = self.k // 2
+        return [
+            f"p{p}e{e}h{j}"
+            for p in range(self.k)
+            for e in range(half)
+            for j in range(self.hosts_per_edge)
+        ]
+
+    def num_hosts(self) -> int:
+        return self.k * (self.k // 2) * self.hosts_per_edge
+
+    def endpoints(self) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+        hosts = tuple(self.host_names())
+        return hosts, hosts
+
+    def build(self, sim: Optional[Simulator] = None) -> Topology:
+        """Construct the fat-tree and install shortest-path routes."""
+        self._validate()
+        half = self.k // 2
+        net = Network(seed=self.seed, sim=sim)
+        jitter_rng = (
+            RngRegistry(self.seed).stream("fat-tree/delay-jitter")
+            if self.delay_jitter > 0.0
+            else None
+        )
+
+        def delay(base: float) -> float:
+            if jitter_rng is None:
+                return base
+            return base * (
+                1.0 + jitter_rng.uniform(-self.delay_jitter, self.delay_jitter)
+            )
+
+        for c in range(half * half):
+            net.add_node(f"c{c}")
+        core_bandwidth = self.bandwidth / self.oversubscription
+        for p in range(self.k):
+            for a in range(half):
+                net.add_node(f"p{p}a{a}")
+            for e in range(half):
+                net.add_node(f"p{p}e{e}")
+            # Full bipartite edge<->aggregation mesh within the pod.
+            for e in range(half):
+                for a in range(half):
+                    net.add_duplex_link(
+                        f"p{p}e{e}",
+                        f"p{p}a{a}",
+                        bandwidth=self.bandwidth,
+                        delay=delay(self.switch_delay),
+                        queue=self.queue_packets,
+                    )
+            # Aggregation uplinks: switch a owns core group a.
+            for a in range(half):
+                for j in range(half):
+                    net.add_duplex_link(
+                        f"p{p}a{a}",
+                        f"c{a * half + j}",
+                        bandwidth=core_bandwidth,
+                        delay=delay(self.switch_delay),
+                        queue=self.queue_packets,
+                    )
+            # Hosts.
+            for e in range(half):
+                for j in range(self.hosts_per_edge):
+                    host = f"p{p}e{e}h{j}"
+                    net.add_node(host)
+                    net.add_duplex_link(
+                        host,
+                        f"p{p}e{e}",
+                        bandwidth=self.bandwidth,
+                        delay=delay(self.host_delay),
+                        queue=self.queue_packets,
+                    )
+        install_static_routes(net)
+        hosts = tuple(self.host_names())
+        return Topology(
+            network=net,
+            kind=self.kind,
+            senders=hosts,
+            receivers=hosts,
+        )

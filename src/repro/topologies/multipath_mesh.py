@@ -17,16 +17,19 @@ in a mesh).  Intermediate nodes are named ``p{k}m{i}``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import ClassVar, List, Optional, Tuple
 
 from repro.net.network import Network, install_static_routes
 from repro.routing.multipath import EpsilonMultipathPolicy
+from repro.sim import Simulator
+from repro.topologies.base import Topology, register_topology
 from repro.util.units import MBPS, MS
 
 
+@register_topology
 @dataclass
 class MultipathMeshSpec:
-    """Parameters of the Figure 5 mesh.
+    """Parameters of the Figure 5 mesh (implements ``TopologySpec``).
 
     Attributes:
         num_paths: Node-disjoint path count (>= 1).
@@ -38,6 +41,8 @@ class MultipathMeshSpec:
         seed: Master RNG seed.
     """
 
+    kind: ClassVar[str] = "multipath-mesh"
+
     num_paths: int = 4
     link_delay: float = 10 * MS
     bandwidth: float = 10 * MBPS
@@ -48,28 +53,47 @@ class MultipathMeshSpec:
     def path_hop_counts(self) -> List[int]:
         return [self.min_hops + k for k in range(self.num_paths)]
 
+    def endpoints(self) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+        return ("src",), ("dst",)
 
-def build_multipath_mesh(spec: MultipathMeshSpec) -> Network:
-    """Construct the mesh; nodes ``src`` and ``dst`` are the endpoints."""
-    if spec.num_paths < 1:
-        raise ValueError(f"need at least one path, got {spec.num_paths}")
-    net = Network(seed=spec.seed)
-    net.add_nodes("src", "dst")
-    for k, hops in enumerate(spec.path_hop_counts()):
-        middles = [f"p{k}m{i}" for i in range(hops - 1)]
-        for name in middles:
-            net.add_node(name)
-        chain = ["src", *middles, "dst"]
-        for left, right in zip(chain, chain[1:]):
-            net.add_duplex_link(
-                left,
-                right,
-                bandwidth=spec.bandwidth,
-                delay=spec.link_delay,
-                queue=spec.queue_packets,
-            )
-    install_static_routes(net)
-    return net
+    def build(self, sim: Optional[Simulator] = None) -> Topology:
+        """Construct the mesh; nodes ``src`` and ``dst`` are the endpoints."""
+        if self.num_paths < 1:
+            raise ValueError(f"need at least one path, got {self.num_paths}")
+        net = Network(seed=self.seed, sim=sim)
+        net.add_nodes("src", "dst")
+        for k, hops in enumerate(self.path_hop_counts()):
+            middles = [f"p{k}m{i}" for i in range(hops - 1)]
+            for name in middles:
+                net.add_node(name)
+            chain = ["src", *middles, "dst"]
+            for left, right in zip(chain, chain[1:]):
+                net.add_duplex_link(
+                    left,
+                    right,
+                    bandwidth=self.bandwidth,
+                    delay=self.link_delay,
+                    queue=self.queue_packets,
+                )
+        install_static_routes(net)
+        return Topology(
+            network=net,
+            kind=self.kind,
+            senders=("src",),
+            receivers=("dst",),
+        )
+
+
+def build_multipath_mesh(
+    spec: MultipathMeshSpec, sim: Optional[Simulator] = None
+) -> Network:
+    """Construct the mesh; nodes ``src`` and ``dst`` are the endpoints.
+
+    Deprecated: thin wrapper kept for older call sites.  New code should
+    use the ``TopologySpec`` protocol — ``spec.build(sim)`` — which also
+    returns the sender/receiver handles.
+    """
+    return spec.build(sim).network
 
 
 def install_epsilon_routing(
@@ -82,7 +106,7 @@ def install_epsilon_routing(
 
     Returns the forward-direction policy (for path-usage diagnostics).
     """
-    forward = EpsilonMultipathPolicy(
+    forward: EpsilonMultipathPolicy = EpsilonMultipathPolicy(
         net, "src", epsilon=epsilon, destinations=["dst"], max_paths=max_paths
     ).install()
     if reorder_acks:

@@ -18,9 +18,11 @@ Node names: ``S``, ``D``, ``n1..n4``, ``CS1..CS3``, ``CD1..CD3``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import ClassVar, List, Optional, Tuple
 
 from repro.net.network import Network, install_static_routes
+from repro.sim import Simulator
+from repro.topologies.base import Topology, register_topology
 from repro.util.units import MBPS, MS
 
 #: The cross-traffic (source, destination) pairs from Figure 1's caption.
@@ -34,13 +36,16 @@ CROSS_TRAFFIC_PAIRS: List[Tuple[str, str]] = [
 ]
 
 
+@register_topology
 @dataclass
 class ParkingLotSpec:
-    """Parameters of the parking-lot topology.
+    """Parameters of the parking-lot topology (implements ``TopologySpec``).
 
     Bandwidths default to the paper's; delays are unstated in the paper
     and default to 10 ms on the backbone and 2 ms on access links.
     """
+
+    kind: ClassVar[str] = "parking-lot"
 
     backbone_bandwidth: float = 15 * MBPS
     cs1_bandwidth: float = 5 * MBPS
@@ -52,45 +57,66 @@ class ParkingLotSpec:
     queue_packets: int = 100
     seed: int = 0
 
+    def endpoints(self) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+        return ("S",), ("D",)
 
-def build_parking_lot(spec: ParkingLotSpec) -> Network:
-    """Construct Figure 1's parking lot and install shortest-path routes."""
-    net = Network(seed=spec.seed)
-    net.add_nodes("S", "D", "n1", "n2", "n3", "n4")
-    net.add_nodes("CS1", "CS2", "CS3", "CD1", "CD2", "CD3")
+    def build(self, sim: Optional[Simulator] = None) -> Topology:
+        """Construct Figure 1's parking lot with shortest-path routes."""
+        net = Network(seed=self.seed, sim=sim)
+        net.add_nodes("S", "D", "n1", "n2", "n3", "n4")
+        net.add_nodes("CS1", "CS2", "CS3", "CD1", "CD2", "CD3")
 
-    # Backbone: the three bottleneck links.
-    for left, right in (("n1", "n2"), ("n2", "n3"), ("n3", "n4")):
+        # Backbone: the three bottleneck links.
+        for left, right in (("n1", "n2"), ("n2", "n3"), ("n3", "n4")):
+            net.add_duplex_link(
+                left,
+                right,
+                bandwidth=self.backbone_bandwidth,
+                delay=self.backbone_delay,
+                queue=self.queue_packets,
+            )
+
+        # Main flow attachment points.
         net.add_duplex_link(
-            left,
-            right,
-            bandwidth=spec.backbone_bandwidth,
-            delay=spec.backbone_delay,
-            queue=spec.queue_packets,
+            "S", "n1", self.other_bandwidth, self.access_delay, self.queue_packets
+        )
+        net.add_duplex_link(
+            "n4", "D", self.other_bandwidth, self.access_delay, self.queue_packets
         )
 
-    # Main flow attachment points.
-    net.add_duplex_link(
-        "S", "n1", spec.other_bandwidth, spec.access_delay, spec.queue_packets
-    )
-    net.add_duplex_link(
-        "n4", "D", spec.other_bandwidth, spec.access_delay, spec.queue_packets
-    )
+        # Cross-traffic sources with the paper's asymmetric ingress rates.
+        for name, attach, bandwidth in (
+            ("CS1", "n1", self.cs1_bandwidth),
+            ("CS2", "n2", self.cs2_bandwidth),
+            ("CS3", "n3", self.cs3_bandwidth),
+        ):
+            net.add_duplex_link(
+                name, attach, bandwidth, self.access_delay, self.queue_packets
+            )
 
-    # Cross-traffic sources with the paper's asymmetric ingress rates.
-    for name, attach, bandwidth in (
-        ("CS1", "n1", spec.cs1_bandwidth),
-        ("CS2", "n2", spec.cs2_bandwidth),
-        ("CS3", "n3", spec.cs3_bandwidth),
-    ):
-        net.add_duplex_link(
-            name, attach, bandwidth, spec.access_delay, spec.queue_packets
+        # Cross-traffic destinations.
+        for name, attach in (("CD1", "n2"), ("CD2", "n3"), ("CD3", "n4")):
+            net.add_duplex_link(
+                attach, name, self.other_bandwidth, self.access_delay,
+                self.queue_packets,
+            )
+        install_static_routes(net)
+        return Topology(
+            network=net,
+            kind=self.kind,
+            senders=("S",),
+            receivers=("D",),
+            bottlenecks=("n1->n2", "n2->n3", "n3->n4"),
         )
 
-    # Cross-traffic destinations.
-    for name, attach in (("CD1", "n2"), ("CD2", "n3"), ("CD3", "n4")):
-        net.add_duplex_link(
-            attach, name, spec.other_bandwidth, spec.access_delay, spec.queue_packets
-        )
-    install_static_routes(net)
-    return net
+
+def build_parking_lot(
+    spec: ParkingLotSpec, sim: Optional[Simulator] = None
+) -> Network:
+    """Construct Figure 1's parking lot and install shortest-path routes.
+
+    Deprecated: thin wrapper kept for older call sites.  New code should
+    use the ``TopologySpec`` protocol — ``spec.build(sim)`` — which also
+    returns the sender/receiver/bottleneck handles.
+    """
+    return spec.build(sim).network

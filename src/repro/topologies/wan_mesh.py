@@ -1,0 +1,154 @@
+"""WAN mesh topology generator (the wide-area scale-out shape).
+
+``sites`` backbone routers arranged as a ring (guaranteeing
+connectivity) plus random chords until the average router degree reaches
+``degree`` — the standard sparse random-WAN construction.  Per-link
+propagation delays are drawn uniformly from ``[delay_min, delay_max]``,
+so paths have genuinely heterogeneous RTTs, which is exactly the regime
+where reordering-tolerant retransmission policies are interesting.
+
+Both the chord placement and the delay draws come from
+:class:`~repro.sim.rng.RngRegistry` streams derived from ``seed``: the
+same spec always builds the identical graph.
+
+Node naming: routers ``r{i}``, hosts ``r{i}h{j}`` (``hosts_per_site``
+per router; with 0 hosts the routers themselves are the endpoints).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar, List, Optional, Set, Tuple
+
+from repro.net.network import Network, install_static_routes
+from repro.sim import Simulator
+from repro.sim.rng import RngRegistry
+from repro.topologies.base import Topology, register_topology
+from repro.util.units import MBPS, MS
+
+
+@register_topology
+@dataclass
+class WanMeshSpec:
+    """Parameters of a random WAN mesh (implements ``TopologySpec``).
+
+    Attributes:
+        sites: Backbone router count (>= 2).
+        degree: Target average router degree (ring gives 2; chords are
+            added until ``sites * degree / 2`` total backbone links).
+        hosts_per_site: Hosts hanging off each router (0 = routers are
+            the endpoints themselves).
+        backbone_bandwidth: Router↔router link rate (bits/second).
+        access_bandwidth: Host↔router link rate.
+        delay_min / delay_max: Uniform range the per-backbone-link
+            propagation delays are drawn from (seconds).
+        access_delay: Host↔router propagation delay.
+        queue_packets: DropTail queue capacity on every link.
+        seed: Master RNG seed (simulator, chords, and delay draws).
+    """
+
+    kind: ClassVar[str] = "wan-mesh"
+
+    sites: int = 8
+    degree: float = 3.0
+    hosts_per_site: int = 1
+    backbone_bandwidth: float = 100 * MBPS
+    access_bandwidth: float = 100 * MBPS
+    delay_min: float = 5 * MS
+    delay_max: float = 40 * MS
+    access_delay: float = 1 * MS
+    queue_packets: int = 100
+    seed: int = 0
+
+    def _validate(self) -> None:
+        if self.sites < 2:
+            raise ValueError(f"sites must be >= 2, got {self.sites}")
+        if self.degree < 2.0:
+            raise ValueError(f"degree must be >= 2.0, got {self.degree}")
+        if self.hosts_per_site < 0:
+            raise ValueError(
+                f"hosts_per_site must be >= 0, got {self.hosts_per_site}"
+            )
+        if not 0.0 <= self.delay_min <= self.delay_max:
+            raise ValueError(
+                f"need 0 <= delay_min <= delay_max, got "
+                f"{self.delay_min}..{self.delay_max}"
+            )
+
+    def host_names(self) -> List[str]:
+        """Every endpoint name, in site/index order."""
+        self._validate()
+        if self.hosts_per_site == 0:
+            return [f"r{i}" for i in range(self.sites)]
+        return [
+            f"r{i}h{j}"
+            for i in range(self.sites)
+            for j in range(self.hosts_per_site)
+        ]
+
+    def endpoints(self) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+        hosts = tuple(self.host_names())
+        return hosts, hosts
+
+    def backbone_pairs(self) -> List[Tuple[int, int]]:
+        """The deterministic backbone edge list (ring + accepted chords)."""
+        self._validate()
+        pairs: List[Tuple[int, int]] = []
+        seen: Set[Tuple[int, int]] = set()
+        ring = self.sites if self.sites > 2 else 1
+        for i in range(ring):
+            pair = tuple(sorted((i, (i + 1) % self.sites)))
+            pairs.append((pair[0], pair[1]))
+            seen.add((pair[0], pair[1]))
+        target = max(len(pairs), round(self.sites * self.degree / 2.0))
+        chord_rng = RngRegistry(self.seed).stream("wan-mesh/chords")
+        max_pairs = self.sites * (self.sites - 1) // 2
+        attempts = 20 * (target - len(pairs)) + 50
+        for _ in range(attempts):
+            if len(pairs) >= min(target, max_pairs):
+                break
+            a = chord_rng.randrange(self.sites)
+            b = chord_rng.randrange(self.sites)
+            if a == b:
+                continue
+            pair = tuple(sorted((a, b)))
+            if (pair[0], pair[1]) in seen:
+                continue
+            pairs.append((pair[0], pair[1]))
+            seen.add((pair[0], pair[1]))
+        return pairs
+
+    def build(self, sim: Optional[Simulator] = None) -> Topology:
+        """Construct the mesh and install shortest-path (delay) routes."""
+        self._validate()
+        net = Network(seed=self.seed, sim=sim)
+        for i in range(self.sites):
+            net.add_node(f"r{i}")
+        delay_rng = RngRegistry(self.seed).stream("wan-mesh/delays")
+        for a, b in self.backbone_pairs():
+            net.add_duplex_link(
+                f"r{a}",
+                f"r{b}",
+                bandwidth=self.backbone_bandwidth,
+                delay=delay_rng.uniform(self.delay_min, self.delay_max),
+                queue=self.queue_packets,
+            )
+        for i in range(self.sites):
+            for j in range(self.hosts_per_site):
+                host = f"r{i}h{j}"
+                net.add_node(host)
+                net.add_duplex_link(
+                    host,
+                    f"r{i}",
+                    bandwidth=self.access_bandwidth,
+                    delay=self.access_delay,
+                    queue=self.queue_packets,
+                )
+        install_static_routes(net)
+        hosts = tuple(self.host_names())
+        return Topology(
+            network=net,
+            kind=self.kind,
+            senders=hosts,
+            receivers=hosts,
+        )

@@ -424,3 +424,29 @@ def test_trace_convert_imports_a_csv_capture(tmp_path, capsys):
     converted = tmp_path / "capture.jsonl"
     assert main(["trace", "analyze", str(converted)]) == 0
     assert "flow=1" in capsys.readouterr().out
+
+
+def test_scale_tiny_run(tmp_path, capsys):
+    stream = tmp_path / "flows.jsonl"
+    spec_out = tmp_path / "scenario.json"
+    assert main([
+        "scale", "--topology", "dumbbell", "--pairs", "2",
+        "--arrival-rate", "3", "--size-dist", "fixed", "--mean-size", "20",
+        "--duration", "8", "--shards", "2", "--jobs", "2", "--no-cache",
+        "--metrics-out", str(stream), "--spec-out", str(spec_out),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "Scenario 'scenario'" in out
+    assert "2 shard(s)" in out
+    records = [json.loads(line) for line in stream.read_text().splitlines()]
+    assert records[0]["record"] == "header"
+    assert any(record["record"] == "flow" for record in records)
+
+    # The saved spec reproduces the identical run.
+    assert main([
+        "scale", "--spec", str(spec_out), "--shards", "2", "--no-cache",
+    ]) == 0
+    rerun = capsys.readouterr().out
+    for line in out.splitlines():
+        if line.startswith("Scenario"):
+            assert line in rerun

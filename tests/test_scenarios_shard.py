@@ -1,0 +1,194 @@
+"""Tests for sharded scenario execution: serial-vs-sharded equivalence,
+partition invariants, streaming output, and appender concurrency."""
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.obs.export import JsonlAppender
+from repro.scenarios import (
+    ScenarioSpec,
+    ShardPlan,
+    WorkloadSpec,
+    run_scale,
+    run_shard_cell,
+)
+from repro.topologies import DumbbellSpec
+
+
+def _pinned_scenario(seed=7):
+    """A small deterministic scenario: ~28 short flows over 20 s."""
+    return ScenarioSpec(
+        topology=DumbbellSpec(num_pairs=4, seed=seed),
+        workload=WorkloadSpec(
+            arrival="poisson",
+            arrival_rate=2.0,
+            size="fixed",
+            mean_size_segments=30.0,
+            variant_mix=(("tcp-pr", 1.0), ("sack", 1.0)),
+        ),
+        duration=20.0,
+        seed=seed,
+        name="pinned",
+    )
+
+
+def _flow_records(path):
+    with open(path) as handle:
+        records = [json.loads(line) for line in handle]
+    return sorted(
+        (record["flow_id"], record["variant"], record["src"], record["dst"],
+         record["size_segments"], record["delivered_segments"],
+         record["completed"], record["finish_time"])
+        for record in records
+        if record.get("record") == "flow"
+    )
+
+
+def _report_key(report):
+    data = report.to_jsonable()
+    data.pop("max_rss_kb")  # the only legitimately nondeterministic field
+    return data
+
+
+def test_sharded_run_is_permutation_of_serial(tmp_path):
+    """The pinned acceptance scenario: a sharded run equals the serial
+    run modulo shard ordering — same flows, same per-flow outcomes."""
+    scenario = _pinned_scenario()
+    serial_path = tmp_path / "serial.jsonl"
+    sharded_path = tmp_path / "sharded.jsonl"
+    serial = run_scale(
+        ShardPlan(scenario=scenario, num_shards=1,
+                  stream_path=str(serial_path)),
+        jobs=1,
+    )
+    sharded = run_scale(
+        ShardPlan(scenario=scenario, num_shards=3,
+                  stream_path=str(sharded_path)),
+        jobs=3,
+    )
+    serial_flows = _flow_records(serial_path)
+    sharded_flows = _flow_records(sharded_path)
+    assert len(serial_flows) == serial.flows > 10
+    # Identity, sizing, and start-independent outcomes all agree.
+    assert [f[:5] for f in serial_flows] == [f[:5] for f in sharded_flows]
+    assert serial.flows == sharded.flows
+    assert serial.delivered_segments == sharded.delivered_segments
+    assert serial.per_variant == sharded.per_variant
+
+
+def test_sharded_serial_and_parallel_bit_identical(tmp_path):
+    """For a fixed shard count, jobs=1 and jobs=N are bit-identical
+    (the executor's core guarantee, inherited by scenarios)."""
+    scenario = _pinned_scenario()
+    path_a = tmp_path / "a.jsonl"
+    path_b = tmp_path / "b.jsonl"
+    report_a = run_scale(
+        ShardPlan(scenario=scenario, num_shards=3, stream_path=str(path_a)),
+        jobs=1,
+    )
+    report_b = run_scale(
+        ShardPlan(scenario=scenario, num_shards=3, stream_path=str(path_b)),
+        jobs=3,
+    )
+    assert _flow_records(path_a) == _flow_records(path_b)
+    assert _report_key(report_a) == _report_key(report_b)
+
+
+def test_shards_partition_the_population():
+    """Every flow lands in exactly one shard, keyed by flow_id residue."""
+    scenario = _pinned_scenario()
+    all_ids = {flow.flow_id for flow in scenario.flows()}
+    plan = ShardPlan(scenario=scenario, num_shards=4)
+    seen = []
+    for cell in plan.cells():
+        summary = cell.run()
+        assert summary["live_agents"] == 0  # the reaper retired everything
+        seen.append(summary["flows"])
+    assert sum(seen) == len(all_ids)
+
+
+def test_stream_has_header_then_valid_records(tmp_path):
+    path = tmp_path / "stream.jsonl"
+    run_scale(
+        ShardPlan(scenario=_pinned_scenario(), num_shards=2,
+                  stream_path=str(path)),
+        jobs=2,
+    )
+    with open(path) as handle:
+        lines = handle.read().splitlines()
+    records = [json.loads(line) for line in lines]  # every line parses
+    assert records[0]["record"] == "header"
+    assert records[0]["schema"] == "repro.obs/v1"
+    kinds = {record["record"] for record in records}
+    assert kinds == {"header", "flow", "shard"}
+    assert sum(1 for r in records if r["record"] == "shard") == 2
+
+
+def test_run_shard_cell_validates_index():
+    scenario = _pinned_scenario().to_jsonable()
+    with pytest.raises(ValueError):
+        run_shard_cell(scenario=scenario, shard_index=3, num_shards=2, seed=0)
+
+
+def test_plan_validation_and_seed_derivation():
+    scenario = _pinned_scenario(seed=5)
+    with pytest.raises(ValueError):
+        ShardPlan(scenario=scenario, num_shards=0)
+    with pytest.raises(ValueError):
+        ShardPlan(scenario=scenario, reap_interval=0.0)
+    plan = ShardPlan(scenario=scenario, num_shards=3)
+    assert plan.seed == 5
+    seeds = {plan.shard_seed(i) for i in range(3)}
+    assert len(seeds) == 3  # each shard simulates under its own seed
+    reseeded = plan.with_seed(6)
+    assert reseeded.scenario.seed == 6
+    assert reseeded.shard_seed(0) != plan.shard_seed(0)
+    assert plan.with_seed(None) is plan
+
+
+def test_assemble_partial_reports_failed_shards():
+    plan = ShardPlan(scenario=_pinned_scenario(), num_shards=2)
+    summary = run_shard_cell(
+        scenario=plan.scenario.to_jsonable(), shard_index=0, num_shards=2,
+        seed=plan.shard_seed(0),
+    )
+    report = plan.assemble_partial(
+        {"shard/0": summary}, {"shard/1": "worker died"}
+    )
+    assert report.failed_shards == ["shard/1"]
+    assert not report.complete
+    assert report.flows == summary["flows"]
+
+
+def _append_burst(path, worker):
+    appender = JsonlAppender(path, header=False)
+    for i in range(200):
+        appender.write({"record": "flow", "worker": worker, "i": i,
+                        "pad": "x" * (worker * 40 + 1)})
+    appender.close()
+
+
+def test_concurrent_appenders_never_interleave(tmp_path):
+    """Multiple processes appending to one stream produce only whole
+    lines (the O_APPEND single-write guarantee shards rely on)."""
+    path = str(tmp_path / "concurrent.jsonl")
+    JsonlAppender(path, scenario="concurrency-test").close()  # header
+    context = multiprocessing.get_context("fork")
+    workers = [
+        context.Process(target=_append_burst, args=(path, worker))
+        for worker in range(4)
+    ]
+    for process in workers:
+        process.start()
+    for process in workers:
+        process.join(timeout=60)
+        assert process.exitcode == 0
+    with open(path) as handle:
+        records = [json.loads(line) for line in handle]
+    flows = [record for record in records if record.get("record") == "flow"]
+    assert len(flows) == 4 * 200
+    for worker in range(4):
+        indices = [r["i"] for r in flows if r["worker"] == worker]
+        assert indices == list(range(200))  # per-writer order preserved
