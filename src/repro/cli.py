@@ -596,7 +596,10 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 def _cmd_obs(args: argparse.Namespace) -> int:
     """Inspect or convert an existing ``repro.obs/v1`` record stream."""
-    records = read_jsonl(args.file)
+    # Inspection should survive a corrupt mid-file line (a shard worker
+    # killed mid-append under a concurrent stream); the skipped count is
+    # reported as a RuntimeWarning.
+    records = read_jsonl(args.file, on_invalid="skip")
     if args.obs_command == "summary":
         print(summarize_records(records))
         return 0

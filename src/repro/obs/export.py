@@ -207,6 +207,14 @@ class JsonlAppender:
     path without ever interleaving partial lines.  A header record is
     written automatically when the file starts out empty.
 
+    Known limitation with concurrent writers: if one writer is killed
+    *mid-write* while others stay live, its torn fragment lands mid-file
+    once a survivor appends after it — :func:`recover_jsonl_tail` only
+    repairs the final line, so the fused corrupt line persists.  Readers
+    that must survive this should use ``read_jsonl(path,
+    on_invalid="skip")``; writers that cannot tolerate it should give
+    each process its own file.
+
     Attributes:
         recovered_bytes: Size of the torn tail removed at open (0 for a
             clean file).
@@ -284,14 +292,46 @@ def _is_json_line(line: bytes) -> bool:
     return True
 
 
-def read_jsonl(path: PathLike) -> List[Dict[str, Any]]:
-    """Read a JSONL record stream (blank lines ignored)."""
+def read_jsonl(
+    path: PathLike, on_invalid: str = "raise"
+) -> List[Dict[str, Any]]:
+    """Read a JSONL record stream (blank lines ignored).
+
+    ``on_invalid`` controls what happens on an unparseable line:
+    ``"raise"`` (default) propagates the ``json.JSONDecodeError``;
+    ``"skip"`` drops the line and emits a single :class:`RuntimeWarning`
+    naming the file and the count.  Skip mode exists for streams written
+    by many concurrent appenders under a kill/retry policy — a writer
+    killed mid-append can leave a torn fragment that a live writer's
+    next append fuses into one corrupt mid-file line (tail recovery only
+    repairs the *last* line; see :class:`JsonlAppender`).
+    """
+    if on_invalid not in ("raise", "skip"):
+        raise ValueError(
+            f"on_invalid must be 'raise' or 'skip', got {on_invalid!r}"
+        )
     records: List[Dict[str, Any]] = []
+    skipped = 0
     with Path(path).open("r", encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
-            if line:
+            if not line:
+                continue
+            try:
                 records.append(json.loads(line))
+            except json.JSONDecodeError:
+                if on_invalid == "raise":
+                    raise
+                skipped += 1
+    if skipped:
+        import warnings
+
+        warnings.warn(
+            f"{path}: skipped {skipped} unparseable JSONL line(s) "
+            f"(torn concurrent append?)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     return records
 
 

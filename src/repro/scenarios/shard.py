@@ -12,9 +12,12 @@ simulation — flows in different shards do not share queues, so sharding
 is an *approximation* that trades cross-shard contention for
 parallelism.  What is exact: every shard regenerates the identical flow
 population from the scenario seed (see
-:mod:`repro.scenarios.workload`), the partition is a disjoint cover of
-it, and for a fixed ``num_shards`` the merged result is bit-identical
-whether the shards run serially or across workers.
+:mod:`repro.scenarios.workload`) and builds the identical network
+structure from the topology's own seed (only the *simulator* runs under
+the per-shard seed — see :func:`build_shard_network`), the partition is
+a disjoint cover of the population, and for a fixed ``num_shards`` the
+merged result is bit-identical whether the shards run serially or
+across workers.
 
 Bounded memory is the other contract.  Inside a shard, flows are
 *admitted* lazily from the workload generator at their start times and
@@ -40,9 +43,10 @@ from repro.obs import maybe_observe
 from repro.obs.export import JsonlAppender
 from repro.scenarios.spec import ScenarioSpec
 from repro.scenarios.workload import FlowSpec
+from repro.sim import Simulator
 from repro.sim.rng import derive_child_seed
 from repro.tcp.base import TcpConfig
-from repro.topologies.base import topology_with_seed
+from repro.topologies.base import Topology
 from repro.util.units import MBPS
 
 try:
@@ -93,6 +97,7 @@ class _ShardDriver:
         self.active: Dict[int, BulkTransfer] = {}
         self._sizes: Dict[int, Optional[int]] = {}
         self._starts: Dict[int, float] = {}
+        self._admitted: Dict[int, float] = {}
         self.admitted = 0
         self.completed = 0
         self.delivered_segments = 0
@@ -112,6 +117,20 @@ class _ShardDriver:
         while self._pending is not None and self._pending.start <= now:
             flow_spec = self._pending
             self._pending = next(self._flows, None)
+            if (
+                self._pending is not None
+                and self._pending.start < flow_spec.start
+            ):
+                # The admission chain schedules one event per distinct
+                # start time, so an unsorted stream would silently admit
+                # flows late; generate_flows guarantees sorted order in
+                # both arrival modes — fail loudly if that breaks.
+                raise ValueError(
+                    f"flow stream not sorted by start time: flow "
+                    f"{self._pending.flow_id} starts at "
+                    f"{self._pending.start} after flow "
+                    f"{flow_spec.flow_id} at {flow_spec.start}"
+                )
             size = flow_spec.size_segments
             flow = BulkTransfer(
                 self.network,
@@ -133,6 +152,7 @@ class _ShardDriver:
             self.active[flow_spec.flow_id] = flow
             self._sizes[flow_spec.flow_id] = size
             self._starts[flow_spec.flow_id] = flow_spec.start
+            self._admitted[flow_spec.flow_id] = now
             self.admitted += 1
             stats = self.per_variant.setdefault(
                 flow.variant,
@@ -176,6 +196,7 @@ class _ShardDriver:
                     "src": flow.src,
                     "dst": flow.dst,
                     "start": self._starts.pop(flow_id),
+                    "admitted": self._admitted.pop(flow_id),
                     "size_segments": self._sizes.pop(flow_id),
                     "delivered_segments": delivered,
                     "completed": completed,
@@ -184,6 +205,7 @@ class _ShardDriver:
             )
         else:
             self._starts.pop(flow_id)
+            self._admitted.pop(flow_id)
             self._sizes.pop(flow_id)
         for agent in (flow.sender, flow.receiver):
             agent.node.agents.pop(flow_id, None)
@@ -195,6 +217,19 @@ class _ShardDriver:
         """Retire whatever is still live at the end of the horizon."""
         for flow_id in sorted(self.active):
             self._retire(flow_id)
+
+
+def build_shard_network(spec: ScenarioSpec, sim_seed: int) -> Topology:
+    """Build a shard's network: spec-seeded structure, shard-seeded sim.
+
+    The topology is built from ``spec.topology`` *unchanged*, so its
+    structural randomness (chord placement, per-link delay draws) comes
+    from the spec's own seed and every shard — and every ``num_shards``
+    setting — simulates the identical graph the spec describes.  Only
+    the :class:`~repro.sim.Simulator` (runtime streams: loss, multipath
+    hashing, jitter) runs under the per-shard ``sim_seed``.
+    """
+    return spec.topology.build(Simulator(seed=sim_seed))
 
 
 def run_shard_cell(
@@ -212,19 +247,25 @@ def run_shard_cell(
     cache and the process boundary).  The flow population is regenerated
     from the *scenario* seed and filtered to ``flow_id % num_shards ==
     shard_index``; the simulator itself runs under the per-shard
-    ``seed`` the plan derived.  Returns a JSON-able shard summary.
+    ``seed`` the plan derived, while the topology's *structural* streams
+    (wan-mesh chords and delay draws, fat-tree jitter) stay under the
+    spec's own seed — every shard simulates the identical graph the
+    saved scenario describes.  Returns a JSON-able shard summary.
 
     Note: a cache hit on this cell returns the summary *without*
     re-writing the per-flow stream — run with caching disabled when the
-    stream file is the product.
+    stream file is the product.  Per-flow records stream as the shard
+    runs, so a shard that dies and is *retried* re-appends the records
+    it already wrote (dedupe on ``(cell, flow_id)`` keeping the last
+    occurrence, or run with ``retries=0`` when the stream is the
+    product).
     """
     spec = ScenarioSpec.from_jsonable(scenario)
     if not 0 <= shard_index < num_shards:
         raise ValueError(
             f"shard_index {shard_index} out of range for {num_shards} shards"
         )
-    topo_spec = topology_with_seed(spec.topology, seed)
-    topology = topo_spec.build()
+    topology = build_shard_network(spec, seed)
     network = topology.network
     maybe_observe(network)
 
@@ -323,6 +364,15 @@ class ShardPlan(ExperimentSpec):
     safely through :class:`~repro.obs.export.JsonlAppender`'s atomic
     appends.  ``reap_interval`` is the sim-time period of the in-shard
     flow reaper.
+
+    Two stream caveats under the executor's failure policy (see
+    ``docs/SCENARIOS.md``): a shard killed mid-append can leave one torn
+    partial line that a *concurrent* live writer then extends into a
+    corrupt mid-file record (``recover_jsonl_tail`` only repairs the
+    tail — read such streams with ``read_jsonl(path,
+    on_invalid="skip")``), and a retried shard re-appends the flow
+    records it streamed before dying (dedupe on ``(cell, flow_id)``, or
+    run with ``retries=0`` when the stream is the product).
     """
 
     name: ClassVar[str] = "scale"

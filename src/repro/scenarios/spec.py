@@ -56,6 +56,15 @@ class ScenarioSpec:
     def __post_init__(self) -> None:
         if self.duration <= 0:
             raise ValueError(f"duration must be positive, got {self.duration}")
+        if (
+            self.workload.arrival == "fixed"
+            and self.workload.start_stagger > self.duration
+        ):
+            raise ValueError(
+                f"workload start_stagger ({self.workload.start_stagger}) "
+                f"exceeds the scenario duration ({self.duration}): flows "
+                f"starting past the horizon would never run"
+            )
 
     # ------------------------------------------------------------------
     # The flow population

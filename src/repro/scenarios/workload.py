@@ -85,7 +85,9 @@ class WorkloadSpec:
             ``start_stagger`` seconds).
         arrival_rate: Poisson arrival intensity (flows/second).
         flow_count: Population size in ``"fixed"`` mode.
-        start_stagger: Start-time spread in ``"fixed"`` mode (seconds).
+        start_stagger: Start-time spread in ``"fixed"`` mode (seconds);
+            must not exceed the scenario duration the population is
+            generated against.
         max_flows: Hard cap on generated flows (``None`` = unlimited;
             Poisson mode otherwise generates ``rate * duration`` in
             expectation).
@@ -268,12 +270,23 @@ def generate_flows(
     """Lazily yield the deterministic flow population.
 
     Flow ids are assigned sequentially from ``first_flow_id`` in arrival
-    order; shard partitioning keys off them.  All randomness comes from
-    named streams of ``RngRegistry(seed)``, so the sequence is identical
-    across processes.  The only degenerate endpoint case — a single
-    node that is both the sole sender and sole receiver — is rejected.
+    order; shard partitioning keys off them.  In *both* arrival modes
+    flows are yielded with non-decreasing ``start`` times (Poisson by
+    construction, fixed by sorting the drawn starts) — the shard
+    driver's lazy admission chain depends on this.  All randomness comes
+    from named streams of ``RngRegistry(seed)``, so the sequence is
+    identical across processes.  The only degenerate endpoint case — a
+    single node that is both the sole sender and sole receiver — is
+    rejected, as is a fixed-mode ``start_stagger`` beyond ``duration``
+    (such flows would fall outside the simulated horizon).
     """
     spec.validate()
+    if spec.arrival == "fixed" and spec.start_stagger > duration:
+        raise ValueError(
+            f"start_stagger ({spec.start_stagger}) exceeds the scenario "
+            f"duration ({duration}): flows starting past the horizon "
+            f"would never run"
+        )
     if not senders or not receivers:
         raise ValueError("topology has no endpoints to generate flows over")
     if len(senders) == 1 and len(receivers) == 1 and senders[0] == receivers[0]:
@@ -304,12 +317,16 @@ def generate_flows(
         count = spec.flow_count
         if spec.max_flows is not None:
             count = min(count, spec.max_flows)
-        for i in range(count):
-            start = (
-                draws.arrivals.uniform(0.0, spec.start_stagger)
-                if spec.start_stagger > 0
-                else 0.0
-            )
+        # Draw every start, then yield in sorted-start order: consumers
+        # (the shard driver's admission chain) rely on a non-decreasing
+        # start sequence, and ids stay sequential in arrival order.
+        starts = sorted(
+            draws.arrivals.uniform(0.0, spec.start_stagger)
+            if spec.start_stagger > 0
+            else 0.0
+            for _ in range(count)
+        )
+        for i, start in enumerate(starts):
             yield make_flow(first_flow_id + i, start)
         return
 

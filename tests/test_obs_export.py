@@ -39,6 +39,27 @@ def test_jsonl_round_trip_preserves_records(tmp_path):
     assert body == json.loads(json.dumps(records))  # value-identical
 
 
+def test_read_jsonl_tolerates_corrupt_midfile_line(tmp_path):
+    """A writer killed mid-append under concurrent writers can fuse a
+    torn fragment into one corrupt mid-file line; skip mode reads past
+    it (with a warning) where the default raises."""
+    import json as _json
+
+    import pytest
+
+    path = tmp_path / "torn.jsonl"
+    good_a = _json.dumps({"record": "flow", "i": 1})
+    good_b = _json.dumps({"record": "flow", "i": 2})
+    path.write_text(f'{good_a}\n{{"record": "fl{good_b}\n{good_a}\n')
+    with pytest.raises(_json.JSONDecodeError):
+        read_jsonl(path)
+    with pytest.warns(RuntimeWarning, match="skipped 1 unparseable"):
+        records = read_jsonl(path, on_invalid="skip")
+    assert [r["i"] for r in records] == [1, 1]
+    with pytest.raises(ValueError):
+        read_jsonl(path, on_invalid="ignore")
+
+
 def test_header_not_duplicated(tmp_path):
     records = [header_record(), {"record": "metric", "name": "x"}]
     path = write_jsonl(records, tmp_path / "m.jsonl")

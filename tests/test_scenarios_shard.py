@@ -14,7 +14,8 @@ from repro.scenarios import (
     run_scale,
     run_shard_cell,
 )
-from repro.topologies import DumbbellSpec
+from repro.scenarios.shard import build_shard_network
+from repro.topologies import DumbbellSpec, WanMeshSpec
 
 
 def _pinned_scenario(seed=7):
@@ -124,6 +125,63 @@ def test_stream_has_header_then_valid_records(tmp_path):
     kinds = {record["record"] for record in records}
     assert kinds == {"header", "flow", "shard"}
     assert sum(1 for r in records if r["record"] == "shard") == 2
+
+
+def test_fixed_stagger_flows_admitted_at_spec_start(tmp_path):
+    """Fixed-arrival starts are drawn unsorted; the generator must hand
+    them to the admission chain sorted so every flow is constructed at
+    its spec start, not lazily at a later flow's start."""
+    scenario = ScenarioSpec(
+        topology=DumbbellSpec(num_pairs=4, seed=11),
+        workload=WorkloadSpec(
+            arrival="fixed",
+            flow_count=16,
+            start_stagger=8.0,
+            size="fixed",
+            mean_size_segments=20.0,
+        ),
+        duration=20.0,
+        seed=11,
+        name="fixed-stagger",
+    )
+    starts = [flow.start for flow in scenario.flows()]
+    assert starts == sorted(starts)
+    assert len(set(starts)) > 1  # staggering is non-vacuous
+    path = tmp_path / "fixed.jsonl"
+    report = run_scale(
+        ShardPlan(scenario=scenario, num_shards=3, stream_path=str(path)),
+        jobs=1,
+    )
+    records = [json.loads(line) for line in open(path)]
+    flows = [r for r in records if r.get("record") == "flow"]
+    assert len(flows) == report.flows == scenario.flow_count() == 16
+    for record in flows:
+        assert record["admitted"] == record["start"]
+
+
+def test_shards_simulate_the_specs_own_graph():
+    """Structural randomness (wan-mesh chords/delays) comes from the
+    topology's seed, never the per-shard simulator seed: every shard of
+    every num_shards builds the identical graph the spec describes."""
+    spec = ScenarioSpec(
+        topology=WanMeshSpec(sites=6, degree=3.0, hosts_per_site=1, seed=21),
+        workload=WorkloadSpec(arrival="poisson", arrival_rate=1.0),
+        duration=5.0,
+        seed=21,
+        name="wan",
+    )
+    plan = ShardPlan(scenario=spec, num_shards=2)
+
+    def link_delays(topology):
+        return {
+            name: link.delay
+            for name, link in topology.network.links.items()
+        }
+
+    reference = link_delays(spec.topology.build())
+    for index in range(2):
+        built = link_delays(build_shard_network(spec, plan.shard_seed(index)))
+        assert built == reference
 
 
 def test_run_shard_cell_validates_index():

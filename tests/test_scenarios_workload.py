@@ -3,7 +3,7 @@ and across a process boundary) and structural invariants."""
 
 import multiprocessing
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import assume, given, settings, strategies as st
 
 from repro.scenarios.workload import (
     WorkloadSpec,
@@ -41,6 +41,7 @@ workload_specs = st.builds(
 @settings(max_examples=60, deadline=None)
 def test_same_seed_identical_sequence(spec, seed, duration):
     """The generator is a pure function of (spec, endpoints, duration, seed)."""
+    assume(spec.arrival != "fixed" or spec.start_stagger <= duration)
     first = list(generate_flows(spec, SENDERS, RECEIVERS, duration, seed))
     second = list(generate_flows(spec, SENDERS, RECEIVERS, duration, seed))
     assert first == second
@@ -50,8 +51,11 @@ def test_same_seed_identical_sequence(spec, seed, duration):
        duration=st.floats(min_value=0.5, max_value=6.0))
 @settings(max_examples=60, deadline=None)
 def test_structural_invariants(spec, seed, duration):
+    assume(spec.arrival != "fixed" or spec.start_stagger <= duration)
     flows = list(generate_flows(spec, SENDERS, RECEIVERS, duration, seed))
     mix_names = {name for name, weight in spec.variant_mix if weight > 0}
+    starts = [flow.start for flow in flows]
+    assert starts == sorted(starts)  # both modes: non-decreasing starts
     for i, flow in enumerate(flows):
         assert flow.flow_id == 1 + i  # sequential ids in arrival order
         assert flow.src in SENDERS
@@ -123,6 +127,26 @@ def test_rejects_degenerate_endpoints():
     try:
         list(generate_flows(spec, ("x",), ("x",), 1.0, 0))
         raise AssertionError("self-flow-only topology accepted")
+    except ValueError:
+        pass
+
+
+def test_rejects_stagger_beyond_duration():
+    """Fixed-mode flows past the horizon would never run: loud error,
+    both lazily in the generator and eagerly at ScenarioSpec build."""
+    from repro.scenarios import ScenarioSpec
+    from repro.topologies import DumbbellSpec
+
+    spec = WorkloadSpec(arrival="fixed", flow_count=4, start_stagger=5.0)
+    try:
+        list(generate_flows(spec, SENDERS, RECEIVERS, 2.0, 0))
+        raise AssertionError("start_stagger > duration accepted")
+    except ValueError:
+        pass
+    list(generate_flows(spec, SENDERS, RECEIVERS, 5.0, 0))  # boundary OK
+    try:
+        ScenarioSpec(topology=DumbbellSpec(), workload=spec, duration=2.0)
+        raise AssertionError("ScenarioSpec accepted stagger > duration")
     except ValueError:
         pass
 
