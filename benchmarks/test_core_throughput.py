@@ -29,6 +29,17 @@ would flake.  Two defenses:
   normalized round must reach 75 % of the committed throughput.  A real
   hot-path regression shifts the workload/legacy ratio and trips the
   guard; a slow or throttling host shifts both and does not.
+
+Engine builds (docs/COMPILED.md): every committed-number gate above is
+pinned to the **pure** engine via :func:`engine_select.use_engine` —
+the committed ``current`` section records pure-build throughput, and
+running the suite on a checkout with the C extension built must not
+silently re-baseline it 2-4x higher (nor collapse the legacy→hot idiom
+ratio, which the C ``schedule`` fast path compresses).  The compiled
+build gets its own interleaved same-process A/B: the ``compiled``
+section of BENCH_core.json records pure-vs-compiled speedups per
+workload, asserted by the committed-number gate and refreshed by the
+full tier when the extension is importable.
 """
 
 from __future__ import annotations
@@ -39,6 +50,7 @@ from pathlib import Path
 import pytest
 
 import core_workloads as cw
+from repro.core import engine_select
 
 BENCH_PATH = Path(__file__).parent / "results" / "BENCH_core.json"
 
@@ -54,6 +66,24 @@ MIN_IDIOM_SPEEDUP = 2.0
 #: At least one figure workload must hold this wall-time speedup over
 #: the recorded seed baseline.
 MIN_FIGURE_WALL_SPEEDUP = 1.5
+
+#: The committed compiled-vs-pure A/B must show at least this events/sec
+#: speedup on at least MIN_COMPILED_WORKLOADS of the A/B workloads.
+MIN_COMPILED_SPEEDUP = 2.0
+MIN_COMPILED_WORKLOADS = 2
+
+#: Live floor for the smoke-tier A/B (micro only; generous margin under
+#: the committed ~4x so a throttling host doesn't flake the gate).
+MIN_COMPILED_LIVE_SPEEDUP = 1.5
+
+#: Workloads measured by the compiled-vs-pure A/B.  The figure slices
+#: are Amdahl-limited by the Python TCP callbacks; the micro isolates
+#: the engine itself.
+AB_WORKLOADS = {
+    "engine_micro_hot": cw.engine_micro_hot,
+    "pr_bulk": cw.pr_bulk_workload,
+    "fig6_multipath": cw.fig6_multipath_workload,
+}
 
 
 def _best_of(fn, rounds: int):
@@ -83,18 +113,19 @@ def _guarded_figure(name: str, committed: dict, rounds: int) -> dict:
     committed_eps = committed["current"][name]["events_per_sec"]
     best = None
     best_normalized = 0.0
-    for _ in range(rounds):
-        host_scale = (
-            cw.engine_micro_legacy()["events_per_sec"] / committed_legacy
-        )
-        measured = cw.FIGURE_WORKLOADS[name]()
-        normalized = measured["events_per_sec"] / (
-            committed_eps * host_scale
-        )
-        if normalized > best_normalized:
-            best_normalized = normalized
-        if best is None or measured["wall_s"] < best["wall_s"]:
-            best = measured
+    with engine_select.use_engine("pure"):
+        for _ in range(rounds):
+            host_scale = (
+                cw.engine_micro_legacy()["events_per_sec"] / committed_legacy
+            )
+            measured = cw.FIGURE_WORKLOADS[name]()
+            normalized = measured["events_per_sec"] / (
+                committed_eps * host_scale
+            )
+            if normalized > best_normalized:
+                best_normalized = normalized
+            if best is None or measured["wall_s"] < best["wall_s"]:
+                best = measured
     assert best_normalized >= 1.0 - REGRESSION_TOLERANCE, (
         f"{name}: best host-normalized throughput is "
         f"{best_normalized:.2f}x of the committed "
@@ -116,17 +147,54 @@ def _measure_micro_pair(committed: dict, rounds: int = 4):
     """
     legacy_best = hot_best = None
     idiom_speedup = 0.0
-    for _ in range(rounds):
-        legacy = cw.engine_micro_legacy()
-        hot = cw.engine_micro_hot()
-        ratio = hot["events_per_sec"] / legacy["events_per_sec"]
-        if ratio > idiom_speedup:
-            idiom_speedup = ratio
-        if legacy_best is None or legacy["wall_s"] < legacy_best["wall_s"]:
-            legacy_best = legacy
-        if hot_best is None or hot["wall_s"] < hot_best["wall_s"]:
-            hot_best = hot
+    with engine_select.use_engine("pure"):
+        for _ in range(rounds):
+            legacy = cw.engine_micro_legacy()
+            hot = cw.engine_micro_hot()
+            ratio = hot["events_per_sec"] / legacy["events_per_sec"]
+            if ratio > idiom_speedup:
+                idiom_speedup = ratio
+            if legacy_best is None or legacy["wall_s"] < legacy_best["wall_s"]:
+                legacy_best = legacy
+            if hot_best is None or hot["wall_s"] < hot_best["wall_s"]:
+                hot_best = hot
     return legacy_best, hot_best, idiom_speedup
+
+
+def _measure_ab(name: str, rounds: int) -> dict:
+    """Interleaved pure/compiled A/B on one workload.
+
+    Each round runs the pure build then the compiled build back-to-back,
+    so both see the same host throttle state; the speedup is the best
+    *same-round* events/sec ratio (the same defense as the idiom pair).
+    Both builds dispatch bit-identical event sequences, so events/sec
+    ratios and wall ratios agree round-by-round.
+    """
+    fn = AB_WORKLOADS[name]
+    pure_best = compiled_best = None
+    speedup_eps = 0.0
+    for _ in range(rounds):
+        with engine_select.use_engine("pure"):
+            pure = fn()
+        with engine_select.use_engine("compiled"):
+            comp = fn()
+        ratio = comp["events_per_sec"] / pure["events_per_sec"]
+        if ratio > speedup_eps:
+            speedup_eps = ratio
+        if pure_best is None or pure["wall_s"] < pure_best["wall_s"]:
+            pure_best = pure
+        if compiled_best is None or comp["wall_s"] < compiled_best["wall_s"]:
+            compiled_best = comp
+    return {
+        "pure_events_per_sec": round(pure_best["events_per_sec"], 1),
+        "compiled_events_per_sec": round(
+            compiled_best["events_per_sec"], 1
+        ),
+        "speedup_eps": round(speedup_eps, 4),
+        "speedup_best_of": round(
+            compiled_best["events_per_sec"] / pure_best["events_per_sec"], 4
+        ),
+    }
 
 
 @pytest.mark.bench_smoke
@@ -142,6 +210,17 @@ def test_committed_numbers_meet_gates():
         f"no figure workload reaches {MIN_FIGURE_WALL_SPEEDUP}x wall "
         f"speedup over the seed baseline: {figure_walls}"
     )
+    ab = committed["compiled"]["workloads"]
+    fast_enough = [
+        name
+        for name, result in ab.items()
+        if result["speedup_eps"] >= MIN_COMPILED_SPEEDUP
+    ]
+    assert len(fast_enough) >= MIN_COMPILED_WORKLOADS, (
+        f"the committed compiled-vs-pure A/B shows "
+        f"{MIN_COMPILED_SPEEDUP}x on only {fast_enough} "
+        f"(need {MIN_COMPILED_WORKLOADS} of {sorted(ab)})"
+    )
 
 
 @pytest.mark.bench_smoke
@@ -154,6 +233,21 @@ def test_core_throughput_smoke():
         f"{idiom_speedup:.2f}x (< {MIN_IDIOM_SPEEDUP}x)"
     )
     _guarded_figure("pr_bulk", committed, rounds=3)
+
+
+@pytest.mark.bench_smoke
+@pytest.mark.skipif(
+    not engine_select.compiled_available(),
+    reason="compiled extension not built (python setup.py build_ext --inplace)",
+)
+def test_compiled_engine_ab_smoke():
+    """Sub-second live A/B: the compiled engine must stay clearly faster
+    than pure on the micro (committed ~4x; live floor is generous)."""
+    result = _measure_ab("engine_micro_hot", rounds=3)
+    assert result["speedup_eps"] >= MIN_COMPILED_LIVE_SPEEDUP, (
+        f"compiled/pure micro speedup collapsed to "
+        f"{result['speedup_eps']:.2f}x (< {MIN_COMPILED_LIVE_SPEEDUP}x)"
+    )
 
 
 def test_core_throughput_full():
@@ -178,6 +272,18 @@ def test_core_throughput_full():
     committed["speedup"]["engine_micro_legacy_to_hot_eps"] = round(
         idiom_speedup, 4
     )
+    if engine_select.compiled_available():
+        committed["compiled"] = {
+            "method": (
+                "Interleaved pure/compiled A/B per workload, same process, "
+                "2 rounds; speedup_eps is the best same-round events/sec "
+                "ratio, speedup_best_of pairs the best-of rounds. Both "
+                "builds dispatch bit-identical event sequences."
+            ),
+            "workloads": {
+                name: _measure_ab(name, rounds=2) for name in AB_WORKLOADS
+            },
+        }
     with BENCH_PATH.open("w") as fh:
         json.dump(committed, fh, indent=1)
         fh.write("\n")

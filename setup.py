@@ -4,8 +4,60 @@ This project deliberately ships a ``setup.py``/``setup.cfg`` pair instead
 of a ``pyproject.toml``: the reproduction environment is fully offline and
 pip's PEP 517 build isolation cannot fetch build dependencies there.  The
 legacy path (`pip install -e .`) works with the preinstalled setuptools.
+
+Optional compiled hot core (see docs/COMPILED.md)
+-------------------------------------------------
+
+``python setup.py build_ext --inplace`` builds ``repro._cext._core``, a
+hand-written CPython extension whose classes subclass the pure-python
+hot-core classes (Simulator/Link/Node) and override only the hot
+methods.  The extension is strictly optional: it is marked
+``optional=True`` so a missing C toolchain degrades an install to the
+pure engine instead of failing it, and nothing at runtime imports it
+except :mod:`repro.core.engine_select`, which falls back silently under
+``REPRO_ENGINE=auto`` (the default).
+
+Environment knobs:
+
+* ``REPRO_NO_CEXT=1`` — skip the extension entirely (pure-only build).
+* ``REPRO_BUILD_MYPYC=1`` — additionally compile a small allowlist of
+  *leaf* modules with mypyc, when mypyc is installed.  Experimental and
+  off by default: mypyc is not available in the pinned reproduction
+  container, and whole-module mypyc compilation of the hot core itself
+  would conflict with the runtime engine selection (compiled modules
+  would shadow the pure ones unconditionally).  See docs/COMPILED.md.
 """
+
+import os
 
 from setuptools import setup
 
-setup()
+ext_modules = []
+if not os.environ.get("REPRO_NO_CEXT"):
+    from setuptools import Extension
+
+    ext_modules.append(
+        Extension(
+            "repro._cext._core",
+            sources=["src/repro/_cext/_coremodule.c"],
+            optional=True,
+            extra_compile_args=["-O2"],
+        )
+    )
+
+if os.environ.get("REPRO_BUILD_MYPYC"):
+    # Leaf modules only: nothing here participates in engine selection,
+    # so mypyc's import-time module shadowing is harmless.
+    try:
+        from mypyc.build import mypycify
+    except ImportError:
+        pass
+    else:
+        ext_modules += mypycify(
+            [
+                "src/repro/sim/rng.py",
+                "src/repro/sim/profile.py",
+            ]
+        )
+
+setup(ext_modules=ext_modules)

@@ -1,0 +1,13 @@
+"""Optional C accelerator for the hot core (engine, link, node).
+
+This package holds the hand-written CPython extension ``_core``
+(``_coremodule.c``) whose classes subclass the pure-python hot-core
+classes and override only the hot methods.  It is **optional**: nothing
+imports it directly — :mod:`repro.core.engine_select` imports it lazily
+and falls back to the pure classes when it is absent.  Build it with::
+
+    python setup.py build_ext --inplace
+
+See ``docs/COMPILED.md`` for the build matrix, selection precedence,
+fallback semantics, and the measured speedups.
+"""

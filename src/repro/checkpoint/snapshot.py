@@ -93,9 +93,21 @@ def save_checkpoint(
     sim: Simulator, path: PathLike, user_meta: Optional[Mapping[str, Any]] = None
 ) -> None:
     """Atomically snapshot ``sim`` (and its registered components) to ``path``."""
+    from repro.core.engine_select import EXTENSION_MODULE
+
     meta: Dict[str, Any] = {
         "schema": SCHEMA_VERSION,
         "package_version": _package_version(),
+        # Provenance only: checkpoints are engine-portable (the pickled
+        # graph rebuilds on whatever build loads it; docs/COMPILED.md),
+        # but knowing which build *wrote* one helps debug perf reports.
+        # Classified from the instance, not the global selection — the
+        # two can differ under use_engine().
+        "engine": (
+            "compiled"
+            if type(sim).__module__ == EXTENSION_MODULE
+            else "pure"
+        ),
         "now": sim.now,
         "event_seq": sim.event_seq,
         "dispatched_events": sim.dispatched_events,

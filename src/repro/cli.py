@@ -38,9 +38,16 @@ capture into the same schema.
 
 Flag groups are defined once as argparse *parent parsers*
 (:func:`_execution_parent`: scale/seed/jobs/cache/failure-policy;
-:func:`_obs_parent`: ``--json``/``--metrics-out``/``--trace-out``) and
-inherited by every sweep-running subcommand, so new subcommands get the
-full flag surface by construction.
+:func:`_obs_parent`: ``--json``/``--metrics-out``/``--trace-out``;
+:func:`_engine_parent`: ``--engine``) and inherited by every
+sweep-running subcommand, so new subcommands get the full flag surface
+by construction.
+
+Engine selection (``docs/COMPILED.md``): every subcommand accepts
+``--engine auto|pure|compiled`` to pick the hot-core build; the choice
+is activated before dispatch and exported to worker processes.
+``repro-experiments bench report`` merges the committed
+``benchmarks/results/BENCH_*.json`` files into one trajectory table.
 """
 
 from __future__ import annotations
@@ -215,6 +222,28 @@ def _obs_parent() -> argparse.ArgumentParser:
         help="collect packet send/arrival/drop and fault trace events "
         "inside each cell and write them as repro.obs/v1 JSONL "
         "(analyze with `trace analyze`)",
+    )
+    return parent
+
+
+def _engine_parent() -> argparse.ArgumentParser:
+    """Parent parser: the engine-build selector, defined exactly once.
+
+    ``--engine`` picks the hot-core build (see docs/COMPILED.md):
+    ``auto`` (default) uses the compiled extension when built and falls
+    back to pure python silently; ``compiled`` demands it (actionable
+    error when missing); ``pure`` never touches it.  Activation happens
+    in :func:`main` before dispatch and exports ``REPRO_ENGINE`` so
+    ``--jobs`` worker processes inherit the choice.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--engine",
+        choices=["auto", "pure", "compiled"],
+        default=None,
+        help="hot-core build: auto (compiled when built, else pure), "
+        "pure, or compiled (error if the extension is missing); "
+        "default: the REPRO_ENGINE env var, else auto",
     )
     return parent
 
@@ -716,6 +745,97 @@ def _cmd_ckpt_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _flatten_bench(value: Any, prefix: str = "") -> List[tuple]:
+    """Flatten one BENCH_*.json payload into ``(dotted.path, scalar)`` rows.
+
+    The committed benchmark files are heterogeneous (each subsystem
+    records its own headline numbers), so the report is schema-agnostic:
+    every numeric or string leaf becomes a row.  Lists of dicts — the
+    common ``points: [{"mode": ..., ...}]`` idiom — are keyed by their
+    ``mode`` (or ``segments``) field when present, else by index.
+    """
+    rows: List[tuple] = []
+    if isinstance(value, dict):
+        for key, item in value.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            rows.extend(_flatten_bench(item, path))
+    elif isinstance(value, list):
+        for index, item in enumerate(value):
+            label = str(index)
+            if isinstance(item, dict):
+                tag = item.get("mode", item.get("segments"))
+                if tag is not None:
+                    label = str(tag)
+            rows.extend(_flatten_bench(item, f"{prefix}[{label}]"))
+    elif isinstance(value, bool) or value is None:
+        pass  # flags and nulls carry no trajectory signal
+    elif isinstance(value, (int, float, str)):
+        rows.append((prefix, value))
+    return rows
+
+
+def _format_bench_value(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    text = str(value)
+    if len(text) > 72:  # free-text provenance notes; --json keeps them whole
+        return text[:69] + "..."
+    return text
+
+
+def _cmd_bench_report(args: argparse.Namespace) -> int:
+    """Merge ``benchmarks/results/BENCH_*.json`` into one trajectory table."""
+    results_dir = Path(args.dir)
+    files = sorted(results_dir.glob("BENCH_*.json"))
+    if not files:
+        print(f"error: no BENCH_*.json files under {results_dir}",
+              file=sys.stderr)
+        return 1
+    report: Dict[str, Dict[str, Any]] = {}
+    for path in files:
+        name = path.stem[len("BENCH_"):]
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            print(f"error: {path}: {exc}", file=sys.stderr)
+            return 1
+        report[name] = dict(_flatten_bench(data))
+    if args.bench_json:
+        text = json.dumps(report, indent=2, sort_keys=True)
+    else:
+        rows = [
+            (bench, metric, _format_bench_value(value))
+            for bench, metrics in report.items()
+            for metric, value in metrics.items()
+        ]
+        widths = [
+            max(len(header), *(len(row[col]) for row in rows))
+            for col, header in enumerate(("benchmark", "metric", "value"))
+        ]
+        lines = [
+            "| {} | {} | {} |".format(
+                "benchmark".ljust(widths[0]),
+                "metric".ljust(widths[1]),
+                "value".ljust(widths[2]),
+            ),
+            "| {} | {} | {} |".format(*("-" * w for w in widths)),
+        ]
+        lines.extend(
+            "| {} | {} | {} |".format(
+                bench.ljust(widths[0]), metric.ljust(widths[1]),
+                value.ljust(widths[2]),
+            )
+            for bench, metric, value in rows
+        )
+        text = "\n".join(lines)
+    if args.output:
+        Path(args.output).write_text(text + "\n")
+        print(f"[report written to {args.output}]")
+    else:
+        print(text)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -726,7 +846,8 @@ def build_parser() -> argparse.ArgumentParser:
     # child, so one definition site serves every subcommand.
     execution = _execution_parent()
     obs_flags = _obs_parent()
-    common = [execution, obs_flags]
+    engine = _engine_parent()
+    common = [execution, obs_flags, engine]
 
     variants = sub.add_parser(
         "variants", help="list available TCP variants", parents=common
@@ -857,6 +978,7 @@ def build_parser() -> argparse.ArgumentParser:
     lint = sub.add_parser(
         "lint",
         help="run the project's determinism/hot-path/hygiene lint rules",
+        parents=[engine],
     )
     lint.add_argument(
         "paths",
@@ -883,12 +1005,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     obs_sub = obs.add_subparsers(dest="obs_command", required=True)
     obs_summary = obs_sub.add_parser(
-        "summary", help="print a human-readable digest of FILE"
+        "summary", help="print a human-readable digest of FILE",
+        parents=[engine],
     )
     obs_summary.add_argument("file", metavar="FILE", help="JSONL record stream")
     obs_summary.set_defaults(func=_cmd_obs)
     obs_convert = obs_sub.add_parser(
-        "convert", help="convert FILE (JSONL) to CSV"
+        "convert", help="convert FILE (JSONL) to CSV", parents=[engine]
     )
     obs_convert.add_argument("file", metavar="FILE", help="JSONL record stream")
     obs_convert.add_argument(
@@ -907,11 +1030,42 @@ def build_parser() -> argparse.ArgumentParser:
         "inspect",
         help="print a checkpoint's metadata and section sizes as JSON "
         "(reads headers only; never unpickles the simulation graph)",
+        parents=[engine],
     )
     ckpt_inspect.add_argument(
         "file", metavar="FILE", help="checkpoint file (*.ckpt)"
     )
     ckpt_inspect.set_defaults(func=_cmd_ckpt_inspect)
+
+    bench = sub.add_parser(
+        "bench", help="inspect committed benchmark results"
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    bench_report = bench_sub.add_parser(
+        "report",
+        help="merge benchmarks/results/BENCH_*.json into one trajectory "
+        "table (markdown by default)",
+        parents=[engine],
+    )
+    bench_report.add_argument(
+        "--dir",
+        default="benchmarks/results",
+        metavar="PATH",
+        help="directory holding BENCH_*.json (default: benchmarks/results)",
+    )
+    bench_report.add_argument(
+        "--json",
+        dest="bench_json",
+        action="store_true",
+        help="emit the merged report as JSON instead of markdown",
+    )
+    bench_report.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="write the report to PATH instead of stdout",
+    )
+    bench_report.set_defaults(func=_cmd_bench_report)
 
     compare = sub.add_parser(
         "compare",
@@ -982,6 +1136,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "engine", None) is not None:
+        from repro.core import engine_select
+
+        try:
+            engine_select.activate(args.engine)
+        except engine_select.EngineUnavailableError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     try:
         return args.func(args)
     except BrokenPipeError:

@@ -600,6 +600,85 @@ class HandleMutationRule(Rule):
                         )
 
 
+#: Modules with a compiled counterpart: mirrored by the C accelerator
+#: (``repro._cext._core`` subclasses Simulator/Link/Node and resolves
+#: their attributes by fixed slot offset) or on the experimental mypyc
+#: leaf allowlist (``setup.py``, ``REPRO_BUILD_MYPYC``).  Kept in sync
+#: with docs/COMPILED.md.
+_COMPILED_MODULES = (
+    "sim/engine.py",
+    "net/link.py",
+    "net/node.py",
+    "net/queues.py",
+    "sim/rng.py",
+    "sim/profile.py",
+)
+
+
+class CompiledCompatRule(Rule):
+    """No dynamic-attribute patterns in compiled-mirrored modules.
+
+    The compiled engine resolves these classes' attributes by fixed slot
+    offset at extension-init time, and mypyc compiles leaf modules to
+    native attribute access; both break — at runtime, on the compiled
+    build only — under patterns plain CPython tolerates:
+
+    * ``del obj.attr`` / ``delattr(...)`` empties a typed slot that
+      compiled readers assume is always filled;
+    * ``setattr(obj, name, ...)`` with a computed name can create
+      attributes no slot (hence no C offset) exists for;
+    * ``obj.__dict__`` reads assume an instance dict that slotted and
+      compiled instances do not have.
+
+    Because the failure only reproduces on a checkout that built the
+    extension, the lint flags the pattern on every build.
+    """
+
+    slug = "compiled-compat"
+    code = "REP205"
+    summary = (
+        "compiled-mirrored modules: no del-attribute/setattr/__dict__ "
+        "(breaks fixed-offset attribute access on the compiled build)"
+    )
+
+    def applies(self, mod: "ParsedModule") -> bool:  # noqa: F821
+        return mod.rel in _COMPILED_MODULES
+
+    def check(self, mod: "ParsedModule") -> Iterator[Finding]:  # noqa: F821
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.Delete):
+                for target in node.targets:
+                    if isinstance(target, ast.Attribute):
+                        yield self.finding(
+                            mod,
+                            target,
+                            f"del of attribute .{target.attr} in a "
+                            "compiled-mirrored module: emptying a typed "
+                            "slot breaks fixed-offset reads on the "
+                            "compiled build — assign None instead",
+                        )
+            elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Name
+            ):
+                if node.func.id in ("setattr", "delattr"):
+                    yield self.finding(
+                        mod,
+                        node,
+                        f"{node.func.id}() in a compiled-mirrored module: "
+                        "dynamic attribute names bypass the slot layout "
+                        "the compiled build resolves at init time — use "
+                        "a direct attribute assignment",
+                    )
+            elif isinstance(node, ast.Attribute) and node.attr == "__dict__":
+                yield self.finding(
+                    mod,
+                    node,
+                    "__dict__ access in a compiled-mirrored module: "
+                    "slotted/compiled instances have no instance dict — "
+                    "use object.__getstate__() or explicit attributes",
+                )
+
+
 # ----------------------------------------------------------------------
 # Hygiene family (REP3xx)
 # ----------------------------------------------------------------------
@@ -741,6 +820,7 @@ RULES: Tuple[Rule, ...] = (
     SlotsRule(),
     PostKwargsRule(),
     HandleMutationRule(),
+    CompiledCompatRule(),
     BroadExceptRule(),
     MutableDefaultRule(),
     FloatTimeEqRule(),

@@ -36,6 +36,15 @@ if TYPE_CHECKING:
     from repro.net.node import Node
     from repro.sim.engine import Simulator
 
+#: Compiled subclasses from ``repro._cext._core`` (None when the pure
+#: engine is active).  Written only by :mod:`repro.core.engine_select`;
+#: read by ``Link.__new__``, which upgrades links attached to a
+#: *compiled* simulator so the per-packet fast path stays in C
+#: end to end.  Links attached to a pure simulator stay pure even when
+#: the compiled engine is available.
+_COMPILED_LINK: Optional[type] = None
+_COMPILED_SIMULATOR: Optional[type] = None
+
 
 class Link:
     """One-way link ``src -> dst``.
@@ -140,6 +149,21 @@ class Link:
         # After node-level registration, so duplicate-link errors fire
         # before any simulator-level bookkeeping.
         sim.register_component(f"link:{self.name}", self)
+
+    def __new__(cls, sim: object = None, *args: Any, **kwargs: Any) -> "Link":
+        # Engine selection follows the simulator instance: see the
+        # matching hook on Simulator.  Unpickling calls __new__ with no
+        # arguments, which lands on the pure class (compiled instances
+        # carry their own engine-portable __reduce_ex__).
+        if (
+            cls is Link
+            and _COMPILED_LINK is not None
+            and _COMPILED_SIMULATOR is not None
+            and isinstance(sim, _COMPILED_SIMULATOR)
+        ):
+            new: Callable[..., "Link"] = _COMPILED_LINK.__new__
+            return new(_COMPILED_LINK)
+        return object.__new__(cls)
 
     # ------------------------------------------------------------------
     def enqueue(self, packet: Packet) -> None:

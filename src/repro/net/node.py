@@ -16,7 +16,7 @@ realized.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional, Protocol
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Protocol
 
 from repro.net.packet import Packet
 from repro.sim.errors import SimulationError
@@ -24,6 +24,13 @@ from repro.sim.errors import SimulationError
 if TYPE_CHECKING:
     from repro.net.link import Link
     from repro.sim.engine import Simulator
+
+#: Compiled subclasses from ``repro._cext._core`` (None when the pure
+#: engine is active).  Written only by :mod:`repro.core.engine_select`;
+#: read by ``Node.__new__`` — nodes attached to a compiled simulator
+#: forward packets in C (see docs/COMPILED.md).
+_COMPILED_NODE: Optional[type] = None
+_COMPILED_SIMULATOR: Optional[type] = None
 
 
 class Agent:
@@ -63,6 +70,19 @@ class PathPolicy(Protocol):
 
 class Node:
     """A named network node: links out, a static route table, local agents."""
+
+    def __new__(cls, sim: object = None, *args: Any, **kwargs: Any) -> "Node":
+        # Engine selection follows the simulator instance: see the
+        # matching hooks on Simulator and Link.
+        if (
+            cls is Node
+            and _COMPILED_NODE is not None
+            and _COMPILED_SIMULATOR is not None
+            and isinstance(sim, _COMPILED_SIMULATOR)
+        ):
+            new: Callable[..., "Node"] = _COMPILED_NODE.__new__
+            return new(_COMPILED_NODE)
+        return object.__new__(cls)
 
     def __init__(self, sim: "Simulator", name: str) -> None:
         self.sim = sim

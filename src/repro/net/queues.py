@@ -26,6 +26,18 @@ class Queue:
         enqueued: Count of packets accepted.
     """
 
+    # Slotted so the compiled engine (repro._cext._core) can resolve
+    # fixed attribute offsets for its DropTail fast path; also one less
+    # dict per link on the pure engine.
+    __slots__ = (
+        "capacity",
+        "_buffer",
+        "drops",
+        "enqueued",
+        "max_occupancy",
+        "obs",
+    )
+
     def __init__(self, capacity: int) -> None:
         if capacity < 1:
             raise ValueError(f"queue capacity must be >= 1, got {capacity}")
@@ -96,6 +108,8 @@ class Queue:
 class DropTailQueue(Queue):
     """FIFO queue that drops arrivals once full — the paper's loss model."""
 
+    __slots__ = ()
+
     def push(self, packet: Packet) -> bool:
         if len(self._buffer) >= self.capacity:
             self._reject()
@@ -111,6 +125,16 @@ class REDQueue(Queue):
     linearly from 0 at ``min_thresh`` to ``max_p`` at ``max_thresh``, then
     (gentle RED) from ``max_p`` to 1 at ``2 * max_thresh``.
     """
+
+    __slots__ = (
+        "min_thresh",
+        "max_thresh",
+        "max_p",
+        "weight",
+        "avg",
+        "_count_since_drop",
+        "_rng",
+    )
 
     def __init__(
         self,

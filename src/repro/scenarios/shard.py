@@ -106,11 +106,24 @@ class _ShardDriver:
 
     # ------------------------------------------------------------------
     def start(self) -> None:
-        """Arm the admission chain and the reaper."""
+        """Arm the admission chain and the reaper.
+
+        Both arms are posted as one batch.  The admission chain stays
+        lazy on purpose — one pending event per distinct start time, so
+        the flow iterator is never drained ahead of the clock and live
+        heap state stays bounded; the genuinely block-shaped schedules
+        (trace-replay injection) use :meth:`Simulator.post_batch` with
+        their full event list instead.
+        """
+        events = []
         if self._pending is not None:
-            self.sim.post(self._pending.start, self._admit)
+            events.append((self._pending.start, self._admit, None, ""))
         if self.reap_interval > 0:
-            self.sim.post_in(self.reap_interval, self._reap_tick)
+            events.append(
+                (self.sim.now + self.reap_interval, self._reap_tick, None, "")
+            )
+        if events:
+            self.sim.post_batch(events)
 
     def _admit(self) -> None:
         now = self.sim.now

@@ -61,6 +61,19 @@ _HeapEntry = Tuple[float, int, Any, Optional[Tuple[Any, ...]], str]
 # ``heapq.heappush`` (global + attribute) in the per-event schedulers.
 _heappush = heapq.heappush
 
+#: The compiled ``Simulator`` subclass from ``repro._cext._core``, or
+#: None when the pure engine is active.  Written only by
+#: :mod:`repro.core.engine_select`; read by ``Simulator.__new__``.
+_COMPILED_SIMULATOR: Optional[type] = None
+
+
+def _resolve_engine() -> Optional[type]:
+    """First-construction engine resolution (``REPRO_ENGINE``, default auto)."""
+    from repro.core import engine_select
+
+    engine_select.active()
+    return _COMPILED_SIMULATOR
+
 
 class Simulator:
     """Heap-based discrete-event scheduler with a seeded RNG registry.
@@ -125,6 +138,24 @@ class Simulator:
         # dispatch.  repro.checkpoint uses it to list what a snapshot
         # contains and to hand components back after a resume.
         self._components: Dict[str, Any] = {}
+
+    def __new__(cls, *args: Any, **kwargs: Any) -> "Simulator":
+        # Engine selection happens here, not at import time: constructing
+        # the *facade* class returns an instance of whichever build
+        # repro.core.engine_select has active (the compiled subclass when
+        # the extension is built and selected, this class otherwise).
+        # Late binding means import order never matters and one process
+        # can hold pure and compiled simulators side by side.  Explicit
+        # subclass construction (including the compiled class itself)
+        # passes straight through.
+        if cls is Simulator:
+            impl = _COMPILED_SIMULATOR
+            if impl is None:
+                impl = _resolve_engine()
+            if impl is not None:
+                new: Callable[..., "Simulator"] = impl.__new__
+                return new(impl)
+        return object.__new__(cls)
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -242,6 +273,55 @@ class Simulator:
         self._seq = seq + 1
         _heappush(self._heap, (self.now + delay, seq, callback, args, label))
         live = self._live + 1
+        self._live = live
+        profile = self._profile
+        if profile is not None and live > profile.heap_high_water:
+            profile.heap_high_water = live
+
+    def post_batch(
+        self,
+        events: "List[Tuple[float, Callable[..., Any], Optional[Tuple[Any, ...]], str]]",
+    ) -> None:
+        """Fire-and-forget a block of events in one bulk heap operation.
+
+        Each item is ``(time, callback, args, label)`` — the positional
+        signature of :meth:`post`.  Sequence numbers are allocated in
+        item order, so a batch is observably identical to posting the
+        items one by one (the heap's pop order depends only on
+        ``(time, seq)``, never on internal array layout); callers that
+        already hold a block of events — a trace replay schedule, the
+        shard driver's admission arrivals, a fault timeline — skip the
+        per-event ``heappush`` rebalancing and pay one O(n + k) heapify
+        instead of k O(log n) pushes.
+
+        Raises:
+            ScheduleInPastError: if any item's time is before the
+                current clock (the whole batch is rejected).
+        """
+        now = self.now
+        seq = self._seq
+        entries: List[_HeapEntry] = []
+        append = entries.append
+        for time, callback, args, label in events:
+            if time < now:
+                raise ScheduleInPastError(time, now)
+            append((time, seq, callback, args, label))
+            seq += 1
+        if not entries:
+            return
+        self._seq = seq
+        heap = self._heap
+        # Crossover: heapify touches the whole heap (O(n + k)), pushes
+        # cost O(k log n).  For small batches against a big heap, pushes
+        # win; for block-sized batches, heapify does.  Either branch
+        # yields a valid heap, so dispatch order is unaffected.
+        if len(entries) * 4 >= len(heap):
+            heap.extend(entries)
+            heapq.heapify(heap)
+        else:
+            for entry in entries:
+                _heappush(heap, entry)
+        live = self._live + len(entries)
         self._live = live
         profile = self._profile
         if profile is not None and live > profile.heap_high_water:
@@ -465,6 +545,39 @@ class Simulator:
         finally:
             self._dispatched = dispatched
             self._running = False
+
+    def _pop_due(self, until_cmp: float) -> Optional[Tuple[Any, ...]]:
+        """Pop the next live event due at or before ``until_cmp``.
+
+        Primitive for the compiled engine's general run loop (see
+        :func:`_run_general_compiled`); the compiled class overrides it
+        in C.  Pops lazily-deleted (cancelled) heads on the way, marks
+        handle-backed events dispatched, and decrements the live
+        counter — everything the run loops do *before* advancing the
+        clock.  Returns ``(time, callback, args, label)`` or None when
+        nothing is due.
+        """
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            target = entry[2]
+            if type(target) is EventHandle:
+                callback = target.callback
+                if callback is None:  # lazily-deleted (cancelled)
+                    heapq.heappop(heap)
+                    continue
+                if entry[0] > until_cmp:
+                    return None
+                heapq.heappop(heap)
+                target.callback = None  # mark dispatched
+            else:
+                callback = target
+                if entry[0] > until_cmp:
+                    return None
+                heapq.heappop(heap)
+            self._live -= 1
+            return (entry[0], callback, entry[3], entry[4])
+        return None
 
     def _run_checkpointed(
         self,
@@ -704,3 +817,95 @@ class Simulator:
             f"<Simulator t={self.now:.6f} pending={self._live} "
             f"dispatched={self._dispatched}>"
         )
+
+
+def _run_general_compiled(
+    sim: "Simulator",
+    until: Optional[float],
+    max_events: Optional[int],
+    deadline: Optional[float],
+    livelock_threshold: Optional[int],
+) -> None:
+    """General (watchdog/profile/sanitize) run loop for the compiled engine.
+
+    The compiled ``Simulator.run`` handles only the fast paths in C and
+    delegates here — a line-for-line mirror of the pure general loop in
+    :meth:`Simulator.run` — whenever watchdogs, profiling, or the
+    sanitizer are in play.  The per-event pop/cancel/mark-dispatched
+    work runs through the C ``_pop_due`` primitive, so the cost of
+    keeping this path in Python is one Python-level iteration per
+    *dispatched* event, which the watchdog checks dominate anyway.
+    Checked-path semantics (error types, messages, check cadence,
+    counter staleness) are identical between the builds by construction.
+    """
+    if sim._running:
+        raise SimulationError("Simulator.run() is not reentrant")
+    if deadline is not None and deadline <= 0:
+        raise ValueError(f"deadline must be positive, got {deadline}")
+    if livelock_threshold is not None and livelock_threshold <= 0:
+        raise ValueError(
+            f"livelock_threshold must be positive, got {livelock_threshold}"
+        )
+    sim._running = True
+    started_wall = _time.monotonic() if deadline is not None else 0.0
+    stalled = 0
+    dispatched = sim._dispatched
+    try:
+        profile = sim._profile
+        until_cmp = _INF if until is None else until
+        sanitize = sim.sanitize
+        if sanitize:
+            sim._audit_live()
+        pop_due = sim._pop_due
+        while True:
+            popped = pop_due(until_cmp)
+            if popped is None:
+                break
+            head_time, callback, args, label = popped
+            if livelock_threshold is not None:
+                if head_time > sim.now:
+                    stalled = 0
+                else:
+                    stalled += 1
+                    if stalled >= livelock_threshold:
+                        raise LivelockError(head_time, stalled)
+            if sanitize and head_time < sim.now:
+                raise InvariantViolation(
+                    "heap-time-monotonic",
+                    f"heap head fires at t={head_time!r} but the clock "
+                    f"is already at t={sim.now!r} (heap or clock was "
+                    "mutated behind the engine's back)",
+                )
+            sim.now = head_time
+            if profile is None:
+                if args is None:
+                    callback()
+                else:
+                    callback(*args)
+            else:
+                started = _time.perf_counter()
+                if args is None:
+                    callback()
+                else:
+                    callback(*args)
+                profile.record(label, _time.perf_counter() - started)
+            dispatched += 1
+            if sanitize and dispatched % _SANITIZE_AUDIT_INTERVAL == 0:
+                sim._audit_live()
+            if max_events is not None and dispatched >= max_events:
+                raise SimulationError(
+                    f"event budget exhausted ({max_events} events)"
+                )
+            if (
+                deadline is not None
+                and dispatched % _DEADLINE_CHECK_INTERVAL == 0
+                and _time.monotonic() - started_wall > deadline
+            ):
+                raise DeadlineExceededError(deadline, sim.now, dispatched)
+        if sanitize and not sim._heap:
+            sim._audit_live()  # drained heap must leave _live == 0
+        if until is not None and sim.now < until:
+            sim.now = until
+    finally:
+        sim._dispatched = dispatched
+        sim._running = False

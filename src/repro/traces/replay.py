@@ -120,10 +120,17 @@ class ReplaySource(Agent):
         self.injected = 0
 
     def start(self, at: float = 0.0) -> None:
-        for offset, seq in zip(self.profile.send_times, self.profile.send_seqs):
-            self.sim.schedule(
-                at + offset, self._emit, label="replay.send", args=(seq,)
-            )
+        # The whole send schedule is known up front — post it as one
+        # block (one heapify) instead of per-event heap pushes.
+        emit = self._emit
+        self.sim.post_batch(
+            [
+                (at + offset, emit, (seq,), "replay.send")
+                for offset, seq in zip(
+                    self.profile.send_times, self.profile.send_seqs
+                )
+            ]
+        )
 
     def _emit(self, seq: int) -> None:
         self.injected += 1

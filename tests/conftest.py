@@ -57,6 +57,7 @@ if not _HAVE_PYTEST_TIMEOUT and hasattr(signal, "SIGALRM"):
             signal.setitimer(signal.ITIMER_REAL, 0.0)
             signal.signal(signal.SIGALRM, previous)
 
+from repro.core import engine_select
 from repro.core.pr import PrConfig, TcpPrSender
 from repro.net.lossgen import LossModel
 from repro.net.network import Network, install_static_routes
@@ -136,3 +137,27 @@ def make_flow(
 @pytest.fixture
 def flow_factory():
     return make_flow
+
+
+#: Both hot-core builds (docs/COMPILED.md).  Suites that assert
+#: build-independent behavior — the golden-seed gate, the sanitizer —
+#: request the ``engine`` fixture to run once per build; the compiled
+#: leg auto-skips on checkouts without the C extension.
+ENGINE_PARAMS = [
+    "pure",
+    pytest.param(
+        "compiled",
+        marks=pytest.mark.skipif(
+            not engine_select.compiled_available(),
+            reason="compiled extension not built "
+            f"(`{engine_select.BUILD_HINT}`)",
+        ),
+    ),
+]
+
+
+@pytest.fixture(params=ENGINE_PARAMS)
+def engine(request):
+    """Force one engine build for the duration of a test."""
+    with engine_select.use_engine(request.param):
+        yield request.param

@@ -20,9 +20,11 @@ from repro.checkpoint import (
     CellPlan,
     cell_plan,
     checkpointable,
+    inspect_checkpoint,
     load_checkpoint,
     save_checkpoint,
 )
+from repro.core import engine_select
 from repro.core.pr import PrConfig
 from repro.experiments.fig6_multipath import (
     DEFAULT_INITIAL_SSTHRESH,
@@ -150,6 +152,78 @@ def test_checkpoint_every_does_not_perturb(tmp_path):
     assert flow.receiver.delivered == delivered
     assert inst.to_records() == records
     assert path.exists()  # the last boundary snapshot remains on disk
+
+
+# ----------------------------------------------------------------------
+# Cross-build portability (docs/COMPILED.md): a checkpoint written by
+# either engine build must load on either build and continue to the
+# same bit-identical result.
+# ----------------------------------------------------------------------
+_ENGINES = [
+    "pure",
+    pytest.param(
+        "compiled",
+        marks=pytest.mark.skipif(
+            not engine_select.compiled_available(),
+            reason="compiled extension not built "
+            f"(`{engine_select.BUILD_HINT}`)",
+        ),
+    ),
+]
+
+
+@pytest.mark.parametrize("save_engine", _ENGINES)
+@pytest.mark.parametrize("load_engine", _ENGINES)
+def test_checkpoint_round_trips_across_builds(
+    tmp_path, save_engine, load_engine
+):
+    variant, epsilon = CELLS[0]
+    delivered, records = _run_uninterrupted(variant, epsilon)
+
+    path = tmp_path / "cell.ckpt"
+    with engine_select.use_engine(save_engine):
+        _save_partial(variant, epsilon, path)
+    # The header records the producing build (provenance only).
+    assert inspect_checkpoint(path)["meta"]["engine"] == save_engine
+
+    packet_mod.reset_uid_counter(987654321)
+    with engine_select.use_engine(load_engine):
+        sim = Simulator.resume(path)
+        if load_engine == "pure":
+            assert type(sim) is Simulator
+        else:
+            assert type(sim) is not Simulator
+        assert sim.now == CUT
+        sim.run(until=DURATION)
+    assert sim.component("flow").receiver.delivered == delivered
+    assert sim.component("obs").to_records() == records
+
+
+@pytest.mark.parametrize("engine_mode", _ENGINES[1:])
+def test_checkpoint_every_round_trips_on_compiled(tmp_path, engine_mode):
+    """``run(checkpoint_every=...)`` must snapshot the compiled engine
+    mid-run without perturbing it (the compiled run() delegates to the
+    checkpointed driver, which snapshots at event boundaries)."""
+    variant, epsilon = CELLS[0]
+    delivered, records = _run_uninterrupted(variant, epsilon)
+
+    packet_mod.reset_uid_counter(0)
+    inst = Instrumentation(trace=True)
+    path = tmp_path / "periodic.ckpt"
+    with engine_select.use_engine(engine_mode):
+        with ambient(inst):
+            net, flow = _build_cell(variant, epsilon)
+            maybe_observe(net)
+            net.run(until=DURATION, checkpoint_every=1.5, checkpoint_path=path)
+    assert flow.receiver.delivered == delivered
+    assert inst.to_records() == records
+    assert path.exists()
+    assert inspect_checkpoint(path)["meta"]["engine"] == engine_mode
+    # The boundary snapshot is itself resumable — on either build.
+    packet_mod.reset_uid_counter(424242)
+    resumed = Simulator.resume(path)
+    resumed.run(until=DURATION)
+    assert resumed.now == DURATION
 
 
 # ----------------------------------------------------------------------

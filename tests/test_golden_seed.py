@@ -25,7 +25,10 @@ GOLDENS = goldenlib.load_goldens()
 
 
 @pytest.mark.parametrize("name", sorted(goldenlib.WORKLOADS))
-def test_bit_identical_to_seed(name):
+def test_bit_identical_to_seed(name, engine):
+    # The `engine` fixture runs every golden under BOTH hot-core builds
+    # (compiled leg skips when the extension is absent): the compiled
+    # engine must be bit-identical to the seed, not merely to pure.
     assert name in GOLDENS, (
         f"no committed golden for {name!r} — regenerate with "
         f"PYTHONPATH=src:tests python tests/goldenlib.py"
@@ -46,7 +49,7 @@ def _live_labels(sim):
     return labels
 
 
-def test_pr_flow_owns_one_drop_timer():
+def test_pr_flow_owns_one_drop_timer(engine):
     flow = conftest.make_flow("tcp-pr", seed=41)
     flow.run(until=5.0)
     assert flow.sender.to_be_ack, "flow went idle; nothing is guarded"
@@ -56,7 +59,7 @@ def test_pr_flow_owns_one_drop_timer():
     )
 
 
-def test_newreno_flow_owns_one_rto_timer():
+def test_newreno_flow_owns_one_rto_timer(engine):
     flow = conftest.make_flow("newreno", seed=43)
     flow.run(until=5.0)
     live = _live_labels(flow.network.sim)

@@ -403,6 +403,64 @@ def test_handle_mutation_pragma_suppressed():
 
 
 # ----------------------------------------------------------------------
+# REP205 compiled-compat
+# ----------------------------------------------------------------------
+def test_compiled_compat_positive_del_attribute():
+    src = """
+        def f(self):
+            del self._cache
+    """
+    assert flagged(src, "sim/engine.py", "compiled-compat")
+
+
+def test_compiled_compat_positive_setattr():
+    src = """
+        def restore(obj, state):
+            for name, value in state.items():
+                setattr(obj, name, value)
+    """
+    assert flagged(src, "net/link.py", "compiled-compat")
+
+
+def test_compiled_compat_positive_instance_dict():
+    src = """
+        def snapshot(self):
+            return dict(self.__dict__)
+    """
+    assert flagged(src, "net/node.py", "compiled-compat")
+
+
+def test_compiled_compat_negative_outside_allowlist():
+    """The same patterns are fine in modules with no compiled mirror."""
+    src = """
+        def restore(obj, state):
+            del obj.stale
+            for name, value in state.items():
+                setattr(obj, name, value)
+            return obj.__dict__
+    """
+    assert not flagged(src, "checkpoint/state.py", "compiled-compat")
+
+
+def test_compiled_compat_negative_none_assignment_and_del_local():
+    src = """
+        def f(self):
+            self._cache = None
+            scratch = []
+            del scratch
+    """
+    assert not flagged(src, "sim/engine.py", "compiled-compat")
+
+
+def test_compiled_compat_pragma_suppressed():
+    src = """
+        def f(self):
+            del self._cache  # lint: allow-compiled-compat(fixture reason)
+    """
+    assert not flagged(src, "sim/engine.py", "compiled-compat")
+
+
+# ----------------------------------------------------------------------
 # REP301 broad-except
 # ----------------------------------------------------------------------
 def test_broad_except_positive():

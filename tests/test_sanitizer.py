@@ -27,6 +27,13 @@ from repro.tcp.receiver import TcpReceiver
 from repro.tcp.registry import make_sender
 
 
+@pytest.fixture(autouse=True)
+def _both_engines(engine):
+    """Run the whole module once per hot-core build: the sanitizer's
+    checks (and the corruptions that trip them) must behave identically
+    on the pure and compiled engines."""
+
+
 def _single_flow(seed=0, sanitize=False):
     """One TCP-PR flow over a clean 2 Mbps / 10 ms link."""
     net = Network(seed=seed)
@@ -144,10 +151,13 @@ def test_detects_clock_regression():
 def test_detects_live_counter_drift():
     def corrupt(net, sender):
         # A raw heap entry smuggled in without bumping _live is caught
-        # by the run()-entry audit.
-        heapq.heappush(
-            net.sim._heap, (1.5, 10**9, (lambda: None), None, "bogus")
-        )
+        # by the run()-entry audit.  Smuggled by *assignment* rather
+        # than in-place heappush: the compiled engine materializes
+        # ``_heap`` on read, so only the setter reaches its real heap
+        # (the assignment form corrupts both engine builds equally).
+        heap = net.sim._heap
+        heapq.heappush(heap, (1.5, 10**9, (lambda: None), None, "bogus"))
+        net.sim._heap = heap
 
     assert _corrupt_and_resume(corrupt).invariant == "live-counter"
 
