@@ -68,6 +68,21 @@ def restore_object(obj: Any, state: Mapping[str, Any]) -> None:
         setattr(obj, name, copy.deepcopy(value))
 
 
+#: Constructor-parameter names that conventionally carry engine wiring
+#: (a simulator, a peer component, an obs sink).  An attribute assigned
+#: straight from one of these is wiring, not logical state — it must
+#: appear in the class's ``_SNAPSHOT_EXCLUDE`` or a checkpoint will try
+#: to deep-copy half the object graph.  The static checker
+#: (``repro lint --deep``, REP402) enforces exactly this contract, so
+#: the vocabulary lives here next to the protocol it protects.
+WIRING_PARAM_NAMES: FrozenSet[str] = frozenset(
+    {
+        "sim", "simulator", "link", "node", "queue", "sender", "receiver",
+        "agent", "network", "obs", "probe", "src", "dst",
+    }
+)
+
+
 # ----------------------------------------------------------------------
 # Process-global counters that must survive a resume in a new process.
 # ----------------------------------------------------------------------

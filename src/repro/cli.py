@@ -602,24 +602,62 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    """Run the project lint pass (see :mod:`repro.lint`)."""
+    """Run the project lint pass (see :mod:`repro.lint`).
+
+    Exit codes: 0 clean, 1 findings, 2 internal analyzer error — CI can
+    tell "the tree is dirty" from "the linter itself broke".
+    """
     import json as _json
 
-    from repro.lint import RULES, lint_paths
+    from repro.lint import DEEP_RULES, RULES, run_analysis, to_sarif
+    from repro.lint.deep import DEFAULT_CACHE_DIR
 
     if args.list_rules:
-        width = max(len(rule.slug) for rule in RULES)
-        for rule in RULES:
-            print(f"{rule.code}  {rule.slug:<{width}}  {rule.summary}")
+        catalog = [(r.code, r.slug, r.summary) for r in RULES]
+        catalog.extend((r.code, r.slug, r.summary) for r in DEEP_RULES)
+        width = max(len(slug) for _code, slug, _summary in catalog)
+        for code, slug, summary in catalog:
+            print(f"{code}  {slug:<{width}}  {summary}")
         return 0
-    findings = lint_paths(args.paths)
-    if args.lint_json:
-        print(_json.dumps([finding.to_record() for finding in findings]))
+    select = [
+        prefix
+        for chunk in (args.select or [])
+        for prefix in chunk.split(",")
+        if prefix.strip()
+    ]
+    result = run_analysis(
+        args.paths,
+        deep=args.deep,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir or DEFAULT_CACHE_DIR,
+        jobs=args.jobs,
+        select=select or None,
+    )
+    findings = result.findings
+    fmt = "json" if args.lint_json else args.lint_format
+    if fmt == "json":
+        text = _json.dumps([finding.to_record() for finding in findings])
+    elif fmt == "sarif":
+        text = _json.dumps(to_sarif(findings), indent=2, sort_keys=True)
     else:
-        for finding in findings:
-            print(finding.format())
+        lines = [finding.format() for finding in findings]
         noun = "finding" if len(findings) == 1 else "findings"
-        print(f"{len(findings)} {noun}")
+        lines.append(f"{len(findings)} {noun}")
+        text = "\n".join(lines)
+    if args.output:
+        Path(args.output).write_text(text + "\n")
+        print(f"[lint report written to {args.output}]")
+    else:
+        print(text)
+    if args.stats:
+        print(
+            "lint-stats: " + _json.dumps(result.stats.to_record()),
+            file=sys.stderr,
+        )
+    for error in result.errors:
+        print(f"lint internal error: {error}", file=sys.stderr)
+    if result.errors:
+        return 2
     return 1 if findings else 0
 
 
@@ -788,8 +826,13 @@ def _cmd_bench_report(args: argparse.Namespace) -> int:
     results_dir = Path(args.dir)
     files = sorted(results_dir.glob("BENCH_*.json"))
     if not files:
-        print(f"error: no BENCH_*.json files under {results_dir}",
-              file=sys.stderr)
+        where = results_dir if results_dir.is_dir() else f"{results_dir} (no such directory)"
+        print(
+            f"no BENCH_*.json found under {where}; run the tier-2 "
+            "benchmarks (pytest -m 'bench_smoke or bench_scale') or pass "
+            "--dir pointing at committed results",
+            file=sys.stderr,
+        )
         return 1
     report: Dict[str, Dict[str, Any]] = {}
     for path in files:
@@ -808,6 +851,14 @@ def _cmd_bench_report(args: argparse.Namespace) -> int:
             for bench, metrics in report.items()
             for metric, value in metrics.items()
         ]
+        if not rows:
+            names = ", ".join(path.name for path in files)
+            print(
+                f"no reportable metrics in {names}; the files parsed but "
+                "hold no numeric or string leaves",
+                file=sys.stderr,
+            )
+            return 1
         widths = [
             max(len(header), *(len(row[col]) for row in rows))
             for col, header in enumerate(("benchmark", "metric", "value"))
@@ -988,15 +1039,66 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories to lint (default: src/repro)",
     )
     lint.add_argument(
+        "--deep",
+        action="store_true",
+        help="also run the whole-program passes (interprocedural "
+        "determinism taint REP11x, cross-artifact drift REP4xx)",
+    )
+    lint.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="parallel parse workers (default: min(cpu, 8); 1 = serial)",
+    )
+    lint.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not update the incremental analysis cache",
+    )
+    lint.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="analysis cache location (default: .repro-cache/lint)",
+    )
+    lint.add_argument(
+        "--select",
+        action="append",
+        default=None,
+        metavar="PREFIX[,PREFIX...]",
+        help="only report findings whose code matches a prefix "
+        "(e.g. --select REP1 for the determinism family)",
+    )
+    lint.add_argument(
+        "--format",
+        dest="lint_format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="output format (default: text)",
+    )
+    lint.add_argument(
         "--json",
         dest="lint_json",
         action="store_true",
-        help="emit findings as a JSON array instead of text",
+        help="alias for --format json",
+    )
+    lint.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write the report to PATH instead of stdout",
+    )
+    lint.add_argument(
+        "--stats",
+        action="store_true",
+        help="print cache hit/miss statistics to stderr",
     )
     lint.add_argument(
         "--list-rules",
         action="store_true",
-        help="print the rule catalog and exit",
+        help="print the rule catalog (shallow + deep) and exit",
     )
     lint.set_defaults(func=_cmd_lint)
 

@@ -25,6 +25,7 @@ a pragma without one is itself a finding.
 
 from __future__ import annotations
 
+from repro.lint.deep import AnalysisResult, run_analysis
 from repro.lint.engine import (
     ParsedModule,
     iter_python_files,
@@ -33,17 +34,31 @@ from repro.lint.engine import (
     parse_module,
 )
 from repro.lint.findings import Finding, parse_pragmas
-from repro.lint.rules import RULES, Rule, rule_by_slug
+from repro.lint.rules import (
+    DEEP_RULES,
+    RULES,
+    DeepRuleInfo,
+    Rule,
+    deep_rule_by_slug,
+    rule_by_slug,
+)
+from repro.lint.sarif import to_sarif
 
 __all__ = [
+    "AnalysisResult",
+    "DEEP_RULES",
+    "DeepRuleInfo",
     "Finding",
     "ParsedModule",
     "RULES",
     "Rule",
+    "deep_rule_by_slug",
     "iter_python_files",
     "lint_paths",
     "lint_source",
     "parse_module",
     "parse_pragmas",
     "rule_by_slug",
+    "run_analysis",
+    "to_sarif",
 ]

@@ -1,0 +1,148 @@
+"""Call-graph construction over module summaries.
+
+Functions are identified by ``"dotted.module:Qual.name"`` strings
+(*function ids*).  Resolution is deliberately conservative: a call is
+linked only when the target is statically unambiguous —
+
+* a bare name defined in (or imported into) the calling module,
+* ``self.method()`` / ``cls.method()`` resolved through the class and
+  its project-resolvable bases,
+* ``mod.func()`` where ``mod`` is an imported project module, and
+* ``Class.method()`` through an imported class.
+
+Attribute calls on arbitrary objects stay unresolved; the taint pass
+treats unresolved calls as clean rather than guessing, which keeps the
+REP11x family free of cross-object false positives at the cost of not
+seeing flows through duck-typed indirection.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.lint.project import FunctionSummary, ModuleSummary, Project
+
+__all__ = ["CallGraph", "build_callgraph", "function_id"]
+
+
+def function_id(module: str, qualname: str) -> str:
+    return f"{module}:{qualname}"
+
+
+class CallGraph:
+    """Resolved call edges between project functions."""
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        #: function id -> its summary.
+        self.functions: Dict[str, FunctionSummary] = {}
+        #: function id -> module summary that owns it.
+        self.owner: Dict[str, ModuleSummary] = {}
+        #: caller id -> ((callee id, call line), ...).
+        self.edges: Dict[str, Tuple[Tuple[str, int], ...]] = {}
+        for mod_name, summary in project.modules.items():
+            for qualname, fn in summary.functions.items():
+                fid = function_id(mod_name, qualname)
+                self.functions[fid] = fn
+                self.owner[fid] = summary
+        for fid, fn in self.functions.items():
+            summary = self.owner[fid]
+            resolved: List[Tuple[str, int]] = []
+            for raw, line in fn.calls:
+                callee = self.resolve_call(summary, fn, raw)
+                if callee is not None:
+                    resolved.append((callee, line))
+            self.edges[fid] = tuple(resolved)
+
+    # -- resolution ----------------------------------------------------
+    def _lookup_in_module(
+        self, module: str, name: str
+    ) -> Optional[str]:
+        """``name`` (``func`` or ``Class.method``) defined in ``module``."""
+        summary = self.project.modules.get(module)
+        if summary is None:
+            return None
+        if name in summary.functions:
+            return function_id(module, name)
+        # A class name used as a constructor: treat as its __init__.
+        if name in summary.classes:
+            init = f"{name}.__init__"
+            if init in summary.functions:
+                return function_id(module, init)
+        return None
+
+    def _resolve_dotted(
+        self, summary: ModuleSummary, dotted: str
+    ) -> Optional[str]:
+        """Resolve a fully dotted target (``repro.sim.rng.stream``)."""
+        owner = self.project._resolve_module(dotted)
+        if owner is None:
+            return None
+        tail = dotted[len(owner) + 1 :] if dotted != owner else ""
+        if not tail:
+            return None
+        return self._lookup_in_module(owner, tail)
+
+    def _resolve_method(
+        self, summary: ModuleSummary, class_name: str, method: str
+    ) -> Optional[str]:
+        for owner_mod, klass in self.project.class_mro(
+            summary.module, class_name
+        ):
+            if method in klass.methods:
+                return function_id(owner_mod, f"{klass.name}.{method}")
+        return None
+
+    def resolve_call(
+        self, summary: ModuleSummary, caller: FunctionSummary, raw: str
+    ) -> Optional[str]:
+        """Resolve one raw call-site name to a function id, or None."""
+        head, _, rest = raw.partition(".")
+        if not rest:
+            # Bare name: local function, constructor, or imported callable.
+            local = self._lookup_in_module(summary.module, raw)
+            if local is not None:
+                return local
+            target = summary.bindings.get(raw)
+            if target is not None:
+                resolved = self._resolve_dotted(summary, target)
+                if resolved is not None:
+                    return resolved
+                # Imported class constructor.
+                owner = self.project._resolve_module(target)
+                if owner is not None and target != owner:
+                    return self._lookup_in_module(
+                        owner, target[len(owner) + 1 :]
+                    )
+            return None
+        if head in ("self", "cls") and caller.owner:
+            if "." in rest:
+                return None  # self.attr.method() — unresolved
+            return self._resolve_method(summary, caller.owner, rest)
+        target = summary.bindings.get(head)
+        if target is not None:
+            dotted = f"{target}.{rest}"
+            resolved = self._resolve_dotted(summary, dotted)
+            if resolved is not None:
+                return resolved
+            # `SomeClass.method(...)` through an imported class.
+            owner = self.project._resolve_module(target)
+            if owner is not None and target != owner and "." not in rest:
+                class_name = target[len(owner) + 1 :]
+                owner_summary = self.project.modules.get(owner)
+                if (
+                    owner_summary is not None
+                    and class_name in owner_summary.classes
+                ):
+                    return self._resolve_method(
+                        owner_summary, class_name, rest
+                    )
+            return None
+        # Same-module `Class.method(...)`.
+        if head in summary.classes and "." not in rest:
+            return self._resolve_method(summary, head, rest)
+        return None
+
+
+def build_callgraph(project: Project) -> CallGraph:
+    return CallGraph(project)

@@ -1,0 +1,333 @@
+"""Orchestration for ``repro lint``: cached parsing, parallel analysis,
+and the whole-program (``--deep``) passes.
+
+The per-file stage (read → parse → shallow rules → summarize) is a pure
+function of the file's source, so it is cached content-addressed and
+fanned out over a process pool when enough files miss.  The deep stage
+(taint + cross-artifact) is a pure function of the project summaries
+plus the non-Python artifacts, cached per module keyed by its
+transitive-import closure — see :mod:`repro.lint.cache` for the keying
+discipline.
+
+Internal analyzer errors are collected on a separate channel from
+findings: the CLI maps findings to exit 1 and analyzer errors to
+exit 2, so CI can distinguish "the tree is dirty" from "the linter is
+broken".
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.lint.cache import CacheStats, LintCache, content_digest
+from repro.lint.callgraph import build_callgraph
+from repro.lint.engine import iter_python_files, parse_module, _check_module
+from repro.lint.findings import Finding, is_suppressed
+from repro.lint.project import ModuleSummary, Project, summarize_module
+from repro.lint.rules import RULES
+from repro.lint.taint import analyze_taint
+from repro.lint.xartifact import (
+    Artifacts,
+    analyze_xartifact,
+    discover_package_root,
+)
+
+__all__ = ["AnalysisResult", "DEFAULT_CACHE_DIR", "run_analysis"]
+
+DEFAULT_CACHE_DIR = os.path.join(".repro-cache", "lint")
+
+#: Pseudo-module key for deep findings attributed to non-Python
+#: artifacts (mirror manifest, C source).
+_PSEUDO = "<artifacts>"
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one ``repro lint`` invocation produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    stats: CacheStats = field(default_factory=CacheStats)
+    #: Internal analyzer failures (not findings): "path: message".
+    errors: List[str] = field(default_factory=list)
+
+
+def _analyze_file(path: str) -> Dict[str, Any]:
+    """Per-file stage, shaped for both in-process and pool execution.
+
+    Returns a picklable payload: ``status`` is ``ok`` (summary +
+    findings), ``finding`` (an REP000 pseudo-finding for io/syntax
+    problems), or ``error`` (an internal analyzer fault).
+    """
+    try:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            return {
+                "status": "finding",
+                "path": path,
+                "record": Finding(
+                    rule="io-error",
+                    code="REP000",
+                    path=path,
+                    line=1,
+                    col=0,
+                    message=f"cannot read file: {exc}",
+                ).to_record(),
+            }
+        try:
+            mod = parse_module(path, source)
+        except SyntaxError as exc:
+            return {
+                "status": "finding",
+                "path": path,
+                "record": Finding(
+                    rule="syntax-error",
+                    code="REP000",
+                    path=path,
+                    line=exc.lineno or 1,
+                    col=exc.offset or 0,
+                    message=f"syntax error: {exc.msg}",
+                ).to_record(),
+            }
+        findings = _check_module(mod, RULES)
+        summary = summarize_module(mod)
+        return {
+            "status": "ok",
+            "path": path,
+            "source": source,
+            "summary": summary.to_jsonable(),
+            "findings": [f.to_record() for f in findings],
+        }
+    except Exception as exc:  # lint: allow-broad-except(analyzer-fault channel: any bug in a rule or the summarizer must surface as exit 2, not crash the whole run)
+        return {
+            "status": "error",
+            "path": path,
+            "message": f"{type(exc).__name__}: {exc}",
+        }
+
+
+def _run_file_stage(
+    files: Sequence[str],
+    cache: LintCache,
+    stats: CacheStats,
+    jobs: int,
+) -> Tuple[List[Finding], Dict[str, ModuleSummary], Dict[str, str], List[str]]:
+    """Read/parse/summarize every file, through the cache.
+
+    Returns ``(shallow findings, summaries by path, source digest by
+    path, errors)``.
+    """
+    findings: List[Finding] = []
+    summaries: Dict[str, ModuleSummary] = {}
+    digests: Dict[str, str] = {}
+    errors: List[str] = []
+    misses: List[str] = []
+    miss_keys: Dict[str, str] = {}
+
+    for path in files:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            findings.append(
+                Finding(
+                    rule="io-error",
+                    code="REP000",
+                    path=path,
+                    line=1,
+                    col=0,
+                    message=f"cannot read file: {exc}",
+                )
+            )
+            continue
+        key = cache.module_key(source)
+        entry = cache.load_module(key)
+        if entry is not None:
+            try:
+                summary = ModuleSummary.from_jsonable(entry["summary"])
+                cached = [
+                    Finding.from_record(record)
+                    for record in entry.get("findings", ())
+                ]
+            except (KeyError, TypeError, ValueError):
+                entry = None  # corrupt entry: fall through to a miss
+            else:
+                stats.parse_hits += 1
+                summaries[path] = summary
+                digests[path] = content_digest(source)
+                findings.extend(cached)
+        if entry is None:
+            misses.append(path)
+            miss_keys[path] = key
+            digests[path] = content_digest(source)
+
+    results = _analyze_many(misses, jobs)
+    for payload in results:
+        path = str(payload["path"])
+        status = payload["status"]
+        if status == "ok":
+            stats.parse_misses += 1
+            summary = ModuleSummary.from_jsonable(payload["summary"])
+            fresh = [
+                Finding.from_record(record)
+                for record in payload["findings"]
+            ]
+            summaries[path] = summary
+            findings.extend(fresh)
+            key = miss_keys.get(path) or cache.module_key(
+                str(payload["source"])
+            )
+            cache.store_module(key, summary, fresh)
+        elif status == "finding":
+            findings.append(Finding.from_record(payload["record"]))
+            digests.pop(path, None)
+        else:
+            errors.append(f"{path}: {payload['message']}")
+            digests.pop(path, None)
+    return findings, summaries, digests, errors
+
+
+def _analyze_many(paths: Sequence[str], jobs: int) -> List[Dict[str, Any]]:
+    """Fan the per-file stage out over a pool, falling back to serial."""
+    if jobs > 1 and len(paths) > 3:
+        try:
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=jobs
+            ) as pool:
+                return list(pool.map(_analyze_file, paths))
+        except Exception:  # lint: allow-broad-except(a pool that cannot start or dies mid-flight — no semaphores, fork forbidden — must degrade to the serial path, not abort the lint)
+            pass
+    return [_analyze_file(path) for path in paths]
+
+
+def _deep_stage(
+    summaries: Dict[str, ModuleSummary],
+    digests: Dict[str, str],
+    cache: LintCache,
+    stats: CacheStats,
+) -> Tuple[List[Finding], List[str]]:
+    """The whole-program passes, through the per-module deep cache."""
+    project = Project(summaries.values())
+    package_root = discover_package_root(project)
+    artifacts = (
+        Artifacts.from_package_root(package_root)
+        if package_root is not None
+        else Artifacts(digest="no-artifacts")
+    )
+
+    module_digest = {
+        summary.module: digests[path]
+        for path, summary in summaries.items()
+        if path in digests
+    }
+    project_digest = content_digest(
+        "\x00".join(sorted(module_digest.values()))
+    )
+    # Adding/removing a module can change name resolution in modules
+    # whose own closure is untouched, so the module-name roster is part
+    # of every deep key (editing a module never changes it).
+    roster_digest = content_digest("\x00".join(sorted(project.modules)))
+
+    keys: Dict[str, str] = {}
+    for name, summary in project.modules.items():
+        if name not in module_digest:
+            continue
+        dep_digests = [
+            module_digest[dep]
+            for dep in project.transitive_deps(name)
+            if dep in module_digest
+        ]
+        dep_digests.append(roster_digest)
+        keys[name] = cache.deep_key(
+            module_digest[name], dep_digests, artifacts.digest
+        )
+    keys[_PSEUDO] = cache.deep_key(project_digest, (), artifacts.digest)
+
+    cached: Dict[str, List[Finding]] = {}
+    missed: List[str] = []
+    for name in sorted(keys):
+        records = cache.load_deep(keys[name])
+        if records is None:
+            missed.append(name)
+        else:
+            cached[name] = [Finding.from_record(r) for r in records]
+    stats.deep_hits += len(cached)
+    stats.deep_misses += len(missed)
+    stats.reanalyzed.extend(
+        project.modules[name].rel for name in missed if name in project.modules
+    )
+
+    findings: List[Finding] = []
+    errors: List[str] = []
+    for rows in cached.values():
+        findings.extend(rows)
+    if missed:
+        try:
+            graph = build_callgraph(project)
+            computed = analyze_taint(graph)
+            computed.extend(analyze_xartifact(project, artifacts))
+        except Exception as exc:  # lint: allow-broad-except(analyzer-fault channel: a bug in the deep passes must surface as exit 2, not a traceback)
+            errors.append(f"deep analysis failed: {type(exc).__name__}: {exc}")
+            return findings, errors
+        by_path = {summary.path: summary for summary in project.modules.values()}
+        by_module: Dict[str, List[Finding]] = {name: [] for name in keys}
+        for finding in computed:
+            owner = by_path.get(finding.path)
+            if owner is not None and is_suppressed(finding, owner.pragmas):
+                continue
+            bucket = owner.module if owner is not None else _PSEUDO
+            by_module.setdefault(bucket, []).append(finding)
+        for name in missed:
+            rows = by_module.get(name, [])
+            findings.extend(rows)
+            cache.store_deep(keys[name], rows)
+    return findings, errors
+
+
+def run_analysis(
+    paths: Sequence[str],
+    *,
+    deep: bool = False,
+    use_cache: bool = True,
+    cache_dir: str = DEFAULT_CACHE_DIR,
+    jobs: Optional[int] = None,
+    select: Optional[Sequence[str]] = None,
+) -> AnalysisResult:
+    """Run the linter over ``paths``; the single entry point the CLI uses.
+
+    ``select`` filters the final findings to codes matching any of the
+    given prefixes (``["REP1"]`` keeps the determinism family only).
+    """
+    if jobs is None or jobs <= 0:
+        jobs = min(os.cpu_count() or 1, 8)
+    cache = LintCache(cache_dir, enabled=use_cache)
+    result = AnalysisResult(stats=CacheStats(enabled=use_cache))
+
+    files = list(iter_python_files(paths))
+    shallow, summaries, digests, errors = _run_file_stage(
+        files, cache, result.stats, jobs
+    )
+    result.findings.extend(shallow)
+    result.errors.extend(errors)
+
+    if deep and summaries:
+        deep_findings, deep_errors = _deep_stage(
+            summaries, digests, cache, result.stats
+        )
+        result.findings.extend(deep_findings)
+        result.errors.extend(deep_errors)
+
+    if select:
+        prefixes = tuple(prefix.strip() for prefix in select if prefix.strip())
+        if prefixes:
+            result.findings = [
+                finding
+                for finding in result.findings
+                if finding.code.startswith(prefixes)
+            ]
+    result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return result

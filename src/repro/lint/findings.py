@@ -40,8 +40,17 @@ class Finding:
         code: Stable rule code (``REP101`` ...).
         path: Path of the offending file, as given to the linter.
         line: 1-based line number.
-        col: 0-based column offset.
+        col: 0-based column offset (the text formatter prints it
+            1-based, editor-style; ``to_record`` keeps the raw offset).
         message: Human-readable description of the violation.
+        trace: For interprocedural findings, the call path from the
+            reported site back to the nondeterministic origin — one
+            ``"name() at path:line"`` string per hop.
+        suppress_lines: Extra lines (beyond the finding's own line and
+            the line above) where a pragma counts as covering this
+            finding — the ``def``/first-decorator lines of a decorated
+            definition.  Presentation metadata: not part of the record
+            schema.
     """
 
     rule: str
@@ -50,11 +59,21 @@ class Finding:
     line: int
     col: int
     message: str
+    trace: Tuple[str, ...] = ()
+    suppress_lines: Tuple[int, ...] = ()
 
     def format(self) -> str:
-        return f"{self.path}:{self.line}:{self.col}: {self.code} [{self.rule}] {self.message}"
+        text = (
+            f"{self.path}:{self.line}:{self.col + 1}: "
+            f"{self.code} [{self.rule}] {self.message}"
+        )
+        for hop in self.trace:
+            text += f"\n    via {hop}"
+        return text
 
     def to_record(self) -> Dict[str, object]:
+        """The stable record schema (pinned by a golden test) — the
+        ``suppress_lines`` presentation metadata is deliberately absent."""
         return {
             "rule": self.rule,
             "code": self.code,
@@ -62,7 +81,23 @@ class Finding:
             "line": self.line,
             "col": self.col,
             "message": self.message,
+            "trace": list(self.trace),
         }
+
+    @classmethod
+    def from_record(cls, record: Dict[str, object]) -> "Finding":
+        """Rebuild a finding from :meth:`to_record` output (cache load)."""
+        return cls(
+            rule=str(record["rule"]),
+            code=str(record["code"]),
+            path=str(record["path"]),
+            line=int(record["line"]),  # type: ignore[call-overload]
+            col=int(record["col"]),  # type: ignore[call-overload]
+            message=str(record["message"]),
+            trace=tuple(
+                str(hop) for hop in record.get("trace", ())  # type: ignore[union-attr]
+            ),
+        )
 
 
 def parse_pragmas(
@@ -132,9 +167,12 @@ def parse_pragmas(
 def is_suppressed(
     finding: Finding, pragmas: Dict[int, List[Tuple[str, str]]]
 ) -> bool:
-    """True when a pragma on the finding's line (or the line above) names
-    its rule."""
-    for line in (finding.line, finding.line - 1):
+    """True when a pragma on the finding's line (or the line above, or a
+    declared extra anchor line such as a decorated ``def``) names its
+    rule."""
+    candidates = {finding.line, finding.line - 1}
+    candidates.update(finding.suppress_lines)
+    for line in sorted(candidates):
         for slug, _reason in pragmas.get(line, ()):
             if slug == finding.rule:
                 return True

@@ -22,7 +22,14 @@ from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.lint.findings import Finding
 
-__all__ = ["Rule", "RULES", "rule_by_slug"]
+__all__ = [
+    "DEEP_RULES",
+    "DeepRuleInfo",
+    "RULES",
+    "Rule",
+    "deep_rule_by_slug",
+    "rule_by_slug",
+]
 
 
 class Rule:
@@ -43,8 +50,20 @@ class Rule:
         raise NotImplementedError
 
     def finding(
-        self, mod: "ParsedModule", node: ast.AST, message: str  # noqa: F821
+        self,
+        mod: "ParsedModule",  # noqa: F821
+        node: ast.AST,
+        message: str,
+        anchor: Optional[ast.AST] = None,
     ) -> Finding:
+        """Build a finding at ``node``.
+
+        ``anchor`` (default: ``node`` itself) is the definition the
+        finding belongs to; when it is a decorated ``def``/``class``,
+        a pragma above the first decorator — or on/above the ``def``
+        line itself — also suppresses the finding, so callers never
+        have to thread a comment between decorators and signature.
+        """
         return Finding(
             rule=self.slug,
             code=self.code,
@@ -52,7 +71,20 @@ class Rule:
             line=getattr(node, "lineno", 1),
             col=getattr(node, "col_offset", 0),
             message=message,
+            suppress_lines=_anchor_lines(anchor if anchor is not None else node),
         )
+
+
+def _anchor_lines(node: ast.AST) -> Tuple[int, ...]:
+    """Extra pragma-anchor lines for a decorated definition: the ``def``
+    line, the line above it (below the last decorator), and the line
+    above the first decorator."""
+    decorators = getattr(node, "decorator_list", None)
+    if not decorators:
+        return ()
+    lineno = getattr(node, "lineno", 1)
+    first = min(dec.lineno for dec in decorators)
+    return (lineno, lineno - 1, first - 1)
 
 
 # ----------------------------------------------------------------------
@@ -761,6 +793,7 @@ class MutableDefaultRule(Rule):
                         default,
                         f"mutable default argument in {node.name}(): shared "
                         "across calls; default to None and construct inside",
+                        anchor=node,
                     )
 
 
@@ -832,3 +865,69 @@ _BY_SLUG: Dict[str, Rule] = {rule.slug: rule for rule in RULES}
 def rule_by_slug(slug: str) -> Optional[Rule]:
     """Look a rule up by its pragma slug."""
     return _BY_SLUG.get(slug)
+
+
+# ----------------------------------------------------------------------
+# Deep (whole-program) rule catalog
+# ----------------------------------------------------------------------
+class DeepRuleInfo:
+    """Catalog metadata for a pass-based rule.
+
+    The interprocedural and cross-artifact rules are not per-module AST
+    visitors — they run as whole-program passes (:mod:`repro.lint.taint`,
+    :mod:`repro.lint.xartifact`) under ``repro lint --deep``.  This
+    record gives them the same catalog surface (code, pragma slug,
+    ``--list-rules`` summary) as the syntactic rules.
+    """
+
+    __slots__ = ("slug", "code", "summary")
+
+    def __init__(self, slug: str, code: str, summary: str) -> None:
+        self.slug = slug
+        self.code = code
+        self.summary = summary
+
+
+#: Whole-program rules, in catalog order.  REP11x extends the REP10x
+#: determinism family across call/return boundaries; REP4xx checks the
+#: python tree against its sibling artifacts (the C mirror, the
+#: checkpoint contract, the observability schema docs).
+DEEP_RULES: Tuple[DeepRuleInfo, ...] = (
+    DeepRuleInfo(
+        "taint-state",
+        "REP111",
+        "no nondeterministic value may reach simulation state, even "
+        "through call chains (path-reported)",
+    ),
+    DeepRuleInfo(
+        "taint-schedule",
+        "REP112",
+        "no nondeterministic value may reach an event time argument "
+        "(schedule/post/post_in), even through call chains",
+    ),
+    DeepRuleInfo(
+        "c-mirror-drift",
+        "REP401",
+        "pure Simulator/Link/Node surface must be mirrored by the C "
+        "extension tables or declared delegated in mirror_manifest.json",
+    ),
+    DeepRuleInfo(
+        "snapshot-drift",
+        "REP402",
+        "component wiring attributes must be listed in _SNAPSHOT_EXCLUDE; "
+        "excluded names must exist",
+    ),
+    DeepRuleInfo(
+        "obs-schema-drift",
+        "REP403",
+        "emitted repro.obs/v1 record fields must match the schema tables "
+        "in docs/OBSERVABILITY.md",
+    ),
+)
+
+_DEEP_BY_SLUG: Dict[str, DeepRuleInfo] = {info.slug: info for info in DEEP_RULES}
+
+
+def deep_rule_by_slug(slug: str) -> Optional[DeepRuleInfo]:
+    """Look a whole-program rule up by its pragma slug."""
+    return _DEEP_BY_SLUG.get(slug)

@@ -1,0 +1,108 @@
+"""SARIF 2.1.0 serialization of lint findings.
+
+One run, one driver (``repro-lint``), rule metadata drawn from the
+static catalogs so GitHub code scanning can render per-rule help.  Only
+the stable subset of SARIF is emitted — ``ruleId``, ``message``, one
+physical location per result — which is exactly what the PR-annotation
+pipeline consumes.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Sequence
+
+from repro.lint.findings import Finding
+from repro.lint.rules import DEEP_RULES, RULES
+
+__all__ = ["SARIF_VERSION", "to_sarif"]
+
+SARIF_VERSION = "2.1.0"
+_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Pseudo-rules emitted by the engine rather than the catalogs.
+_PSEUDO_RULES = (
+    ("REP000", "io-error", "file could not be read or parsed"),
+    ("REP001", "pragma", "malformed or reasonless suppression pragma"),
+)
+
+
+def _rule_catalog() -> List[Dict[str, Any]]:
+    rules: List[Dict[str, Any]] = []
+    seen = set()
+    for code, slug, summary in _PSEUDO_RULES:
+        rules.append(
+            {
+                "id": code,
+                "name": slug,
+                "shortDescription": {"text": summary},
+            }
+        )
+        seen.add(code)
+    for rule in RULES:
+        if rule.code not in seen:
+            seen.add(rule.code)
+            rules.append(
+                {
+                    "id": rule.code,
+                    "name": rule.slug,
+                    "shortDescription": {"text": rule.summary},
+                }
+            )
+    for info in DEEP_RULES:
+        if info.code not in seen:
+            seen.add(info.code)
+            rules.append(
+                {
+                    "id": info.code,
+                    "name": info.slug,
+                    "shortDescription": {"text": info.summary},
+                }
+            )
+    return rules
+
+
+def _result(finding: Finding) -> Dict[str, Any]:
+    text = finding.message
+    for hop in finding.trace:
+        text += f"\nvia {hop}"
+    return {
+        "ruleId": finding.code,
+        "level": "error",
+        "message": {"text": text},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace(os.sep, "/"),
+                    },
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        "startColumn": max(finding.col + 1, 1),
+                    },
+                }
+            }
+        ],
+    }
+
+
+def to_sarif(findings: Sequence[Finding]) -> Dict[str, Any]:
+    """The complete SARIF log object for one lint invocation."""
+    return {
+        "$schema": _SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": _rule_catalog(),
+                    }
+                },
+                "results": [_result(finding) for finding in findings],
+            }
+        ],
+    }

@@ -1,0 +1,223 @@
+"""Interprocedural determinism taint analysis (REP11x family).
+
+Sources are the nondeterminism primitives (global-``random`` draws,
+wall-clock reads, ``os.urandom``/``secrets``, random UUIDs, ``id()``,
+``hash()``, set iteration order).  Dict iteration is *not* a source:
+insertion order is guaranteed and the tree relies on it.
+
+Taint propagates along resolved call edges through return values
+(:class:`repro.lint.callgraph.CallGraph`) and is reported at two sink
+kinds:
+
+* **REP111 / taint-state** — a ``self.<attr> = ...`` write in a
+  simulation-state package whose value derives from a source, directly
+  or through any chain of calls.  The finding carries the call path
+  (``via stream() at sim/rng.py:50``) so the laundering route is
+  visible in the report.
+* **REP112 / taint-schedule** — a tainted event time or delay passed to
+  ``schedule``/``schedule_in``/``post``/``post_in``, in any module:
+  once a tainted timestamp enters the event heap the whole dispatch
+  order is poisoned, so this sink has no package scoping.
+
+Exemptions mirror the shallow rules: taint is never *generated* in a
+module allowlisted for that source kind (``sim/rng.py`` for
+module-random — its seeded streams are the sanctioned RNG; the
+engine/profiler/executor for wallclock), and a source whose line
+carries an ``allow-<kind>`` pragma (or the matching shallow-rule slug)
+is treated as blessed at the origin rather than re-flagged at every
+downstream sink.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.lint.callgraph import CallGraph
+from repro.lint.findings import Finding
+from repro.lint.project import (
+    SOURCE_KINDS,
+    FunctionSummary,
+    Influence,
+    ModuleSummary,
+)
+
+__all__ = [
+    "STATE_RULE_CODE",
+    "STATE_RULE_SLUG",
+    "TIME_RULE_CODE",
+    "TIME_RULE_SLUG",
+    "analyze_taint",
+    "compute_return_taint",
+]
+
+STATE_RULE_SLUG = "taint-state"
+STATE_RULE_CODE = "REP111"
+TIME_RULE_SLUG = "taint-schedule"
+TIME_RULE_CODE = "REP112"
+
+#: Packages whose ``self.*`` attributes are simulation state.
+_STATE_PREFIXES = (
+    "sim/", "net/", "tcp/", "routing/", "app/", "core/", "obs/",
+    "scenarios/", "faults/", "topologies/",
+)
+
+#: Source kind -> module rels where that kind is legitimate at origin
+#: (kept in sync with the shallow-rule allowlists in rules.py).
+_ORIGIN_ALLOWLIST: Dict[str, Tuple[str, ...]] = {
+    "module-random": ("sim/rng.py",),
+    "wallclock": ("sim/engine.py", "sim/profile.py", "exec/runner.py"),
+}
+
+#: Source kind -> additional pragma slugs (beyond the kind itself) that
+#: bless the source at its origin line.
+_ORIGIN_PRAGMA_ALIASES: Dict[str, Tuple[str, ...]] = {
+    "set-order": ("set-iteration",),
+}
+
+#: kind -> chain of hop strings back to the ultimate source.
+TaintMap = Dict[str, Tuple[str, ...]]
+
+
+def _source_blessed(summary: ModuleSummary, kind: str, line: int) -> bool:
+    """True when a source occurrence must not generate taint."""
+    if summary.rel in _ORIGIN_ALLOWLIST.get(kind, ()):
+        return True
+    slugs = (kind,) + _ORIGIN_PRAGMA_ALIASES.get(kind, ())
+    for candidate in (line, line - 1):
+        for slug, _reason in summary.pragmas.get(candidate, ()):
+            if slug in slugs:
+                return True
+    return False
+
+
+def _source_hop(summary: ModuleSummary, kind: str, line: int) -> str:
+    return f"{SOURCE_KINDS[kind]} at {summary.rel}:{line}"
+
+
+def _callee_hop(graph: CallGraph, callee: str) -> str:
+    fn = graph.functions[callee]
+    rel = graph.owner[callee].rel
+    return f"{fn.qualname}() at {rel}:{fn.line}"
+
+
+def compute_return_taint(graph: CallGraph) -> Dict[str, TaintMap]:
+    """Fixpoint: which source kinds can a function's return carry?
+
+    Each function keeps the *first* chain discovered per kind (chains
+    only ever get appended, never replaced), so the fixpoint terminates
+    in at most ``|kinds|`` productive updates per function and the
+    reported paths are stable across runs.
+    """
+    taint: Dict[str, TaintMap] = {fid: {} for fid in graph.functions}
+    for fid, fn in graph.functions.items():
+        summary = graph.owner[fid]
+        for kind, line, _col in fn.returns.sources:
+            if kind not in taint[fid] and not _source_blessed(
+                summary, kind, line
+            ):
+                taint[fid][kind] = (_source_hop(summary, kind, line),)
+
+    changed = True
+    while changed:
+        changed = False
+        for fid, fn in graph.functions.items():
+            summary = graph.owner[fid]
+            for raw, _line, _col in fn.returns.calls:
+                callee = graph.resolve_call(summary, fn, raw)
+                if callee is None:
+                    continue
+                for kind, chain in taint[callee].items():
+                    if kind not in taint[fid]:
+                        taint[fid][kind] = (
+                            _callee_hop(graph, callee),
+                        ) + chain
+                        changed = True
+    return taint
+
+
+def _tainted_kinds(
+    graph: CallGraph,
+    summary: ModuleSummary,
+    fn: FunctionSummary,
+    influence: Influence,
+    return_taint: Mapping[str, TaintMap],
+) -> List[Tuple[str, Tuple[str, ...]]]:
+    """(kind, chain) rows feeding one influence, first chain per kind."""
+    found: Dict[str, Tuple[str, ...]] = {}
+    for kind, line, _col in influence.sources:
+        if kind not in found and not _source_blessed(summary, kind, line):
+            found[kind] = (_source_hop(summary, kind, line),)
+    for raw, _line, _col in influence.calls:
+        callee = graph.resolve_call(summary, fn, raw)
+        if callee is None:
+            continue
+        for kind, chain in return_taint.get(callee, {}).items():
+            if kind not in found:
+                found[kind] = (_callee_hop(graph, callee),) + chain
+    return sorted(found.items())
+
+
+def _sink_exempt(summary: ModuleSummary, kind: str) -> bool:
+    """A kind allowlisted for the sink's own module stays silent there
+    (the engine writing wallclock profiling stats into its state)."""
+    return summary.rel in _ORIGIN_ALLOWLIST.get(kind, ())
+
+
+def analyze_taint(graph: CallGraph) -> List[Finding]:
+    """Run the REP111/REP112 sinks over a resolved call graph."""
+    return_taint = compute_return_taint(graph)
+    findings: List[Finding] = []
+
+    for fid in sorted(graph.functions):
+        fn = graph.functions[fid]
+        summary = graph.owner[fid]
+
+        if summary.rel.startswith(_STATE_PREFIXES):
+            for attr, line, col, influence in fn.state_writes:
+                for kind, chain in _tainted_kinds(
+                    graph, summary, fn, influence, return_taint
+                ):
+                    if _sink_exempt(summary, kind):
+                        continue
+                    findings.append(
+                        Finding(
+                            rule=STATE_RULE_SLUG,
+                            code=STATE_RULE_CODE,
+                            path=summary.path,
+                            line=line,
+                            col=col,
+                            message=(
+                                f"simulation state 'self.{attr}' (in "
+                                f"{fn.qualname}) is tainted by "
+                                f"{SOURCE_KINDS[kind]}; route it through "
+                                "the seeded RngRegistry / Simulator.now"
+                            ),
+                            trace=chain,
+                        )
+                    )
+
+        for name, line, col, influence in fn.time_args:
+            for kind, chain in _tainted_kinds(
+                graph, summary, fn, influence, return_taint
+            ):
+                if _sink_exempt(summary, kind):
+                    continue
+                findings.append(
+                    Finding(
+                        rule=TIME_RULE_SLUG,
+                        code=TIME_RULE_CODE,
+                        path=summary.path,
+                        line=line,
+                        col=col,
+                        message=(
+                            f"event time passed to {name}() in "
+                            f"{fn.qualname} derives from "
+                            f"{SOURCE_KINDS[kind]}; event order becomes "
+                            "host-dependent"
+                        ),
+                        trace=chain,
+                    )
+                )
+
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings

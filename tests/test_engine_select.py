@@ -17,7 +17,7 @@ The contract under test:
 from __future__ import annotations
 
 import os
-import pickle
+import pickle  # lint: allow-pickle(exercises the engine-portable pickle round-trip on purpose)
 
 import pytest
 

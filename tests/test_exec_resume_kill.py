@@ -100,11 +100,11 @@ print(json.dumps({{
 
 
 def _wait_for(predicate, deadline=90.0, interval=0.05):
-    start = time.monotonic()
-    while time.monotonic() - start < deadline:
+    start = time.monotonic()  # lint: allow-wallclock(test coordinates with a real worker process, not simulated time)
+    while time.monotonic() - start < deadline:  # lint: allow-wallclock(test coordinates with a real worker process, not simulated time)
         if predicate():
             return True
-        time.sleep(interval)
+        time.sleep(interval)  # lint: allow-wallclock(test coordinates with a real worker process, not simulated time)
     return False
 
 
@@ -134,7 +134,7 @@ def test_sigkill_mid_sweep_then_resume_loses_nothing(tmp_path):
         # Give the cell a beat to advance past the snapshot; the exact
         # kill instant does not matter — checkpoint writes are atomic,
         # so *some* complete snapshot is always on disk from here on.
-        time.sleep(0.3)
+        time.sleep(0.3)  # lint: allow-wallclock(test coordinates with a real worker process, not simulated time)
         assert victim.poll() is None, "driver exited before the staged kill"
         victim.send_signal(signal.SIGKILL)
         victim.wait(timeout=30)

@@ -622,3 +622,90 @@ def test_pragma_for_a_different_rule_does_not_suppress():
             pass
     """
     assert flagged(src, "sim/foo.py", "slots")
+
+
+# ----------------------------------------------------------------------
+# Pragma scoping on decorated definitions
+# ----------------------------------------------------------------------
+def test_pragma_above_decorator_suppresses_def_rule():
+    src = """
+        # lint: allow-mutable-default(fixture: shared default is the point)
+        @staticmethod
+        def f(x=[]):
+            return x
+    """
+    assert not flagged(src, "core/foo.py", "mutable-default")
+
+
+def test_pragma_between_decorator_and_def_suppresses():
+    src = """
+        @staticmethod
+        # lint: allow-mutable-default(fixture: shared default is the point)
+        def f(x=[]):
+            return x
+    """
+    assert not flagged(src, "core/foo.py", "mutable-default")
+
+
+def test_decorated_def_without_pragma_still_flagged():
+    src = """
+        @staticmethod
+        def f(x=[]):
+            return x
+    """
+    assert flagged(src, "core/foo.py", "mutable-default")
+
+
+def test_pragma_above_decorator_wrong_rule_does_not_suppress():
+    src = """
+        # lint: allow-slots(wrong rule entirely)
+        @staticmethod
+        def f(x=[]):
+            return x
+    """
+    assert flagged(src, "core/foo.py", "mutable-default")
+
+
+# ----------------------------------------------------------------------
+# Finding.to_record(): the stable exchange schema
+# ----------------------------------------------------------------------
+def test_finding_to_record_golden_schema():
+    from repro.lint.findings import Finding
+
+    finding = Finding(
+        rule="module-random",
+        code="REP101",
+        path="src/repro/net/foo.py",
+        line=3,
+        col=4,
+        message="a global-random draw",
+        trace=("via jitter() at src/repro/net/bar.py:7",),
+        suppress_lines=(2,),
+    )
+    # The record schema is load-bearing: the lint cache, the JSON
+    # formatter, and SARIF conversion all round-trip through it.  Keys
+    # may be added, never renamed or removed.
+    assert finding.to_record() == {
+        "rule": "module-random",
+        "code": "REP101",
+        "path": "src/repro/net/foo.py",
+        "line": 3,
+        "col": 4,
+        "message": "a global-random draw",
+        "trace": ["via jitter() at src/repro/net/bar.py:7"],
+    }
+
+
+def test_finding_record_round_trip():
+    from repro.lint.findings import Finding
+
+    finding = Finding(
+        rule="wallclock",
+        code="REP102",
+        path="src/repro/sim/x.py",
+        line=10,
+        col=0,
+        message="m",
+    )
+    back = Finding.from_record(finding.to_record())
+    assert back.to_record() == finding.to_record()

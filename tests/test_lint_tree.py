@@ -28,6 +28,21 @@ def test_tree_is_clean():
 
 
 @pytest.mark.lint
+def test_tree_is_deep_clean():
+    # The whole-program passes (interprocedural taint REP11x, the
+    # C-mirror / snapshot / obs-schema drift checks REP4xx) must also
+    # hold over the real tree.  Runs through the default on-disk cache,
+    # so a warm checkout re-verifies in milliseconds.
+    from repro.lint import run_analysis
+
+    result = run_analysis([str(SRC_TREE)], deep=True)
+    assert not result.errors, result.errors
+    assert not result.findings, "deep lint findings in src/repro:\n" + "\n".join(
+        finding.format() for finding in result.findings
+    )
+
+
+@pytest.mark.lint
 def test_cli_lint_exits_zero():
     proc = subprocess.run(
         [sys.executable, "-m", "repro", "lint", str(SRC_TREE)],

@@ -91,12 +91,12 @@ def test_bdp_helper():
 # RED
 # ----------------------------------------------------------------------
 def test_red_never_drops_when_empty_average():
-    queue = REDQueue(100, rng=random.Random(1))
+    queue = REDQueue(100, rng=random.Random(1))  # lint: allow-module-random(fixed-seed fixture stream; the literal seed keeps the test deterministic)
     assert queue.push(_packet())
 
 
 def test_red_hard_drop_at_capacity():
-    queue = REDQueue(4, min_thresh=1, max_thresh=2, rng=random.Random(1))
+    queue = REDQueue(4, min_thresh=1, max_thresh=2, rng=random.Random(1))  # lint: allow-module-random(fixed-seed fixture stream; the literal seed keeps the test deterministic)
     for i in range(20):
         queue.push(_packet(i))
     assert len(queue) <= 4
@@ -105,7 +105,7 @@ def test_red_hard_drop_at_capacity():
 
 def test_red_probabilistic_drops_between_thresholds():
     queue = REDQueue(1000, min_thresh=2, max_thresh=10, max_p=0.5,
-                     weight=1.0, rng=random.Random(3))
+                     weight=1.0, rng=random.Random(3))  # lint: allow-module-random(fixed-seed fixture stream; the literal seed keeps the test deterministic)
     dropped = 0
     for i in range(500):
         if not queue.push(_packet(i)):
@@ -120,7 +120,7 @@ def test_red_requires_ordered_thresholds():
 
 
 def test_red_average_follows_occupancy():
-    queue = REDQueue(100, weight=0.5, rng=random.Random(1))
+    queue = REDQueue(100, weight=0.5, rng=random.Random(1))  # lint: allow-module-random(fixed-seed fixture stream; the literal seed keeps the test deterministic)
     for i in range(10):
         queue.push(_packet(i))
     assert queue.avg > 0

@@ -89,7 +89,7 @@ def test_ack_loss_tolerated_by_cumulative_acks():
 
     from repro.net.lossgen import BernoulliLoss
 
-    flow = make_flow("reno", ack_loss=BernoulliLoss(0.3, random.Random(1)))
+    flow = make_flow("reno", ack_loss=BernoulliLoss(0.3, random.Random(1)))  # lint: allow-module-random(fixed-seed fixture stream; the literal seed keeps the test deterministic)
     flow.run(until=10.0)
     # 1 Mbps bottleneck = 125 seg/s max.
     assert flow.delivered > 0.5 * 125 * 10
